@@ -1,0 +1,553 @@
+// Benchmarks, one per reconstructed table/figure (see DESIGN.md §4 and
+// EXPERIMENTS.md). cmd/tcobench prints the full sweeps; these testing.B
+// entry points expose the same code paths for `go test -bench`.
+package tcodm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/baseline"
+	"tcodm/internal/core"
+	"tcodm/internal/experiments"
+	"tcodm/internal/index"
+	"tcodm/internal/storage"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+	"tcodm/internal/wal"
+	"tcodm/internal/workload"
+)
+
+var benchStrategies = []atom.Strategy{atom.StrategyEmbedded, atom.StrategySeparated, atom.StrategyTuple}
+
+func benchPersonnel(b *testing.B, strat atom.Strategy, p workload.PersonnelParams, timeIndex bool) (*core.Engine, []value.ID) {
+	b.Helper()
+	db, emps, err := experiments.BuildPersonnelDB(strat, p, timeIndex)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db, emps
+}
+
+// --- R-T1: storage consumption by strategy ---------------------------------
+
+func BenchmarkStorageCost(b *testing.B) {
+	p := workload.PersonnelParams{Depts: 4, Emps: 100, UpdatesPerEmp: 8, MovesPerEmp: 0,
+		UpdateFraction: 0.25, TimeStep: 10, Seed: 42}
+	for _, s := range benchStrategies {
+		b.Run(s.String(), func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				db, _, err := experiments.BuildPersonnelDB(s, p, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := db.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				bytes = int64(db.Stats().DevicePags) * storage.PageSize
+				db.Close()
+			}
+			b.ReportMetric(float64(bytes)/(1<<20), "MiB")
+		})
+	}
+	b.Run("snapshot-copy", func(b *testing.B) {
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			sch, _ := workload.PersonnelSchema()
+			ar, err := baseline.NewArchive(sch, 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := workload.Apply(workload.Personnel(p), &workload.ArchiveApplier{Archive: ar}); err != nil {
+				b.Fatal(err)
+			}
+			bytes, err = ar.DeviceBytes()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(bytes)/(1<<20), "MiB")
+	})
+}
+
+// --- R-F1: current-state scans vs. history length ---------------------------
+
+func BenchmarkCurrentQuery(b *testing.B) {
+	for _, updates := range []int{4, 32} {
+		p := workload.PersonnelParams{Depts: 4, Emps: 100, UpdatesPerEmp: updates, TimeStep: 10, Seed: 42}
+		nowVT := temporal.Instant(int64(updates+2) * 10)
+		for _, s := range benchStrategies {
+			b.Run(fmt.Sprintf("%s/updates=%d", s, updates), func(b *testing.B) {
+				db, emps := benchPersonnel(b, s, p, false)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, id := range emps {
+						if _, err := db.StateAt(id, nowVT, atom.Now); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- R-F2: time-slice scans by slice age -------------------------------------
+
+func BenchmarkTimeSlice(b *testing.B) {
+	const updates = 32
+	p := workload.PersonnelParams{Depts: 4, Emps: 100, UpdatesPerEmp: updates, TimeStep: 10, Seed: 42}
+	horizon := int64(updates+1) * 10
+	for _, s := range benchStrategies {
+		db, emps := benchPersonnel(b, s, p, false)
+		for _, frac := range []float64{0.0, 0.5, 1.0} {
+			vt := temporal.Instant(horizon - int64(frac*float64(horizon)))
+			b.Run(fmt.Sprintf("%s/age=%.0f%%", s, frac*100), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, id := range emps {
+						if _, err := db.StateAt(id, vt, atom.Now); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- R-F3: update cost vs. history length -------------------------------------
+
+func BenchmarkUpdate(b *testing.B) {
+	for _, hist := range []int{1, 64} {
+		for _, s := range benchStrategies {
+			b.Run(fmt.Sprintf("%s/history=%d", s, hist), func(b *testing.B) {
+				db, err := core.Open(core.Options{Strategy: s, PoolPages: 2048})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				sch, _ := workload.PersonnelSchema()
+				for _, name := range sch.AtomTypeNames() {
+					at, _ := sch.AtomType(name)
+					if err := db.DefineAtomType(*at); err != nil {
+						b.Fatal(err)
+					}
+				}
+				tx, _ := db.Begin()
+				id, err := tx.Insert("Emp", map[string]value.V{
+					"name": value.String_("u"), "salary": value.Int(0),
+				}, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 1; i <= hist; i++ {
+					if err := tx.Set(id, "salary", value.Int(int64(i)), temporal.Instant(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+				// Recreate the atom periodically so the measured history
+				// length stays near the sweep parameter instead of growing
+				// with b.N.
+				next := hist + 1
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if next > hist+256 {
+						b.StopTimer()
+						tx, err := db.Begin()
+						if err != nil {
+							b.Fatal(err)
+						}
+						id, err = tx.Insert("Emp", map[string]value.V{
+							"name": value.String_("u"), "salary": value.Int(0),
+						}, 0)
+						if err != nil {
+							b.Fatal(err)
+						}
+						for j := 1; j <= hist; j++ {
+							if err := tx.Set(id, "salary", value.Int(int64(j)), temporal.Instant(j)); err != nil {
+								b.Fatal(err)
+							}
+						}
+						if err := tx.Commit(); err != nil {
+							b.Fatal(err)
+						}
+						next = hist + 1
+						b.StartTimer()
+					}
+					tx, err := db.Begin()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := tx.Set(id, "salary", value.Int(int64(i)), temporal.Instant(next)); err != nil {
+						b.Fatal(err)
+					}
+					if err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+					next++
+				}
+			})
+		}
+	}
+}
+
+// --- R-T2: molecule materialization vs. the non-temporal baseline -----------
+
+func BenchmarkMolecule(b *testing.B) {
+	p := workload.CADParams{Assemblies: 2, Fanout: 4, Depth: 3, Revisions: 3, TimeStep: 10, Seed: 7}
+	vt := temporal.Instant(int64(p.Revisions+1) * 10)
+	b.Run("temporal", func(b *testing.B) {
+		db, asms, err := experiments.BuildCADDB(atom.StrategySeparated, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Molecule("Design", asms[0], vt, atom.Now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("baseline", func(b *testing.B) {
+		sch, _ := workload.CADSchema()
+		st, err := baseline.NewStore(sch, 2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids, err := workload.Apply(workload.CAD(p), &workload.StoreApplier{Store: st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mt, _ := sch.MoleculeType("Design")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Molecule(mt, ids[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- R-F4: WHEN selection with and without the time index -------------------
+
+func BenchmarkWhenSelection(b *testing.B) {
+	p := workload.PersonnelParams{Depts: 4, Emps: 200, UpdatesPerEmp: 1, MovesPerEmp: 0,
+		HireStagger: 1, TimeStep: 5, Seed: 42}
+	const query = `SELECT (name) FROM Emp WHEN VALID(salary) DURING PERIOD [0, 20)`
+	b.Run("time-index", func(b *testing.B) {
+		db, _ := benchPersonnel(b, atom.StrategySeparated, p, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		db, _ := benchPersonnel(b, atom.StrategySeparated, p, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- R-F5: history retrieval ---------------------------------------------------
+
+func BenchmarkHistoryQuery(b *testing.B) {
+	p := workload.PersonnelParams{Depts: 2, Emps: 20, UpdatesPerEmp: 64, TimeStep: 10, Seed: 42}
+	for _, s := range benchStrategies {
+		b.Run(s.String(), func(b *testing.B) {
+			db, emps := benchPersonnel(b, s, p, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.History(emps[0], "salary", atom.Now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- R-T3: transaction throughput and recovery --------------------------------
+
+func BenchmarkTxn(b *testing.B) {
+	configs := []struct {
+		name  string
+		opts  core.Options
+		batch int
+	}{
+		{"memory", core.Options{}, 1},
+		{"logged-nosync", core.Options{Path: "PATH"}, 1},
+		{"logged-fsync", core.Options{Path: "PATH", SyncOnCommit: true}, 1},
+		{"logged-fsync-batch64", core.Options{Path: "PATH", SyncOnCommit: true}, 64},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			opts := c.opts
+			if opts.Path == "PATH" {
+				opts.Path = b.TempDir() + "/t.tdb"
+				opts.PoolPages = 2048
+			}
+			db, err := core.Open(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			sch, _ := workload.PersonnelSchema()
+			for _, name := range sch.AtomTypeNames() {
+				at, _ := sch.AtomType(name)
+				if err := db.DefineAtomType(*at); err != nil {
+					b.Fatal(err)
+				}
+			}
+			app := workload.NewEngineApplier(db, c.batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Insert("Emp", map[string]value.V{
+					"name": value.String_("b"), "salary": value.Int(int64(i)),
+				}, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := app.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	// Replay rate of a log with 1000 committed inserts.
+	dir := b.TempDir()
+	path := dir + "/r.tdb"
+	db, err := core.Open(core.Options{Path: path, PoolPages: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch, _ := workload.PersonnelSchema()
+	for _, name := range sch.AtomTypeNames() {
+		at, _ := sch.AtomType(name)
+		if err := db.DefineAtomType(*at); err != nil {
+			b.Fatal(err)
+		}
+	}
+	app := workload.NewEngineApplier(db, 1)
+	for i := 0; i < 1000; i++ {
+		if _, err := app.Insert("Emp", map[string]value.V{
+			"name": value.String_("r"), "salary": value.Int(int64(i)),
+		}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := app.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Crash(); err != nil { // crash without checkpoint
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db2, err := core.Open(core.Options{Path: path})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !db2.Recovered {
+			b.Fatal("no recovery happened")
+		}
+		b.StopTimer()
+		if n := db2.Stats().Atoms; n != 1000 {
+			b.Fatalf("recovered %d atoms", n)
+		}
+		if err := db2.Crash(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// --- R-F6: buffer pool sensitivity ---------------------------------------------
+
+func BenchmarkBufferPool(b *testing.B) {
+	dir := b.TempDir()
+	path := dir + "/pool.tdb"
+	p := workload.PersonnelParams{Depts: 8, Emps: 400, UpdatesPerEmp: 8, TimeStep: 10, Seed: 42}
+	db, err := core.Open(core.Options{Path: path, PoolPages: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch, _ := workload.PersonnelSchema()
+	for _, name := range sch.AtomTypeNames() {
+		at, _ := sch.AtomType(name)
+		if err := db.DefineAtomType(*at); err != nil {
+			b.Fatal(err)
+		}
+	}
+	app := workload.NewEngineApplier(db, 256)
+	ids, err := workload.Apply(workload.Personnel(p), app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := app.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	emps := ids[p.Depts:]
+	if err := db.Close(); err != nil {
+		b.Fatal(err)
+	}
+	for _, pages := range []int{16, 256} {
+		b.Run(fmt.Sprintf("pool=%d", pages), func(b *testing.B) {
+			db, err := core.Open(core.Options{Path: path, PoolPages: pages})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, id := range emps {
+					if _, err := db.StateAt(id, 90, atom.Now); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(db.Stats().Pool.HitRatio(), "hit-ratio")
+		})
+	}
+}
+
+// --- R-T4: B+-tree microcosts ---------------------------------------------------
+
+func BenchmarkBPTree(b *testing.B) {
+	newTree := func(b *testing.B, n int) *index.BPTree {
+		dev := storage.NewMemDevice()
+		pool := storage.NewBufferPool(dev, 1024)
+		if err := storage.InitMeta(pool); err != nil {
+			b.Fatal(err)
+		}
+		tr, err := index.New(pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perm := rand.New(rand.NewSource(1)).Perm(n)
+		for _, i := range perm {
+			var k [8]byte
+			k[0], k[1], k[2], k[3] = byte(i>>24), byte(i>>16), byte(i>>8), byte(i)
+			if err := tr.Insert(k[:], uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return tr
+	}
+	const n = 100_000
+	b.Run("insert", func(b *testing.B) {
+		dev := storage.NewMemDevice()
+		pool := storage.NewBufferPool(dev, 4096)
+		if err := storage.InitMeta(pool); err != nil {
+			b.Fatal(err)
+		}
+		tr, err := index.New(pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var k [8]byte
+			k[0], k[1], k[2], k[3] = byte(i>>24), byte(i>>16), byte(i>>8), byte(i)
+			if err := tr.Insert(k[:], uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lookup", func(b *testing.B) {
+		tr := newTree(b, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x := i % n
+			var k [8]byte
+			k[0], k[1], k[2], k[3] = byte(x>>24), byte(x>>16), byte(x>>8), byte(x)
+			if _, ok, err := tr.Get(k[:]); err != nil || !ok {
+				b.Fatal(err, ok)
+			}
+		}
+	})
+	b.Run("range100", func(b *testing.B) {
+		tr := newTree(b, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			count := 0
+			err := tr.Scan(nil, func(k []byte, v uint64) (bool, error) {
+				count++
+				return count < 100, nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- R-F7: temporal-element algebra ----------------------------------------------
+
+func BenchmarkTemporalElement(b *testing.B) {
+	mkElement := func(n int, seed int64) temporal.Element {
+		rng := rand.New(rand.NewSource(seed))
+		ivs := make([]temporal.Interval, n)
+		at := temporal.Instant(0)
+		for i := range ivs {
+			at += temporal.Instant(1 + rng.Intn(10))
+			ivs[i] = temporal.NewInterval(at, at+temporal.Instant(1+rng.Intn(5)))
+			at = ivs[i].To
+		}
+		return temporal.NewElement(ivs...)
+	}
+	for _, n := range []int{16, 256} {
+		a := mkElement(n, 1)
+		c := mkElement(n, 2)
+		b.Run(fmt.Sprintf("union/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = a.Union(c)
+			}
+		})
+		b.Run(fmt.Sprintf("intersect/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = a.Intersect(c)
+			}
+		})
+		b.Run(fmt.Sprintf("subtract/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = a.Subtract(c)
+			}
+		})
+	}
+}
+
+// --- WAL append micro ----------------------------------------------------------
+
+func BenchmarkWALCommit(b *testing.B) {
+	w, err := wal.Open(b.TempDir()+"/bench.wal", wal.Options{SyncOnCommit: false})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.BeginTxn(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+		w.LogHeapInsert(storage.RID{Page: 1, Slot: uint16(i)}, payload)
+		if err := w.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command tcobench regenerates the reconstructed evaluation suite: every
+// table and figure catalogued in DESIGN.md and EXPERIMENTS.md. Run with no
+// arguments for the full suite at default scale, or name specific
+// experiments:
+//
+//	tcobench                # everything
+//	tcobench -scale 2 R-T1  # a bigger R-T1 only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcodm/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "workload scale factor")
+	flag.Parse()
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	dir, err := os.MkdirTemp("", "tcobench")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	s := experiments.Scale(*scale)
+
+	type exp struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	suite := []exp{
+		{"R-T1", func() (*experiments.Table, error) { return experiments.RT1StorageCost(s) }},
+		{"R-F1", func() (*experiments.Table, error) { return experiments.RF1CurrentQuery(s) }},
+		{"R-F2", func() (*experiments.Table, error) { return experiments.RF2TimeSlice(s) }},
+		{"R-F3", func() (*experiments.Table, error) { return experiments.RF3UpdateCost(s) }},
+		{"R-T2", func() (*experiments.Table, error) { return experiments.RT2Molecule(s) }},
+		{"R-F4", func() (*experiments.Table, error) { return experiments.RF4WhenSelection(s) }},
+		{"R-F5", func() (*experiments.Table, error) { return experiments.RF5HistoryQuery(s) }},
+		{"R-T3", func() (*experiments.Table, error) { return experiments.RT3Txn(s, dir) }},
+		{"R-F6", func() (*experiments.Table, error) { return experiments.RF6BufferPool(s, dir) }},
+		{"R-A1", func() (*experiments.Table, error) { return experiments.RA1SegmentCap(s) }},
+		{"R-F8", func() (*experiments.Table, error) { return experiments.RF8ValueIndex(s) }},
+		{"R-A2", func() (*experiments.Table, error) { return experiments.RA2Vacuum(s) }},
+	}
+	for _, e := range suite {
+		if !sel(e.id) {
+			continue
+		}
+		t, err := e.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.id, err))
+		}
+		fmt.Println(t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcobench:", err)
+	os.Exit(1)
+}

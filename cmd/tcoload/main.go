@@ -1,0 +1,119 @@
+// Command tcoload bulk-loads a synthetic workload into a database file, so
+// tcoq sessions and ad-hoc experiments have data to work with.
+//
+//	tcoload -db personnel.tdb -workload personnel -emps 1000 -updates 16
+//	tcoload -db design.tdb -workload cad -fanout 4 -depth 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/core"
+	"tcodm/internal/schema"
+	"tcodm/internal/temporal"
+	"tcodm/internal/workload"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file (required)")
+	wl := flag.String("workload", "personnel", "personnel or cad")
+	strat := flag.String("strategy", "separated", "embedded, separated, or tuple")
+	timeIndex := flag.Bool("timeindex", true, "maintain the version time index")
+	batch := flag.Int("batch", 128, "operations per transaction")
+	seed := flag.Int64("seed", 42, "workload seed")
+
+	emps := flag.Int("emps", 500, "personnel: employees")
+	depts := flag.Int("depts", 8, "personnel: departments")
+	updates := flag.Int("updates", 8, "personnel: salary updates per employee")
+	moves := flag.Int("moves", 2, "personnel: department moves per employee")
+
+	assemblies := flag.Int("assemblies", 4, "cad: assemblies")
+	fanout := flag.Int("fanout", 4, "cad: parts per level")
+	depth := flag.Int("depth", 3, "cad: part nesting depth")
+	revisions := flag.Int("revisions", 4, "cad: weight revisions per part")
+	flag.Parse()
+
+	if *dbPath == "" {
+		fatal(fmt.Errorf("-db is required"))
+	}
+	strategy, ok := atom.ParseStrategy(*strat)
+	if !ok {
+		fatal(fmt.Errorf("unknown strategy %q", *strat))
+	}
+
+	var sch *schema.Schema
+	var ops []workload.Op
+	var err error
+	switch *wl {
+	case "personnel":
+		sch, err = workload.PersonnelSchema()
+		ops = workload.Personnel(workload.PersonnelParams{
+			Depts: *depts, Emps: *emps, UpdatesPerEmp: *updates, MovesPerEmp: *moves,
+			TimeStep: 10, Seed: *seed,
+		})
+	case "cad":
+		sch, err = workload.CADSchema()
+		ops = workload.CAD(workload.CADParams{
+			Assemblies: *assemblies, Fanout: *fanout, Depth: *depth, Revisions: *revisions,
+			TimeStep: 10, Seed: *seed,
+		})
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	db, err := core.Open(core.Options{Path: *dbPath, Strategy: strategy, TimeIndex: *timeIndex})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	for _, name := range sch.AtomTypeNames() {
+		at, _ := sch.AtomType(name)
+		if err := db.DefineAtomType(*at); err != nil {
+			fatal(err)
+		}
+	}
+	for _, name := range sch.MoleculeTypeNames() {
+		mt, _ := sch.MoleculeType(name)
+		if err := db.DefineMoleculeType(*mt); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	app := workload.NewEngineApplier(db, *batch)
+	ids, err := workload.Apply(ops, app)
+	if err != nil {
+		fatal(err)
+	}
+	if err := app.Flush(); err != nil {
+		fatal(err)
+	}
+	// Advance the engine clock past the workload's valid horizon so
+	// default ("now") queries see the final state.
+	var maxT temporal.Instant
+	for _, op := range ops {
+		if op.From > maxT {
+			maxT = op.From
+		}
+	}
+	db.AdvanceClock(maxT + 1)
+	elapsed := time.Since(start)
+
+	s := db.Stats()
+	fmt.Printf("loaded %d atoms with %d operations in %v (%.0f ops/sec)\n",
+		len(ids), len(ops), elapsed.Round(time.Millisecond), float64(len(ops))/elapsed.Seconds())
+	fmt.Printf("database: %d pages (%.1f MiB), strategy %s\n",
+		s.DevicePags, float64(s.DevicePags)*8/1024, strategy)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcoload:", err)
+	os.Exit(1)
+}

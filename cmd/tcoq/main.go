@@ -1,0 +1,210 @@
+// Command tcoq is the interactive TMQL shell: open (or create) a database
+// and run temporal molecule queries against it.
+//
+//	tcoq -db design.tdb
+//	> SELECT (Emp.name, Emp.salary) FROM Emp WHERE Emp.salary > 4000 AT 100
+//	> SELECT HISTORY(salary) FROM Emp DURING [0, 200)
+//	> .schema
+//	> .stats
+//	> .quit
+//
+// Without -db it opens an ephemeral in-memory database (useful together
+// with .load to explore the synthetic workloads).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcodm/internal/core"
+	"tcodm/internal/schema"
+	"tcodm/internal/workload"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file (empty = in-memory)")
+	oneShot := flag.String("c", "", "execute one query and exit")
+	flag.Parse()
+
+	db, err := core.Open(core.Options{Path: *dbPath, TimeIndex: true})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	if db.Recovered {
+		fmt.Println("(crash recovery performed)")
+	}
+	if *oneShot != "" {
+		res, err := db.Query(*oneShot)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Table())
+		return
+	}
+
+	fmt.Println("tcoq — temporal complex-object query shell. Type .help for commands.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			help()
+		case line == ".schema":
+			printSchema(db)
+		case line == ".stats":
+			printStats(db)
+		case strings.HasPrefix(line, ".load"):
+			loadWorkload(db, strings.Fields(line))
+		case line == ".vacuum":
+			removed, err := db.Vacuum(db.Now())
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("vacuumed %d superseded versions\n", removed)
+		case strings.HasPrefix(line, "."):
+			fmt.Println("unknown command; try .help")
+		default:
+			res, err := db.Query(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(res.Table())
+			if len(res.Molecules) > 0 {
+				for _, m := range res.Molecules {
+					fmt.Printf("molecule %s root=%v atoms=%d\n", m.Type.Name, m.Root, m.Size())
+				}
+			}
+			fmt.Printf("(%d rows; plan: %s)\n", len(res.Rows), res.Plan)
+		}
+	}
+}
+
+func help() {
+	fmt.Print(`TMQL:
+  SELECT ALL FROM <Molecule> [WHERE ...] [AT t] [ASOF t]
+  SELECT (T.attr, ..., COUNT(T)) FROM <Type|Molecule> [WHERE ...] [WHEN ...] [AT t] [ASOF t]
+  SELECT HISTORY(attr) FROM <Type> [WHERE ...] [DURING [a, b)]
+  WHEN VALID(attr) OVERLAPS|CONTAINS|DURING|PRECEDES|MEETS|EQUALS PERIOD [a, b)
+Shell commands:
+  .schema            print the catalog
+  .stats             engine statistics
+  .load personnel    load the synthetic personnel workload (defines its schema)
+  .load cad          load the synthetic design workload
+  .vacuum            purge versions superseded before the current instant
+  .quit
+`)
+}
+
+func printSchema(db *core.Engine) {
+	sch := db.Schema()
+	for _, name := range sch.AtomTypeNames() {
+		at, _ := sch.AtomType(name)
+		fmt.Printf("atom type %s:\n", name)
+		for _, a := range at.Attrs {
+			flags := ""
+			if a.Temporal {
+				flags += " temporal"
+			}
+			if a.Required {
+				flags += " required"
+			}
+			if a.IsRef() {
+				fmt.Printf("  %s -> %s (%s)%s\n", a.Name, a.Target, a.Card, flags)
+				continue
+			}
+			fmt.Printf("  %s %s%s\n", a.Name, a.Kind, flags)
+		}
+	}
+	for _, name := range sch.MoleculeTypeNames() {
+		mt, _ := sch.MoleculeType(name)
+		fmt.Printf("molecule type %s (root %s):\n", name, mt.Root)
+		for _, e := range mt.Edges {
+			dir := "->"
+			if e.Reverse {
+				dir = "<-"
+			}
+			fmt.Printf("  %s %s %s via %s\n", e.From, dir, e.To, e.Attr)
+		}
+	}
+}
+
+func printStats(db *core.Engine) {
+	s := db.Stats()
+	fmt.Printf("atoms: %d  device pages: %d (%.1f MiB)  log: %.1f KiB\n",
+		s.Atoms, s.DevicePags, float64(s.DevicePags)*8/1024, float64(s.LogBytes)/1024)
+	fmt.Printf("pool: hits %d, misses %d (ratio %.3f), evictions %d\n",
+		s.Pool.Hits, s.Pool.Misses, s.Pool.HitRatio(), s.Pool.Evictions)
+	fmt.Printf("atom layer: fast loads %d, full loads %d, segment reads %d, snapshot hops %d\n",
+		s.AtomLayer.FastLoads, s.AtomLayer.FullLoads, s.AtomLayer.SegmentReads, s.AtomLayer.SnapshotHops)
+}
+
+func loadWorkload(db *core.Engine, args []string) {
+	if len(args) < 2 {
+		fmt.Println("usage: .load personnel|cad")
+		return
+	}
+	var sch *schema.Schema
+	var ops []workload.Op
+	var err error
+	switch args[1] {
+	case "personnel":
+		sch, err = workload.PersonnelSchema()
+		ops = workload.Personnel(workload.DefaultPersonnel())
+	case "cad":
+		sch, err = workload.CADSchema()
+		ops = workload.CAD(workload.DefaultCAD())
+	default:
+		fmt.Println("unknown workload:", args[1])
+		return
+	}
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, name := range sch.AtomTypeNames() {
+		at, _ := sch.AtomType(name)
+		if err := db.DefineAtomType(*at); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	for _, name := range sch.MoleculeTypeNames() {
+		mt, _ := sch.MoleculeType(name)
+		if err := db.DefineMoleculeType(*mt); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	app := workload.NewEngineApplier(db, 128)
+	ids, err := workload.Apply(ops, app)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := app.Flush(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("loaded %d atoms (%d operations)\n", len(ids), len(ops))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcoq:", err)
+	os.Exit(1)
+}

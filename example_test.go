@@ -1,0 +1,96 @@
+package tcodm_test
+
+import (
+	"fmt"
+
+	"tcodm"
+)
+
+// ExampleDB_Molecule shows dynamic complex-object derivation: the molecule
+// is computed from links at query time and can be sliced at any instant.
+func ExampleDB_Molecule() {
+	db, _ := tcodm.Open(tcodm.Options{})
+	defer db.Close()
+	_ = db.DefineAtomType(tcodm.AtomType{
+		Name:  "Dept",
+		Attrs: []tcodm.Attribute{{Name: "name", Kind: tcodm.KindString, Required: true}},
+	})
+	_ = db.DefineAtomType(tcodm.AtomType{
+		Name: "Emp",
+		Attrs: []tcodm.Attribute{
+			{Name: "name", Kind: tcodm.KindString, Required: true},
+			{Name: "dept", Kind: tcodm.KindID, Target: "Dept", Card: tcodm.One, Temporal: true},
+		},
+	})
+	_ = db.DefineMoleculeType(tcodm.MoleculeType{
+		Name:  "DeptStaff",
+		Root:  "Dept",
+		Edges: []tcodm.MoleculeEdge{{From: "Dept", Attr: "dept", To: "Emp", Reverse: true}},
+	})
+
+	tx, _ := db.Begin()
+	dept, _ := tx.Insert("Dept", tcodm.Attrs{"name": tcodm.String("storage")}, 0)
+	_, _ = tx.Insert("Emp", tcodm.Attrs{"name": tcodm.String("wk"), "dept": tcodm.Ref(dept)}, 0)
+	late, _ := tx.Insert("Emp", tcodm.Attrs{"name": tcodm.String("hs")}, 0)
+	_ = tx.Set(late, "dept", tcodm.Ref(dept), 100) // hs joins at t=100
+	_ = tx.Commit()
+
+	before, _ := db.Molecule("DeptStaff", dept, 50, tcodm.Now)
+	after, _ := db.Molecule("DeptStaff", dept, 150, tcodm.Now)
+	fmt.Println(before.Size(), after.Size())
+	// Output: 2 3
+}
+
+// ExampleTxn_Update demonstrates a retroactive correction and the
+// bitemporal record it leaves: the old belief stays queryable ASOF an
+// earlier transaction time.
+func ExampleTxn_Update() {
+	db, _ := tcodm.Open(tcodm.Options{})
+	defer db.Close()
+	_ = db.DefineAtomType(tcodm.AtomType{
+		Name: "Emp",
+		Attrs: []tcodm.Attribute{
+			{Name: "name", Kind: tcodm.KindString, Required: true},
+			{Name: "salary", Kind: tcodm.KindInt, Temporal: true},
+		},
+	})
+	tx, _ := db.Begin()
+	id, _ := tx.Insert("Emp", tcodm.Attrs{"name": tcodm.String("w"), "salary": tcodm.Int(1000)}, 0)
+	_ = tx.Commit()
+
+	tx, _ = db.Begin()
+	beforeCorrection := tx.TT() - 1 // the belief as of the previous commit
+	// Payroll discovers the salary was 1500 during [10, 20).
+	_ = tx.Update(id, "salary", tcodm.Int(1500), tcodm.NewInterval(10, 20))
+	_ = tx.Commit()
+
+	now, _ := db.StateAt(id, 15, tcodm.Now)
+	then, _ := db.StateAt(id, 15, beforeCorrection)
+	fmt.Println(now.Vals["salary"], then.Vals["salary"])
+	// Output: 1500 1000
+}
+
+// ExampleDB_Query runs TMQL with a temporal selection.
+func ExampleDB_Query() {
+	db, _ := tcodm.Open(tcodm.Options{})
+	defer db.Close()
+	_ = db.DefineAtomType(tcodm.AtomType{
+		Name: "Emp",
+		Attrs: []tcodm.Attribute{
+			{Name: "name", Kind: tcodm.KindString, Required: true},
+			{Name: "salary", Kind: tcodm.KindInt, Temporal: true},
+		},
+	})
+	tx, _ := db.Begin()
+	a, _ := tx.Insert("Emp", tcodm.Attrs{"name": tcodm.String("early"), "salary": tcodm.Int(1)}, 0)
+	_, _ = tx.Insert("Emp", tcodm.Attrs{"name": tcodm.String("late"), "salary": tcodm.Int(2)}, 50)
+	_ = tx.Set(a, "salary", tcodm.Int(9), 30)
+	_ = tx.Commit()
+
+	// Whose salary history has a version lying entirely inside [0, 40)?
+	res, _ := db.Query(`SELECT (name) FROM Emp WHEN VALID(salary) DURING PERIOD [0, 40)`)
+	for _, row := range res.Rows {
+		fmt.Println(row[0])
+	}
+	// Output: "early"
+}

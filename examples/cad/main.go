@@ -1,0 +1,114 @@
+// Command cad demonstrates temporal complex objects on the classic design
+// database: assemblies of parts with revision histories. It shows dynamic
+// molecule derivation (the complex object is computed from links at query
+// time), time-sliced materialization ("the engine as designed on day 25"),
+// and molecule histories (every configuration the design went through).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcodm"
+)
+
+func main() {
+	db, err := tcodm.Open(tcodm.Options{Strategy: tcodm.StrategySeparated})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.DefineAtomType(tcodm.AtomType{
+		Name: "Assembly",
+		Attrs: []tcodm.Attribute{
+			{Name: "name", Kind: tcodm.KindString, Required: true},
+			{Name: "rev", Kind: tcodm.KindInt, Temporal: true},
+		},
+	}))
+	must(db.DefineAtomType(tcodm.AtomType{
+		Name: "Part",
+		Attrs: []tcodm.Attribute{
+			{Name: "name", Kind: tcodm.KindString, Required: true},
+			{Name: "weight", Kind: tcodm.KindInt, Temporal: true},
+			{Name: "assembly", Kind: tcodm.KindID, Target: "Assembly", Card: tcodm.One, Temporal: true},
+			{Name: "uses", Kind: tcodm.KindID, Target: "Part", Card: tcodm.Many, Temporal: true},
+		},
+	}))
+	// The molecule type: an assembly, its parts (reverse edge over the
+	// parts' assembly reference), and the parts they use transitively.
+	must(db.DefineMoleculeType(tcodm.MoleculeType{
+		Name: "Design",
+		Root: "Assembly",
+		Edges: []tcodm.MoleculeEdge{
+			{From: "Assembly", Attr: "assembly", To: "Part", Reverse: true},
+			{From: "Part", Attr: "uses", To: "Part"},
+		},
+	}))
+
+	// Day 0: the engine assembly with a piston.
+	tx, err := db.Begin()
+	must(err)
+	engine, err := tx.Insert("Assembly", tcodm.Attrs{"name": tcodm.String("engine"), "rev": tcodm.Int(1)}, 0)
+	must(err)
+	piston, err := tx.Insert("Part", tcodm.Attrs{
+		"name": tcodm.String("piston"), "weight": tcodm.Int(300), "assembly": tcodm.Ref(engine),
+	}, 0)
+	must(err)
+	must(tx.Commit())
+
+	// Day 20: a ring is added, used by the piston.
+	tx, _ = db.Begin()
+	ring, err := tx.Insert("Part", tcodm.Attrs{"name": tcodm.String("ring"), "weight": tcodm.Int(20)}, 20)
+	must(err)
+	must(tx.AddRef(piston, "uses", ring, tcodm.Open_(20)))
+	must(tx.Commit())
+
+	// Day 40: the piston is lightened (weight revision) and the assembly
+	// revision bumps.
+	tx, _ = db.Begin()
+	must(tx.Set(piston, "weight", tcodm.Int(250), 40))
+	must(tx.Set(engine, "rev", tcodm.Int(2), 40))
+	must(tx.Commit())
+
+	// Day 60: the ring is replaced by a coated ring.
+	tx, _ = db.Begin()
+	coated, err := tx.Insert("Part", tcodm.Attrs{"name": tcodm.String("coated-ring"), "weight": tcodm.Int(22)}, 60)
+	must(err)
+	must(tx.RemoveRef(piston, "uses", ring, tcodm.Open_(60)))
+	must(tx.AddRef(piston, "uses", coated, tcodm.Open_(60)))
+	must(tx.Delete(ring, 60))
+	must(tx.Commit())
+
+	// Materialize the design as of several days.
+	for _, day := range []tcodm.Instant{10, 30, 70} {
+		mol, err := db.Molecule("Design", engine, day, tcodm.Now)
+		must(err)
+		fmt.Printf("design as of day %-3v: %d atoms:", day, mol.Size())
+		for _, p := range mol.AtomsOfType("Part") {
+			fmt.Printf(" %v(w=%v)", p.Vals["name"], p.Vals["weight"])
+		}
+		fmt.Println()
+	}
+
+	// The complete configuration history over the first 100 days.
+	steps, err := db.MoleculeHistory("Design", engine, tcodm.NewInterval(0, 100), tcodm.Now)
+	must(err)
+	fmt.Println("\nconfiguration history:")
+	for _, s := range steps {
+		fmt.Printf("  %v: %d atoms, assembly rev %v\n",
+			s.During, s.Mol.Size(), s.Mol.Atoms[engine].Vals["rev"])
+	}
+
+	// TMQL over the design database.
+	res, err := db.Query(`SELECT (Assembly.name, COUNT(Part)) FROM Design AT 70`)
+	must(err)
+	fmt.Println("\nparts per assembly at day 70:")
+	fmt.Print(res.Table())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

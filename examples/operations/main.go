@@ -1,0 +1,97 @@
+// Command operations demonstrates the engine's operational features: live
+// schema evolution (adding attributes to populated types), lifespan
+// management with revival (multi-interval temporal elements), temporal
+// aggregates in TMQL, and transaction-time vacuuming.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcodm"
+)
+
+func main() {
+	db, err := tcodm.Open(tcodm.Options{Strategy: tcodm.StrategySeparated, ValueIndex: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.DefineAtomType(tcodm.AtomType{
+		Name: "Machine",
+		Attrs: []tcodm.Attribute{
+			{Name: "serial", Kind: tcodm.KindString, Required: true},
+			{Name: "load", Kind: tcodm.KindInt, Temporal: true},
+		},
+	}))
+
+	// A machine with a fluctuating load history.
+	tx, err := db.Begin()
+	must(err)
+	m1, err := tx.Insert("Machine", tcodm.Attrs{"serial": tcodm.String("m-001"), "load": tcodm.Int(10)}, 0)
+	must(err)
+	for day, load := range map[tcodm.Instant]int64{10: 80, 20: 35, 30: 95, 40: 20} {
+		must(tx.Set(m1, "load", tcodm.Int(load), day))
+	}
+	must(tx.Commit())
+
+	// 1. Temporal aggregates through TMQL.
+	res, err := db.Query(`SELECT (serial, TAVG(load), TMAX(load), CHANGES(load))
+	                      FROM Machine DURING [0, 50) AT 45`)
+	must(err)
+	fmt.Println("load analytics over the first 50 days:")
+	fmt.Print(res.Table())
+
+	// 2. Schema evolution: a location attribute arrives later.
+	must(db.DefineAttribute("Machine", tcodm.Attribute{
+		Name: "location", Kind: tcodm.KindString, Temporal: true,
+	}))
+	tx, _ = db.Begin()
+	must(tx.Set(m1, "location", tcodm.String("hall-7"), 50))
+	must(tx.Commit())
+	st, err := db.StateAt(m1, 45, tcodm.Now)
+	must(err)
+	fmt.Printf("\nlocation before first assignment (day 45): %v\n", st.Vals["location"])
+	st, _ = db.StateAt(m1, 55, tcodm.Now)
+	fmt.Printf("location after (day 55): %v\n", st.Vals["location"])
+
+	// 3. Decommission and revival: the lifespan becomes two intervals.
+	tx, _ = db.Begin()
+	must(tx.Delete(m1, 60))
+	must(tx.Commit())
+	tx, _ = db.Begin()
+	must(tx.Revive(m1, 80))
+	must(tx.Commit())
+	fmt.Println("\nexistence over days 55..85:")
+	for _, day := range []tcodm.Instant{55, 70, 85} {
+		st, err := db.StateAt(m1, day, tcodm.Now)
+		must(err)
+		fmt.Printf("  day %-3v alive=%v\n", day, st.Alive)
+	}
+
+	// 4. A retroactive correction, then vacuuming the superseded belief.
+	tx, _ = db.Begin()
+	correctionTT := tx.TT()
+	must(tx.Update(m1, "load", tcodm.Int(85), tcodm.NewInterval(10, 20)))
+	must(tx.Commit())
+	before, err := db.History(m1, "load", correctionTT-1)
+	must(err)
+	removed, err := db.Vacuum(db.Now())
+	must(err)
+	after, err := db.History(m1, "load", tcodm.Now)
+	must(err)
+	fmt.Printf("\nvacuum removed %d superseded versions "+
+		"(history had %d versions at the old belief, %d now)\n",
+		removed, len(before), len(after))
+	fmt.Println("current load history:")
+	for _, v := range after {
+		fmt.Printf("  %v during %v\n", v.Val, v.Valid)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Command quickstart demonstrates the minimal workflow: define a schema,
+// insert and update temporal atoms inside transactions, time-slice the
+// database, and read full histories — the basic operations of the temporal
+// complex-object data model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcodm"
+)
+
+func main() {
+	// An in-memory database; pass Path for a durable one.
+	db, err := tcodm.Open(tcodm.Options{Strategy: tcodm.StrategySeparated})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// DDL: one atom type with a temporal salary attribute.
+	must(db.DefineAtomType(tcodm.AtomType{
+		Name: "Emp",
+		Attrs: []tcodm.Attribute{
+			{Name: "name", Kind: tcodm.KindString, Required: true},
+			{Name: "salary", Kind: tcodm.KindInt, Temporal: true},
+		},
+	}))
+
+	// A transaction: hire kaefer at valid time 0, give raises at 100 and
+	// 200. Valid time is the application's chronon axis (days, say).
+	tx, err := db.Begin()
+	must(err)
+	id, err := tx.Insert("Emp", tcodm.Attrs{
+		"name":   tcodm.String("kaefer"),
+		"salary": tcodm.Int(4200),
+	}, 0)
+	must(err)
+	must(tx.Set(id, "salary", tcodm.Int(5000), 100))
+	must(tx.Set(id, "salary", tcodm.Int(6000), 200))
+	must(tx.Commit())
+
+	// Time slices: the database answers "what was true at t?" for any t.
+	for _, t := range []tcodm.Instant{50, 150, 250} {
+		st, err := db.StateAt(id, t, tcodm.Now)
+		must(err)
+		fmt.Printf("salary at t=%-3v : %v\n", t, st.Vals["salary"])
+	}
+
+	// The full history of the attribute.
+	hist, err := db.History(id, "salary", tcodm.Now)
+	must(err)
+	fmt.Println("salary history:")
+	for _, v := range hist {
+		fmt.Printf("  %v during %v\n", v.Val, v.Valid)
+	}
+
+	// The same through TMQL.
+	res, err := db.Query(`SELECT HISTORY(salary) FROM Emp DURING [0, 300)`)
+	must(err)
+	fmt.Print(res.Table())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

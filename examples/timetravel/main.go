@@ -1,0 +1,91 @@
+// Command timetravel demonstrates the bitemporal dimension: retroactive
+// corrections (valid-time splices into the past) and transaction-time
+// travel (ASOF queries reconstructing what the database believed at an
+// earlier point) — including their combination, "what did we think on
+// day X the salary had been on day Y?".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcodm"
+)
+
+func main() {
+	db, err := tcodm.Open(tcodm.Options{Strategy: tcodm.StrategyEmbedded})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.DefineAtomType(tcodm.AtomType{
+		Name: "Emp",
+		Attrs: []tcodm.Attribute{
+			{Name: "name", Kind: tcodm.KindString, Required: true},
+			{Name: "salary", Kind: tcodm.KindInt, Temporal: true},
+		},
+	}))
+
+	// Transaction 1: hire at valid time 0 with salary 1000.
+	tx, err := db.Begin()
+	must(err)
+	tt1 := tx.TT()
+	id, err := tx.Insert("Emp", tcodm.Attrs{"name": tcodm.String("w"), "salary": tcodm.Int(1000)}, 0)
+	must(err)
+	must(tx.Commit())
+
+	// Transaction 2: a raise to 2000 from valid time 100.
+	tx, _ = db.Begin()
+	tt2 := tx.TT()
+	must(tx.Set(id, "salary", tcodm.Int(2000), 100))
+	must(tx.Commit())
+
+	// Transaction 3: payroll discovers the raise was actually effective
+	// from valid time 80 — a retroactive correction of the past.
+	tx, _ = db.Begin()
+	tt3 := tx.TT()
+	must(tx.Update(id, "salary", tcodm.Int(2000), tcodm.NewInterval(80, 100)))
+	must(tx.Commit())
+
+	fmt.Printf("transaction times: hire=%v raise=%v correction=%v\n\n", tt1, tt2, tt3)
+
+	// Valid-time history as currently believed.
+	fmt.Println("history as of now:")
+	hist, err := db.History(id, "salary", tcodm.Now)
+	must(err)
+	for _, v := range hist {
+		fmt.Printf("  %v during %v\n", v.Val, v.Valid)
+	}
+
+	// Valid-time history as believed before the correction.
+	fmt.Printf("\nhistory as recorded at tt=%v (before the correction):\n", tt2)
+	hist, err = db.History(id, "salary", tt2)
+	must(err)
+	for _, v := range hist {
+		fmt.Printf("  %v during %v\n", v.Val, v.Valid)
+	}
+
+	// The bitemporal matrix: value at valid time 90, as recorded at each
+	// transaction time.
+	fmt.Println("\nsalary at valid time 90, as recorded at:")
+	for _, tt := range []tcodm.Instant{tt1, tt2, tt3} {
+		st, err := db.StateAt(id, 90, tt)
+		must(err)
+		fmt.Printf("  tt=%v -> %v\n", tt, st.Vals["salary"])
+	}
+
+	// The same questions through TMQL.
+	res, err := db.Query(fmt.Sprintf(`SELECT (salary) FROM Emp AT 90 ASOF %d`, tt2))
+	must(err)
+	fmt.Printf("\nTMQL: SELECT (salary) ... AT 90 ASOF %d ->\n%s", tt2, res.Table())
+	res, err = db.Query(`SELECT (salary) FROM Emp AT 90`)
+	must(err)
+	fmt.Printf("TMQL: SELECT (salary) ... AT 90 (current belief) ->\n%s", res.Table())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

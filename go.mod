@@ -1,0 +1,3 @@
+module tcodm
+
+go 1.22

@@ -1,0 +1,506 @@
+package atom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"tcodm/internal/storage"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+// Record wire formats. All atom-layer records begin with a one-byte kind
+// tag so scans can classify heap records.
+const (
+	recFullAtom    byte = 0x10 // embedded strategy: atom with full history
+	recCurrentAtom byte = 0x11 // separated strategy: current state + chain head
+	recHistorySeg  byte = 0x12 // separated strategy: history segment
+	recSnapshot    byte = 0x13 // tuple strategy: one whole-state snapshot
+)
+
+func appendVersion(dst []byte, v Version) []byte {
+	dst = temporal.AppendInterval(dst, v.Valid)
+	dst = temporal.AppendInterval(dst, v.Trans)
+	return value.AppendRecord(dst, v.Val)
+}
+
+func decodeVersion(src []byte) (Version, int, error) {
+	if len(src) < 2*temporal.IntervalWireSize {
+		return Version{}, 0, fmt.Errorf("atom: short version encoding")
+	}
+	valid, err := temporal.DecodeInterval(src)
+	if err != nil {
+		return Version{}, 0, err
+	}
+	trans, err := temporal.DecodeInterval(src[temporal.IntervalWireSize:])
+	if err != nil {
+		return Version{}, 0, err
+	}
+	off := 2 * temporal.IntervalWireSize
+	val, n, err := value.DecodeRecord(src[off:])
+	if err != nil {
+		return Version{}, 0, err
+	}
+	return Version{Valid: valid, Trans: trans, Val: val}, off + n, nil
+}
+
+func appendVersions(dst []byte, vs []Version) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = appendVersion(dst, v)
+	}
+	return dst
+}
+
+func decodeVersions(src []byte) ([]Version, int, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("atom: corrupt version count")
+	}
+	off := sz
+	out := make([]Version, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, vn, err := decodeVersion(src[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, v)
+		off += vn
+	}
+	return out, off, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func decodeString(src []byte) (string, int, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 || int(n) > len(src)-sz {
+		return "", 0, fmt.Errorf("atom: corrupt string encoding")
+	}
+	return string(src[sz : sz+int(n)]), sz + int(n), nil
+}
+
+// encodeAtomBody serializes the atom's common fields plus the versions
+// chosen by the filter (nil filter = all versions).
+func encodeAtomBody(dst []byte, a *Atom, keep func(Version) bool) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(a.ID))
+	dst = appendString(dst, a.Type)
+	dst = temporal.AppendElement(dst, a.Lifespan)
+	dst = binary.AppendUvarint(dst, uint64(len(a.Attrs)))
+	for _, ad := range a.Attrs {
+		dst = appendString(dst, ad.Name)
+		var flags byte
+		if ad.Set {
+			flags |= 0x01
+		}
+		dst = append(dst, flags)
+		dst = appendVersions(dst, filterVersions(ad.Versions, keep))
+	}
+	// Back-references, sorted by key for deterministic encodings.
+	keys := make([]string, 0, len(a.BackRefs))
+	for k := range a.BackRefs {
+		if len(filterVersions(a.BackRefs[k], keep)) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendString(dst, k)
+		dst = appendVersions(dst, filterVersions(a.BackRefs[k], keep))
+	}
+	return dst
+}
+
+func filterVersions(vs []Version, keep func(Version) bool) []Version {
+	if keep == nil {
+		return vs
+	}
+	var out []Version
+	for _, v := range vs {
+		if keep(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func decodeAtomBody(src []byte) (*Atom, int, error) {
+	if len(src) < 8 {
+		return nil, 0, fmt.Errorf("atom: short atom body")
+	}
+	a := &Atom{ID: value.ID(binary.LittleEndian.Uint64(src)), BackRefs: map[string][]Version{}}
+	off := 8
+	typ, n, err := decodeString(src[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	a.Type = typ
+	off += n
+	ls, n, err := temporal.DecodeElement(src[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	a.Lifespan = ls
+	off += n
+	attrCount, sz := binary.Uvarint(src[off:])
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("atom: corrupt attribute count")
+	}
+	off += sz
+	a.Attrs = make([]AttrData, attrCount)
+	for i := range a.Attrs {
+		name, n, err := decodeString(src[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += n
+		if off >= len(src) {
+			return nil, 0, fmt.Errorf("atom: truncated attribute flags")
+		}
+		flags := src[off]
+		off++
+		vs, n, err := decodeVersions(src[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += n
+		a.Attrs[i] = AttrData{Name: name, Set: flags&0x01 != 0, Versions: vs}
+	}
+	brCount, sz := binary.Uvarint(src[off:])
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("atom: corrupt back-ref count")
+	}
+	off += sz
+	for i := uint64(0); i < brCount; i++ {
+		key, n, err := decodeString(src[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += n
+		vs, n, err := decodeVersions(src[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += n
+		a.BackRefs[key] = vs
+	}
+	return a, off, nil
+}
+
+// EncodeFull serializes an atom with its entire history (embedded
+// strategy).
+func EncodeFull(a *Atom) []byte {
+	dst := []byte{recFullAtom}
+	return encodeAtomBody(dst, a, nil)
+}
+
+// DecodeFull deserializes an EncodeFull record.
+func DecodeFull(src []byte) (*Atom, error) {
+	if len(src) == 0 || src[0] != recFullAtom {
+		return nil, fmt.Errorf("atom: not a full-atom record")
+	}
+	a, _, err := decodeAtomBody(src[1:])
+	return a, err
+}
+
+// SepHeader is the separated-strategy current record's header: where the
+// history chain starts, how full its head segment is, and the watermark —
+// the largest valid-time end among live-but-bounded versions that were
+// migrated to history. Updates whose valid interval starts at or after the
+// watermark cannot overlap any live version hiding in history, so they can
+// run against the current record alone (the strategy's fast path).
+type SepHeader struct {
+	Head      storage.RID
+	HeadCount uint32
+	Watermark temporal.Instant
+}
+
+// EncodeCurrent serializes the current state of an atom (separated
+// strategy): only current-shaped versions, plus the history chain header.
+func EncodeCurrent(a *Atom, h SepHeader) []byte {
+	dst := []byte{recCurrentAtom}
+	dst = binary.LittleEndian.AppendUint64(dst, h.Head.Pack())
+	dst = binary.LittleEndian.AppendUint32(dst, h.HeadCount)
+	dst = temporal.AppendInstant(dst, h.Watermark)
+	return encodeAtomBody(dst, a, Version.currentShaped)
+}
+
+// DecodeCurrent deserializes an EncodeCurrent record.
+func DecodeCurrent(src []byte) (*Atom, SepHeader, error) {
+	if len(src) < 21 || src[0] != recCurrentAtom {
+		return nil, SepHeader{}, fmt.Errorf("atom: not a current-atom record")
+	}
+	var h SepHeader
+	h.Head = storage.UnpackRID(binary.LittleEndian.Uint64(src[1:]))
+	h.HeadCount = binary.LittleEndian.Uint32(src[9:])
+	wm, err := temporal.DecodeInstant(src[13:])
+	if err != nil {
+		return nil, SepHeader{}, err
+	}
+	h.Watermark = wm
+	a, _, err := decodeAtomBody(src[21:])
+	return a, h, err
+}
+
+// HistoryEntry is one archived version inside a history segment: the
+// version plus which attribute (or back-ref key) it belonged to.
+type HistoryEntry struct {
+	Attr    string // attribute name, or back-ref key when BackRef
+	BackRef bool
+	Ver     Version
+}
+
+// EncodeSegment serializes a history segment with a link to the previous
+// (older) segment.
+func EncodeSegment(prev storage.RID, entries []HistoryEntry) []byte {
+	dst := []byte{recHistorySeg}
+	dst = binary.LittleEndian.AppendUint64(dst, prev.Pack())
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = appendString(dst, e.Attr)
+		var flags byte
+		if e.BackRef {
+			flags |= 0x01
+		}
+		dst = append(dst, flags)
+		dst = appendVersion(dst, e.Ver)
+	}
+	return dst
+}
+
+// DecodeSegment deserializes an EncodeSegment record.
+func DecodeSegment(src []byte) (prev storage.RID, entries []HistoryEntry, err error) {
+	if len(src) < 9 || src[0] != recHistorySeg {
+		return storage.NilRID, nil, fmt.Errorf("atom: not a history segment")
+	}
+	prev = storage.UnpackRID(binary.LittleEndian.Uint64(src[1:]))
+	off := 9
+	n, sz := binary.Uvarint(src[off:])
+	if sz <= 0 {
+		return storage.NilRID, nil, fmt.Errorf("atom: corrupt segment count")
+	}
+	off += sz
+	entries = make([]HistoryEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		attr, an, err := decodeString(src[off:])
+		if err != nil {
+			return storage.NilRID, nil, err
+		}
+		off += an
+		if off >= len(src) {
+			return storage.NilRID, nil, fmt.Errorf("atom: truncated segment entry")
+		}
+		flags := src[off]
+		off++
+		v, vn, err := decodeVersion(src[off:])
+		if err != nil {
+			return storage.NilRID, nil, err
+		}
+		off += vn
+		entries = append(entries, HistoryEntry{Attr: attr, BackRef: flags&0x01 != 0, Ver: v})
+	}
+	return prev, entries, nil
+}
+
+// Snapshot is one tuple-strategy whole-state record: the atom's complete
+// attribute values as of ValidFrom, recorded at TransFrom, linked to the
+// previous snapshot.
+type Snapshot struct {
+	ID        value.ID
+	Type      string
+	ValidFrom temporal.Instant
+	TransFrom temporal.Instant
+	Deleted   bool
+	Prev      storage.RID
+	// Vals holds the plain attribute values; Sets the set-attribute
+	// memberships; BackRefs the inverse links — all as of ValidFrom.
+	Vals     map[string]value.V
+	Sets     map[string][]value.V
+	BackRefs map[string][]value.ID
+}
+
+// EncodeSnapshot serializes a tuple-strategy snapshot.
+func EncodeSnapshot(s *Snapshot) []byte {
+	dst := []byte{recSnapshot}
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.ID))
+	dst = appendString(dst, s.Type)
+	dst = temporal.AppendInstant(dst, s.ValidFrom)
+	dst = temporal.AppendInstant(dst, s.TransFrom)
+	if s.Deleted {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, s.Prev.Pack())
+
+	keys := sortedKeys(s.Vals)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendString(dst, k)
+		dst = value.AppendRecord(dst, s.Vals[k])
+	}
+	setKeys := make([]string, 0, len(s.Sets))
+	for k := range s.Sets {
+		setKeys = append(setKeys, k)
+	}
+	sort.Strings(setKeys)
+	dst = binary.AppendUvarint(dst, uint64(len(setKeys)))
+	for _, k := range setKeys {
+		dst = appendString(dst, k)
+		dst = binary.AppendUvarint(dst, uint64(len(s.Sets[k])))
+		for _, v := range s.Sets[k] {
+			dst = value.AppendRecord(dst, v)
+		}
+	}
+	brKeys := make([]string, 0, len(s.BackRefs))
+	for k := range s.BackRefs {
+		brKeys = append(brKeys, k)
+	}
+	sort.Strings(brKeys)
+	dst = binary.AppendUvarint(dst, uint64(len(brKeys)))
+	for _, k := range brKeys {
+		dst = appendString(dst, k)
+		dst = binary.AppendUvarint(dst, uint64(len(s.BackRefs[k])))
+		for _, id := range s.BackRefs[k] {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(id))
+		}
+	}
+	return dst
+}
+
+func sortedKeys(m map[string]value.V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DecodeSnapshot deserializes an EncodeSnapshot record.
+func DecodeSnapshot(src []byte) (*Snapshot, error) {
+	if len(src) < 9 || src[0] != recSnapshot {
+		return nil, fmt.Errorf("atom: not a snapshot record")
+	}
+	s := &Snapshot{
+		ID:       value.ID(binary.LittleEndian.Uint64(src[1:])),
+		Vals:     map[string]value.V{},
+		Sets:     map[string][]value.V{},
+		BackRefs: map[string][]value.ID{},
+	}
+	off := 9
+	typ, n, err := decodeString(src[off:])
+	if err != nil {
+		return nil, err
+	}
+	s.Type = typ
+	off += n
+	vf, err := temporal.DecodeInstant(src[off:])
+	if err != nil {
+		return nil, err
+	}
+	s.ValidFrom = vf
+	off += temporal.InstantWireSize
+	tf, err := temporal.DecodeInstant(src[off:])
+	if err != nil {
+		return nil, err
+	}
+	s.TransFrom = tf
+	off += temporal.InstantWireSize
+	if off >= len(src) {
+		return nil, fmt.Errorf("atom: truncated snapshot")
+	}
+	s.Deleted = src[off] == 1
+	off++
+	if off+8 > len(src) {
+		return nil, fmt.Errorf("atom: truncated snapshot prev pointer")
+	}
+	s.Prev = storage.UnpackRID(binary.LittleEndian.Uint64(src[off:]))
+	off += 8
+
+	nv, sz := binary.Uvarint(src[off:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("atom: corrupt snapshot value count")
+	}
+	off += sz
+	for i := uint64(0); i < nv; i++ {
+		k, n, err := decodeString(src[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		v, n, err := value.DecodeRecord(src[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		s.Vals[k] = v
+	}
+	ns, sz := binary.Uvarint(src[off:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("atom: corrupt snapshot set count")
+	}
+	off += sz
+	for i := uint64(0); i < ns; i++ {
+		k, n, err := decodeString(src[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		cnt, sz := binary.Uvarint(src[off:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("atom: corrupt snapshot set size")
+		}
+		off += sz
+		vals := make([]value.V, 0, cnt)
+		for j := uint64(0); j < cnt; j++ {
+			v, n, err := value.DecodeRecord(src[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += n
+			vals = append(vals, v)
+		}
+		s.Sets[k] = vals
+	}
+	nb, sz := binary.Uvarint(src[off:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("atom: corrupt snapshot backref count")
+	}
+	off += sz
+	for i := uint64(0); i < nb; i++ {
+		k, n, err := decodeString(src[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		cnt, sz := binary.Uvarint(src[off:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("atom: corrupt snapshot backref size")
+		}
+		off += sz
+		ids := make([]value.ID, 0, cnt)
+		for j := uint64(0); j < cnt; j++ {
+			if off+8 > len(src) {
+				return nil, fmt.Errorf("atom: truncated snapshot backref")
+			}
+			ids = append(ids, value.ID(binary.LittleEndian.Uint64(src[off:])))
+			off += 8
+		}
+		s.BackRefs[k] = ids
+	}
+	return s, nil
+}
+
+// RecordKind classifies an atom-layer heap record by its tag byte.
+func RecordKind(data []byte) byte {
+	if len(data) == 0 {
+		return 0
+	}
+	return data[0]
+}

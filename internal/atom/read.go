@@ -1,0 +1,462 @@
+package atom
+
+import (
+	"fmt"
+	"sort"
+
+	"tcodm/internal/schema"
+
+	"tcodm/internal/storage"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+// State is an atom's materialized state at one (valid, transaction) time
+// point: the answer to a time-slice of a single atom.
+type State struct {
+	ID       value.ID
+	Type     string
+	Alive    bool
+	Vals     map[string]value.V
+	Sets     map[string][]value.V
+	BackRefs map[string][]value.ID
+}
+
+// SetIDs returns the set attribute's members as IDs (reference sets).
+func (s *State) SetIDs(attr string) []value.ID {
+	vs := s.Sets[attr]
+	out := make([]value.ID, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v.AsID())
+	}
+	return out
+}
+
+// Now is the transaction-time argument meaning "the latest recorded state".
+const Now = temporal.Forever - 1
+
+// StateAt materializes atom id at valid time vt as recorded at transaction
+// time tt (use Now for the latest state).
+func (m *Manager) StateAt(id value.ID, vt, tt temporal.Instant) (*State, error) {
+	switch m.opts.Strategy {
+	case StrategyTuple:
+		return m.tupleStateAt(id, vt, tt)
+	default:
+		a, err := m.loadFor(id, vt, tt)
+		if err != nil {
+			return nil, err
+		}
+		return stateFromAtom(a, vt, tt), nil
+	}
+}
+
+// reconcile aligns a decoded atom with the current schema: attributes
+// added by schema evolution after the record was written get empty
+// histories (they read as Null until first updated).
+func (m *Manager) reconcile(a *Atom) *Atom {
+	t, ok := m.schema.AtomType(a.Type)
+	if !ok {
+		return a
+	}
+	if len(a.Attrs) == len(t.Attrs) {
+		return a
+	}
+	for _, at := range t.Attrs {
+		if a.Attr(at.Name) == nil {
+			a.Attrs = append(a.Attrs, AttrData{Name: at.Name, Set: at.IsRef() && at.Card == schema.Many})
+		}
+	}
+	return a
+}
+
+// Load materializes the complete atom with its full history. For the tuple
+// strategy this reconstructs histories from the snapshot chain.
+func (m *Manager) Load(id value.ID) (*Atom, error) {
+	rid, err := m.homeRID(id)
+	if err != nil {
+		return nil, err
+	}
+	switch m.opts.Strategy {
+	case StrategyEmbedded:
+		m.stats.FullLoads++
+		data, err := m.heap.Fetch(rid)
+		if err != nil {
+			return nil, err
+		}
+		a, err := DecodeFull(data)
+		if err != nil {
+			return nil, err
+		}
+		return m.reconcile(a), nil
+	case StrategySeparated:
+		m.stats.FullLoads++
+		a, _, err := m.loadSeparatedFull(rid)
+		if err != nil {
+			return nil, err
+		}
+		return m.reconcile(a), nil
+	case StrategyTuple:
+		return m.tupleLoad(rid)
+	default:
+		return nil, fmt.Errorf("atom: unknown strategy %d", m.opts.Strategy)
+	}
+}
+
+// loadFor loads as much of the atom as answering a (vt, tt) question needs:
+// for the separated strategy, current-only when the question is about the
+// live open-ended present, the full chain otherwise.
+func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant) (*Atom, error) {
+	rid, err := m.homeRID(id)
+	if err != nil {
+		return nil, err
+	}
+	switch m.opts.Strategy {
+	case StrategyEmbedded:
+		m.stats.FastLoads++
+		data, err := m.heap.Fetch(rid)
+		if err != nil {
+			return nil, err
+		}
+		a, err := DecodeFull(data)
+		if err != nil {
+			return nil, err
+		}
+		return m.reconcile(a), nil
+	case StrategySeparated:
+		data, err := m.heap.Fetch(rid)
+		if err != nil {
+			return nil, err
+		}
+		a, hdr, err := DecodeCurrent(data)
+		if err != nil {
+			return nil, err
+		}
+		a = m.reconcile(a)
+		// The current record answers the question alone iff the question
+		// is about the latest recorded state (tt == Now) at a valid time
+		// every current-shaped version already covers: vt at or after the
+		// latest current version start and at or after the watermark.
+		if tt == Now && vt >= hdr.Watermark && coversCurrent(a, vt) {
+			m.stats.FastLoads++
+			return a, nil
+		}
+		m.stats.FullLoads++
+		full, _, err := m.loadSeparatedFull(rid)
+		if err != nil {
+			return nil, err
+		}
+		return m.reconcile(full), nil
+	default:
+		return nil, fmt.Errorf("atom: loadFor unsupported for strategy %s", m.opts.Strategy)
+	}
+}
+
+// coversCurrent reports whether every current-shaped version in the record
+// is already valid at vt, i.e. the state at vt equals the open-ended
+// current state.
+func coversCurrent(a *Atom, vt temporal.Instant) bool {
+	for _, ad := range a.Attrs {
+		for _, v := range ad.Versions {
+			if v.Valid.From > vt {
+				return false
+			}
+		}
+	}
+	for _, vs := range a.BackRefs {
+		for _, v := range vs {
+			if v.Valid.From > vt {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stateFromAtom filters a (fully or sufficiently) loaded atom down to one
+// time point.
+func stateFromAtom(a *Atom, vt, tt temporal.Instant) *State {
+	s := &State{
+		ID: a.ID, Type: a.Type,
+		Alive: a.AliveAt(vt),
+		Vals:  map[string]value.V{}, Sets: map[string][]value.V{}, BackRefs: map[string][]value.ID{},
+	}
+	for i := range a.Attrs {
+		ad := &a.Attrs[i]
+		if ad.Set {
+			s.Sets[ad.Name] = sortVals(ad.SetAt(vt, tt))
+			continue
+		}
+		s.Vals[ad.Name] = ad.ValueAt(vt, tt)
+	}
+	for k := range a.BackRefs {
+		var ids []value.ID
+		for _, v := range a.BackRefs[k] {
+			if v.VisibleAt(vt, tt) {
+				ids = append(ids, v.Val.AsID())
+			}
+		}
+		if len(ids) > 0 {
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			s.BackRefs[k] = ids
+		}
+	}
+	return s
+}
+
+func sortVals(vs []value.V) []value.V {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+	return vs
+}
+
+// History returns the valid-time history of an attribute as recorded at
+// transaction time tt: visible versions ordered by valid start.
+func (m *Manager) History(id value.ID, attr string, tt temporal.Instant) ([]Version, error) {
+	if m.opts.Strategy == StrategyTuple {
+		return m.tupleHistory(id, attr, tt)
+	}
+	a, err := m.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	ad := a.Attr(attr)
+	if ad == nil {
+		return nil, fmt.Errorf("atom: %s has no attribute %q", a.Type, attr)
+	}
+	return ad.HistoryAt(effectiveTT(tt)), nil
+}
+
+// effectiveTT maps the Now sentinel onto an instant beyond every recorded
+// transaction time.
+func effectiveTT(tt temporal.Instant) temporal.Instant {
+	if tt == Now {
+		return temporal.Forever - 1
+	}
+	return tt
+}
+
+// Lifespan returns the atom's existence element.
+func (m *Manager) Lifespan(id value.ID) (temporal.Element, error) {
+	switch m.opts.Strategy {
+	case StrategyTuple:
+		rid, err := m.homeRID(id)
+		if err != nil {
+			return nil, err
+		}
+		a, err := m.tupleLoad(rid)
+		if err != nil {
+			return nil, err
+		}
+		return a.Lifespan, nil
+	default:
+		a, err := m.loadFor(id, Now-1, Now)
+		if err != nil {
+			return nil, err
+		}
+		return a.Lifespan, nil
+	}
+}
+
+// --- Tuple-strategy reads ---------------------------------------------------
+
+// tupleStateAt walks the snapshot chain newest-first to the snapshot in
+// force at (vt, tt).
+func (m *Manager) tupleStateAt(id value.ID, vt, tt temporal.Instant) (*State, error) {
+	rid, err := m.homeRID(id)
+	if err != nil {
+		return nil, err
+	}
+	ett := effectiveTT(tt)
+	var first *Snapshot
+	for rid.IsValid() {
+		m.stats.SnapshotHops++
+		data, err := m.heap.Fetch(rid)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return nil, err
+		}
+		first = snap
+		if snap.TransFrom <= ett && snap.ValidFrom <= vt {
+			return m.reconcileState(stateFromSnapshot(snap, true)), nil
+		}
+		rid = snap.Prev
+	}
+	// vt precedes the atom's first version: it does not exist yet.
+	if first == nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	return m.reconcileState(&State{ID: first.ID, Type: first.Type, Alive: false,
+		Vals: map[string]value.V{}, Sets: map[string][]value.V{}, BackRefs: map[string][]value.ID{}}), nil
+}
+
+// reconcileState fills in schema attributes a stored snapshot predates.
+func (m *Manager) reconcileState(st *State) *State {
+	t, ok := m.schema.AtomType(st.Type)
+	if !ok {
+		return st
+	}
+	for _, at := range t.Attrs {
+		if at.IsRef() && at.Card == schema.Many {
+			if _, ok := st.Sets[at.Name]; !ok {
+				st.Sets[at.Name] = nil
+			}
+			continue
+		}
+		if _, ok := st.Vals[at.Name]; !ok {
+			st.Vals[at.Name] = value.Null
+		}
+	}
+	return st
+}
+
+func stateFromSnapshot(s *Snapshot, alive bool) *State {
+	st := &State{
+		ID: s.ID, Type: s.Type, Alive: alive && !s.Deleted,
+		Vals: map[string]value.V{}, Sets: map[string][]value.V{}, BackRefs: map[string][]value.ID{},
+	}
+	for k, v := range s.Vals {
+		st.Vals[k] = v
+	}
+	for k, vs := range s.Sets {
+		st.Sets[k] = sortVals(append([]value.V(nil), vs...))
+	}
+	for k, ids := range s.BackRefs {
+		cp := append([]value.ID(nil), ids...)
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		st.BackRefs[k] = cp
+	}
+	return st
+}
+
+// tupleLoad reconstructs a full atom (with step-function histories) from
+// the snapshot chain.
+func (m *Manager) tupleLoad(rid storage.RID) (*Atom, error) {
+	snaps, err := m.tupleChain(rid)
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("atom: empty snapshot chain")
+	}
+	t, ok := m.schema.AtomType(snaps[0].Type)
+	if !ok {
+		return nil, fmt.Errorf("atom: unknown type %q in snapshot", snaps[0].Type)
+	}
+	a := NewAtom(snaps[0].ID, t)
+	// snaps is oldest-first. Each snapshot's values hold from its
+	// ValidFrom until the next snapshot's ValidFrom.
+	for i, s := range snaps {
+		valid := temporal.Open(s.ValidFrom)
+		if i+1 < len(snaps) {
+			valid.To = snaps[i+1].ValidFrom
+		}
+		if valid.IsEmpty() {
+			continue
+		}
+		if s.Deleted {
+			a.Lifespan = a.Lifespan.SubtractInterval(temporal.Open(s.ValidFrom))
+			continue
+		}
+		a.Lifespan = a.Lifespan.Union(temporal.NewElement(valid))
+		for name, v := range s.Vals {
+			if v.IsNull() {
+				continue
+			}
+			ad := a.Attr(name)
+			if ad == nil {
+				continue
+			}
+			ad.Versions = append(ad.Versions, Version{Valid: valid, Trans: temporal.Open(s.TransFrom), Val: v})
+		}
+		for name, vs := range s.Sets {
+			ad := a.Attr(name)
+			if ad == nil {
+				continue
+			}
+			for _, v := range vs {
+				ad.Versions = append(ad.Versions, Version{Valid: valid, Trans: temporal.Open(s.TransFrom), Val: v})
+			}
+		}
+		for k, ids := range s.BackRefs {
+			for _, idv := range ids {
+				a.BackRefs[k] = append(a.BackRefs[k], Version{Valid: valid, Trans: temporal.Open(s.TransFrom), Val: value.Ref(idv)})
+			}
+		}
+	}
+	return a, nil
+}
+
+// tupleChain returns the snapshot chain oldest-first.
+func (m *Manager) tupleChain(rid storage.RID) ([]*Snapshot, error) {
+	var chain []*Snapshot
+	for rid.IsValid() {
+		m.stats.SnapshotHops++
+		data, err := m.heap.Fetch(rid)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, snap)
+		rid = snap.Prev
+	}
+	// Reverse to oldest-first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}
+
+// tupleHistory reconstructs the step-function history of one attribute from
+// the snapshot chain, as recorded at transaction time tt.
+func (m *Manager) tupleHistory(id value.ID, attr string, tt temporal.Instant) ([]Version, error) {
+	rid, err := m.homeRID(id)
+	if err != nil {
+		return nil, err
+	}
+	snaps, err := m.tupleChain(rid)
+	if err != nil {
+		return nil, err
+	}
+	ett := effectiveTT(tt)
+	var out []Version
+	for i, s := range snaps {
+		if s.TransFrom > ett || s.Deleted {
+			continue
+		}
+		valid := temporal.Open(s.ValidFrom)
+		for j := i + 1; j < len(snaps); j++ {
+			if snaps[j].TransFrom <= ett {
+				valid.To = snaps[j].ValidFrom
+				break
+			}
+		}
+		if valid.IsEmpty() {
+			continue
+		}
+		if v, ok := s.Vals[attr]; ok && !v.IsNull() {
+			// Coalesce with the previous version when the value repeats.
+			if n := len(out); n > 0 && out[n-1].Val.Equal(v) && out[n-1].Valid.To == valid.From {
+				out[n-1].Valid.To = valid.To
+				continue
+			}
+			out = append(out, Version{Valid: valid, Trans: temporal.Open(s.TransFrom), Val: v})
+		}
+		if vs, ok := s.Sets[attr]; ok {
+			for _, v := range vs {
+				out = append(out, Version{Valid: valid, Trans: temporal.Open(s.TransFrom), Val: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Valid.From != out[j].Valid.From {
+			return out[i].Valid.From < out[j].Valid.From
+		}
+		return out[i].Val.Compare(out[j].Val) < 0
+	})
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package atom
+
+import (
+	"tcodm/internal/index"
+	"tcodm/internal/storage"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+// RebuildIndexes reconstructs the primary, type, and (if enabled) time
+// indexes from a heap scan. Indexes are derived, unlogged state: the engine
+// calls this after WAL replay following an unclean shutdown. Returns the
+// fresh index roots (the old index pages are abandoned; their space is
+// reclaimed only by offline compaction, a documented trade-off).
+func (m *Manager) RebuildIndexes(pool *storage.BufferPool) (Roots, error) {
+	primary, err := index.New(pool)
+	if err != nil {
+		return Roots{}, err
+	}
+	typeIdx, err := index.New(pool)
+	if err != nil {
+		return Roots{}, err
+	}
+	var timeIdx, valueIdx *index.BPTree
+	if m.opts.TimeIndex {
+		timeIdx, err = index.New(pool)
+		if err != nil {
+			return Roots{}, err
+		}
+	}
+	if m.opts.ValueIndex {
+		valueIdx, err = index.New(pool)
+		if err != nil {
+			return Roots{}, err
+		}
+	}
+
+	type newest struct {
+		rid   storage.RID
+		trans temporal.Instant
+	}
+	snapshots := map[value.ID]newest{}
+	snapshotTypes := map[value.ID]string{}
+	var maxID value.ID
+
+	err = m.heap.Scan(func(rid storage.RID, data []byte) (bool, error) {
+		switch RecordKind(data) {
+		case recFullAtom:
+			a, err := DecodeFull(data)
+			if err != nil {
+				return false, err
+			}
+			if err := primary.Insert(primaryKey(a.ID), rid.Pack()); err != nil {
+				return false, err
+			}
+			if err := typeIdx.Insert(typeKey(a.Type, a.ID), rid.Pack()); err != nil {
+				return false, err
+			}
+			if a.ID > maxID {
+				maxID = a.ID
+			}
+		case recCurrentAtom:
+			a, _, err := DecodeCurrent(data)
+			if err != nil {
+				return false, err
+			}
+			if err := primary.Insert(primaryKey(a.ID), rid.Pack()); err != nil {
+				return false, err
+			}
+			if err := typeIdx.Insert(typeKey(a.Type, a.ID), rid.Pack()); err != nil {
+				return false, err
+			}
+			if a.ID > maxID {
+				maxID = a.ID
+			}
+		case recSnapshot:
+			s, err := DecodeSnapshot(data)
+			if err != nil {
+				return false, err
+			}
+			cur, seen := snapshots[s.ID]
+			if !seen || s.TransFrom > cur.trans {
+				snapshots[s.ID] = newest{rid: rid, trans: s.TransFrom}
+				snapshotTypes[s.ID] = s.Type
+			}
+			if s.ID > maxID {
+				maxID = s.ID
+			}
+		case recHistorySeg:
+			// Reached through current records; nothing to index.
+		default:
+			// Not an atom-layer record (e.g. the engine's catalog record):
+			// nothing to index.
+		}
+		return true, nil
+	})
+	if err != nil {
+		return Roots{}, err
+	}
+	for id, n := range snapshots {
+		if err := primary.Insert(primaryKey(id), n.rid.Pack()); err != nil {
+			return Roots{}, err
+		}
+		if err := typeIdx.Insert(typeKey(snapshotTypes[id], id), n.rid.Pack()); err != nil {
+			return Roots{}, err
+		}
+	}
+	m.primary = primary
+	m.typeIdx = typeIdx
+	if maxID >= value.ID(m.nextID) {
+		m.nextID = uint64(maxID) + 1
+	}
+	if valueIdx != nil {
+		if err := m.rebuildValueIndex(valueIdx); err != nil {
+			return Roots{}, err
+		}
+		m.valueIdx = valueIdx
+	}
+	if timeIdx != nil {
+		m.timeIdx = timeIdx
+		// Re-derive version start entries from full loads.
+		var rebuildErr error
+		err := primary.Scan(nil, func(k []byte, v uint64) (bool, error) {
+			id := value.ID(decodeU64BE(k))
+			a, err := m.Load(id)
+			if err != nil {
+				rebuildErr = err
+				return false, nil
+			}
+			for _, ad := range a.Attrs {
+				for _, ver := range ad.Versions {
+					if err := timeIdx.Insert(timeKey(a.Type, ad.Name, ver.Valid.From, id), uint64(id)); err != nil {
+						rebuildErr = err
+						return false, nil
+					}
+				}
+			}
+			return true, nil
+		})
+		if err != nil {
+			return Roots{}, err
+		}
+		if rebuildErr != nil {
+			return Roots{}, rebuildErr
+		}
+	}
+	return m.Roots(), nil
+}
+
+func decodeU64BE(b []byte) uint64 {
+	var v uint64
+	for _, c := range b[:8] {
+		v = v<<8 | uint64(c)
+	}
+	return v
+}

@@ -1,0 +1,154 @@
+package atom
+
+import (
+	"testing"
+
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+func TestVacuumPreservesRecentAnswers(t *testing.T) {
+	forAllStrategies(t, func(t *testing.T, m *Manager) {
+		id, err := m.Insert("Emp", map[string]value.V{
+			"name": value.String_("v"), "salary": value.Int(100),
+		}, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Updates at tt = 2..6 rewriting the whole future each time:
+		// superseded versions accumulate.
+		for i := 2; i <= 6; i++ {
+			if err := m.UpdateAttr(id, "salary", value.Int(int64(i*100)), temporal.Open(temporal.Instant(i*10)), temporal.Instant(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Capture the answers for tt >= 4 over the valid grid.
+		type key struct{ vt, tt temporal.Instant }
+		before := map[key]value.V{}
+		for vt := temporal.Instant(0); vt <= 80; vt += 5 {
+			for _, tt := range []temporal.Instant{4, 5, 6, Now} {
+				st, err := m.StateAt(id, vt, tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				before[key{vt, tt}] = st.Vals["salary"]
+			}
+		}
+		removed, err := m.Vacuum(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Attribute-versioning strategies reclaim the closed versions;
+		// tuple versioning cannot (each snapshot doubles as a valid-time
+		// version that stays reachable at tt=Now) — both must preserve
+		// every tt >= 4 answer either way.
+		if m.Strategy() != StrategyTuple && removed == 0 {
+			t.Fatal("vacuum removed nothing despite superseded versions")
+		}
+		if m.Strategy() == StrategyTuple && removed != 0 {
+			t.Fatalf("tuple vacuum removed %d reachable snapshots", removed)
+		}
+		for k, want := range before {
+			st, err := m.StateAt(id, k.vt, k.tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := st.Vals["salary"]; !got.Equal(want) {
+				t.Errorf("after vacuum: salary(vt=%v tt=%v) = %v, want %v", k.vt, k.tt, got, want)
+			}
+		}
+	})
+}
+
+func TestVacuumRemovesOldBelief(t *testing.T) {
+	// Embedded and separated keep closed transaction intervals exactly, so
+	// pre-vacuum ASOF answers demonstrably change (the purge is real).
+	for _, s := range []Strategy{StrategyEmbedded, StrategySeparated} {
+		t.Run(s.String(), func(t *testing.T) {
+			m := newManager(t, s)
+			id, _ := m.Insert("Emp", map[string]value.V{
+				"name": value.String_("b"), "salary": value.Int(1),
+			}, 0, 1)
+			// tt=2: retroactive correction over [0, 10): the original
+			// version is closed at tt=2.
+			if err := m.UpdateAttr(id, "salary", value.Int(2), temporal.NewInterval(0, 10), 2); err != nil {
+				t.Fatal(err)
+			}
+			// Before vacuum, ASOF tt=1 sees the original belief.
+			st, _ := m.StateAt(id, 5, 1)
+			if st.Vals["salary"].AsInt() != 1 {
+				t.Fatalf("pre-vacuum belief = %v", st.Vals["salary"])
+			}
+			if _, err := m.Vacuum(2); err != nil {
+				t.Fatal(err)
+			}
+			// The old belief is gone; current answers are intact.
+			st, _ = m.StateAt(id, 5, 1)
+			if got := st.Vals["salary"]; !got.IsNull() && got.AsInt() == 1 {
+				t.Errorf("old belief survived vacuum: %v", got)
+			}
+			st, _ = m.StateAt(id, 5, Now)
+			if st.Vals["salary"].AsInt() != 2 {
+				t.Errorf("current answer broken by vacuum: %v", st.Vals["salary"])
+			}
+		})
+	}
+}
+
+func TestVacuumNoopWhenNothingDead(t *testing.T) {
+	forAllStrategies(t, func(t *testing.T, m *Manager) {
+		id, _ := m.Insert("Emp", map[string]value.V{"name": value.String_("n"), "salary": value.Int(1)}, 0, 1)
+		removed, err := m.Vacuum(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if removed != 0 {
+			t.Errorf("vacuum removed %d from a fresh atom", removed)
+		}
+		st, _ := m.StateAt(id, 10, Now)
+		if st.Vals["salary"].AsInt() != 1 {
+			t.Error("fresh atom damaged by no-op vacuum")
+		}
+	})
+}
+
+func TestVacuumShrinksTupleChain(t *testing.T) {
+	// Tuple vacuum reclaims only snapshots whose valid window was
+	// re-covered: repeated updates at the SAME valid instant create them.
+	m := newManager(t, StrategyTuple)
+	id, _ := m.Insert("Emp", map[string]value.V{"name": value.String_("t"), "salary": value.Int(0)}, 0, 1)
+	for i := 2; i <= 10; i++ {
+		if err := m.UpdateAttr(id, "salary", value.Int(int64(i)), temporal.Open(10), temporal.Instant(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.ResetStats()
+	if _, err := m.StateAt(id, 5, Now); err != nil { // oldest slice: walks whole chain
+		t.Fatal(err)
+	}
+	hopsBefore := m.Stats().SnapshotHops
+	removed, err := m.Vacuum(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 8 { // nine same-instant snapshots collapse to the newest
+		t.Fatalf("tuple vacuum removed %d, want 8", removed)
+	}
+	m.ResetStats()
+	st, err := m.StateAt(id, 5, Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SnapshotHops >= hopsBefore {
+		t.Errorf("chain not shortened: %d hops before, %d after", hopsBefore, m.Stats().SnapshotHops)
+	}
+	// The insert-time snapshot survives and serves old valid slices.
+	if st.Vals["salary"].IsNull() || st.Vals["salary"].AsInt() != 0 {
+		t.Errorf("oldest surviving snapshot = %v", st.Vals["salary"])
+	}
+	// The newest value is intact.
+	st, _ = m.StateAt(id, 50, Now)
+	if st.Vals["salary"].AsInt() != 10 {
+		t.Errorf("newest value = %v", st.Vals["salary"])
+	}
+}

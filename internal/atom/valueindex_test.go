@@ -1,0 +1,85 @@
+package atom
+
+import (
+	"bytes"
+	"testing"
+
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+func TestPrefixUpperBound(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{0x01, 0x02}, []byte{0x01, 0x03}},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{}, nil},
+	}
+	for _, c := range cases {
+		got := prefixUpperBound(c.in)
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("prefixUpperBound(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValueIndexScanOperators(t *testing.T) {
+	dev := newManager(t, StrategySeparated) // wrong: need ValueIndex on
+	_ = dev
+	m := newValueIndexedManager(t)
+	// Atoms with salaries 10, 20, 30.
+	var ids []value.ID
+	for _, s := range []int64{10, 20, 30} {
+		id, err := m.Insert("Emp", map[string]value.V{
+			"name": value.String_("v"), "salary": value.Int(s),
+		}, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	collect := func(op string, lit value.V) []value.ID {
+		var out []value.ID
+		err := m.ValueIndexScan("Emp", "salary", op, lit, func(id value.ID) (bool, error) {
+			out = append(out, id)
+			return true, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if got := collect("=", value.Int(20)); len(got) != 1 || got[0] != ids[1] {
+		t.Errorf("= 20 -> %v", got)
+	}
+	if got := collect("<", value.Int(20)); len(got) != 1 || got[0] != ids[0] {
+		t.Errorf("< 20 -> %v", got)
+	}
+	if got := collect("<=", value.Int(20)); len(got) != 2 {
+		t.Errorf("<= 20 -> %v", got)
+	}
+	if got := collect(">", value.Int(20)); len(got) != 1 || got[0] != ids[2] {
+		t.Errorf("> 20 -> %v", got)
+	}
+	if got := collect(">=", value.Int(20)); len(got) != 2 {
+		t.Errorf(">= 20 -> %v", got)
+	}
+	if err := m.ValueIndexScan("Emp", "salary", "!=", value.Int(1), func(value.ID) (bool, error) { return true, nil }); err == nil {
+		t.Error("!= accepted by value index")
+	}
+	// Disabled index errors.
+	m2 := newManager(t, StrategySeparated)
+	if err := m2.ValueIndexScan("Emp", "salary", "=", value.Int(1), func(value.ID) (bool, error) { return true, nil }); err == nil {
+		t.Error("disabled value index scanned")
+	}
+	_ = temporal.Instant(0)
+}
+
+func newValueIndexedManager(t *testing.T) *Manager {
+	t.Helper()
+	m := newManagerOpts(t, Options{Strategy: StrategySeparated, ValueIndex: true})
+	return m
+}

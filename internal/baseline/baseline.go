@@ -1,0 +1,366 @@
+// Package baseline implements the comparators the evaluation measures the
+// temporal engine against:
+//
+//   - Store: a conventional non-temporal complex-object store over the same
+//     storage substrate — atoms keep only their current state, updates
+//     overwrite in place, molecules materialize from current links. It
+//     bounds the price of temporality (R-T2) and anchors storage costs.
+//   - Archive: the naive temporal baseline — keep the current store and
+//     write a complete snapshot copy of every atom at each version point
+//     ("copy the database"), the approach attribute versioning is designed
+//     to beat (R-T1).
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/index"
+	"tcodm/internal/schema"
+	"tcodm/internal/storage"
+	"tcodm/internal/value"
+)
+
+// Store is a non-temporal complex-object store: the MAD model without time.
+type Store struct {
+	dev     *storage.MemDevice
+	heap    *storage.Heap
+	pool    *storage.BufferPool
+	schema  *schema.Schema
+	primary *index.BPTree
+	nextID  uint64
+}
+
+// NewStore creates a store over a fresh in-memory substrate.
+func NewStore(sch *schema.Schema, poolPages int) (*Store, error) {
+	dev := storage.NewMemDevice()
+	pool := storage.NewBufferPool(dev, poolPages)
+	if err := storage.InitMeta(pool); err != nil {
+		return nil, err
+	}
+	heap := storage.NewHeap(pool, nil)
+	primary, err := index.New(pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dev: dev, heap: heap, pool: pool, schema: sch, primary: primary, nextID: 1}, nil
+}
+
+// Pool exposes the buffer pool for statistics.
+func (s *Store) Pool() *storage.BufferPool { return s.pool }
+
+// record is the non-temporal atom state, persisted via the snapshot codec
+// (with the temporal fields pinned to zero).
+type record struct {
+	snap *atom.Snapshot
+	rid  storage.RID
+}
+
+func (s *Store) load(id value.ID) (*record, error) {
+	v, ok, err := s.primary.Get(key(id))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("baseline: atom %v not found", id)
+	}
+	rid := storage.UnpackRID(v)
+	data, err := s.heap.Fetch(rid)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := atom.DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	return &record{snap: snap, rid: rid}, nil
+}
+
+func (s *Store) save(r *record) error {
+	return s.heap.Update(r.rid, atom.EncodeSnapshot(r.snap))
+}
+
+func key(id value.ID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return b[:]
+}
+
+// Insert creates an atom with the given plain attribute values.
+func (s *Store) Insert(typeName string, vals map[string]value.V) (value.ID, error) {
+	t, ok := s.schema.AtomType(typeName)
+	if !ok {
+		return 0, fmt.Errorf("baseline: unknown atom type %q", typeName)
+	}
+	id := value.ID(s.nextID)
+	s.nextID++
+	snap := &atom.Snapshot{
+		ID: id, Type: typeName,
+		Vals: map[string]value.V{}, Sets: map[string][]value.V{}, BackRefs: map[string][]value.ID{},
+	}
+	for name, v := range vals {
+		at, ok := t.Attr(name)
+		if !ok {
+			return 0, fmt.Errorf("baseline: %s has no attribute %q", typeName, name)
+		}
+		if at.IsRef() && at.Card == schema.Many {
+			return 0, fmt.Errorf("baseline: many-reference %q must use AddRef", name)
+		}
+		snap.Vals[name] = v
+	}
+	rid, err := s.heap.Insert(atom.EncodeSnapshot(snap))
+	if err != nil {
+		return 0, err
+	}
+	if err := s.primary.Insert(key(id), rid.Pack()); err != nil {
+		return 0, err
+	}
+	// Maintain the inverse direction of initial references.
+	for name, v := range vals {
+		at, _ := t.Attr(name)
+		if at.IsRef() && !v.IsNull() {
+			if err := s.addBackRef(v.AsID(), typeName, name, id); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return id, nil
+}
+
+// Update overwrites a plain attribute's value.
+func (s *Store) Update(id value.ID, attrName string, v value.V) error {
+	r, err := s.load(id)
+	if err != nil {
+		return err
+	}
+	t, ok := s.schema.AtomType(r.snap.Type)
+	if !ok {
+		return fmt.Errorf("baseline: unknown type %q", r.snap.Type)
+	}
+	at, ok := t.Attr(attrName)
+	if !ok {
+		return fmt.Errorf("baseline: %s has no attribute %q", r.snap.Type, attrName)
+	}
+	if at.IsRef() {
+		if old, ok := r.snap.Vals[attrName]; ok && !old.IsNull() {
+			if err := s.removeBackRef(old.AsID(), r.snap.Type, attrName, id); err != nil {
+				return err
+			}
+		}
+		if !v.IsNull() {
+			if err := s.addBackRef(v.AsID(), r.snap.Type, attrName, id); err != nil {
+				return err
+			}
+		}
+		// Reload: the back-reference maintenance may have touched us.
+		r, err = s.load(id)
+		if err != nil {
+			return err
+		}
+	}
+	r.snap.Vals[attrName] = v
+	return s.save(r)
+}
+
+// AddRef attaches target to a many-reference.
+func (s *Store) AddRef(id value.ID, attrName string, target value.ID) error {
+	r, err := s.load(id)
+	if err != nil {
+		return err
+	}
+	for _, v := range r.snap.Sets[attrName] {
+		if v.AsID() == target {
+			return nil
+		}
+	}
+	r.snap.Sets[attrName] = append(r.snap.Sets[attrName], value.Ref(target))
+	if err := s.save(r); err != nil {
+		return err
+	}
+	return s.addBackRef(target, r.snap.Type, attrName, id)
+}
+
+// RemoveRef detaches target from a many-reference.
+func (s *Store) RemoveRef(id value.ID, attrName string, target value.ID) error {
+	r, err := s.load(id)
+	if err != nil {
+		return err
+	}
+	vs := r.snap.Sets[attrName]
+	out := vs[:0]
+	for _, v := range vs {
+		if v.AsID() != target {
+			out = append(out, v)
+		}
+	}
+	r.snap.Sets[attrName] = out
+	if err := s.save(r); err != nil {
+		return err
+	}
+	return s.removeBackRef(target, r.snap.Type, attrName, id)
+}
+
+// Delete removes an atom entirely (no history is kept — this is the point).
+func (s *Store) Delete(id value.ID) error {
+	r, err := s.load(id)
+	if err != nil {
+		return err
+	}
+	if err := s.heap.Delete(r.rid); err != nil {
+		return err
+	}
+	_, err = s.primary.Delete(key(id))
+	return err
+}
+
+func (s *Store) addBackRef(target value.ID, srcType, attrName string, src value.ID) error {
+	r, err := s.load(target)
+	if err != nil {
+		return err
+	}
+	k := srcType + "." + attrName
+	r.snap.BackRefs[k] = append(r.snap.BackRefs[k], src)
+	return s.save(r)
+}
+
+func (s *Store) removeBackRef(target value.ID, srcType, attrName string, src value.ID) error {
+	r, err := s.load(target)
+	if err != nil {
+		return err
+	}
+	k := srcType + "." + attrName
+	ids := r.snap.BackRefs[k]
+	out := ids[:0]
+	for _, x := range ids {
+		if x != src {
+			out = append(out, x)
+		}
+	}
+	r.snap.BackRefs[k] = out
+	return s.save(r)
+}
+
+// Get returns the atom's current state in the engine's State shape.
+func (s *Store) Get(id value.ID) (*atom.State, error) {
+	r, err := s.load(id)
+	if err != nil {
+		return nil, err
+	}
+	st := &atom.State{
+		ID: r.snap.ID, Type: r.snap.Type, Alive: true,
+		Vals: r.snap.Vals, Sets: r.snap.Sets, BackRefs: map[string][]value.ID{},
+	}
+	for k, ids := range r.snap.BackRefs {
+		cp := append([]value.ID(nil), ids...)
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		st.BackRefs[k] = cp
+	}
+	return st, nil
+}
+
+// Molecule materializes the current complex object rooted at root.
+func (s *Store) Molecule(mt *schema.MoleculeType, root value.ID) (map[value.ID]*atom.State, error) {
+	out := map[value.ID]*atom.State{}
+	rootState, err := s.Get(root)
+	if err != nil {
+		return nil, err
+	}
+	if rootState.Type != mt.Root {
+		return nil, fmt.Errorf("baseline: root %v has type %s, want %s", root, rootState.Type, mt.Root)
+	}
+	out[root] = rootState
+	queue := []value.ID{root}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		st := out[id]
+		for _, e := range mt.Edges {
+			if e.From != st.Type {
+				continue
+			}
+			var targets []value.ID
+			if e.Reverse {
+				targets = st.BackRefs[e.To+"."+e.Attr]
+			} else if vs, ok := st.Sets[e.Attr]; ok {
+				for _, v := range vs {
+					targets = append(targets, v.AsID())
+				}
+			} else if v, ok := st.Vals[e.Attr]; ok && !v.IsNull() {
+				targets = append(targets, v.AsID())
+			}
+			for _, tid := range targets {
+				if _, seen := out[tid]; seen {
+					continue
+				}
+				tst, err := s.Get(tid)
+				if err != nil || tst.Type != e.To {
+					continue
+				}
+				out[tid] = tst
+				queue = append(queue, tid)
+			}
+		}
+	}
+	return out, nil
+}
+
+// IDs lists all atoms.
+func (s *Store) IDs() []value.ID {
+	var out []value.ID
+	_ = s.primary.Scan(nil, func(k []byte, v uint64) (bool, error) {
+		out = append(out, value.ID(binary.BigEndian.Uint64(k)))
+		return true, nil
+	})
+	return out
+}
+
+// DeviceBytes returns the store's on-device footprint after a flush.
+func (s *Store) DeviceBytes() (int64, error) {
+	if err := s.pool.FlushAll(); err != nil {
+		return 0, err
+	}
+	return int64(s.dev.NumPages()) * storage.PageSize, nil
+}
+
+// Archive is the naive temporal baseline: a Store plus full-copy
+// snapshots. Each Snapshot() call archives the complete current state of
+// every atom, so storage grows with (versions × database size).
+type Archive struct {
+	*Store
+	archived int64 // bytes written to the archive so far
+	copies   int
+}
+
+// NewArchive wraps a fresh store.
+func NewArchive(sch *schema.Schema, poolPages int) (*Archive, error) {
+	st, err := NewStore(sch, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{Store: st}, nil
+}
+
+// Snapshot archives a complete copy of the current database state.
+func (a *Archive) Snapshot() error {
+	for _, id := range a.IDs() {
+		r, err := a.load(id)
+		if err != nil {
+			return err
+		}
+		data := atom.EncodeSnapshot(r.snap)
+		if _, err := a.heap.Insert(data); err != nil {
+			return err
+		}
+		a.archived += int64(len(data))
+	}
+	a.copies++
+	return nil
+}
+
+// ArchivedBytes returns the bytes written to the archive.
+func (a *Archive) ArchivedBytes() int64 { return a.archived }
+
+// Copies returns the number of full snapshots taken.
+func (a *Archive) Copies() int { return a.copies }

@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"testing"
+
+	"tcodm/internal/schema"
+	"tcodm/internal/value"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	s := schema.New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddAtomType(schema.AtomType{
+		Name: "Dept",
+		Attrs: []schema.Attribute{
+			{Name: "name", Kind: value.KindString, Required: true},
+		},
+	}))
+	must(s.AddAtomType(schema.AtomType{
+		Name: "Emp",
+		Attrs: []schema.Attribute{
+			{Name: "name", Kind: value.KindString, Required: true},
+			{Name: "salary", Kind: value.KindInt},
+			{Name: "dept", Kind: value.KindID, Target: "Dept", Card: schema.One},
+			{Name: "mentors", Kind: value.KindID, Target: "Emp", Card: schema.Many},
+		},
+	}))
+	must(s.AddMoleculeType(schema.MoleculeType{
+		Name:  "DeptStaff",
+		Root:  "Dept",
+		Edges: []schema.MoleculeEdge{{From: "Dept", Attr: "dept", To: "Emp", Reverse: true}},
+	}))
+	s.Freeze()
+	return s
+}
+
+func TestStoreCRUD(t *testing.T) {
+	st, err := NewStore(testSchema(t), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := st.Insert("Dept", map[string]value.V{"name": value.String_("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := st.Insert("Emp", map[string]value.V{
+		"name": value.String_("a"), "salary": value.Int(100), "dept": value.Ref(d),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Vals["salary"].AsInt() != 100 {
+		t.Errorf("salary = %v", got.Vals["salary"])
+	}
+	// Update overwrites with no history.
+	if err := st.Update(e, "salary", value.Int(200)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = st.Get(e)
+	if got.Vals["salary"].AsInt() != 200 {
+		t.Errorf("salary after update = %v", got.Vals["salary"])
+	}
+	// Back-references on the department.
+	dst, _ := st.Get(d)
+	if refs := dst.BackRefs["Emp.dept"]; len(refs) != 1 || refs[0] != e {
+		t.Errorf("backrefs = %v", refs)
+	}
+	// Errors.
+	if _, err := st.Insert("Nope", nil); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := st.Insert("Emp", map[string]value.V{"bogus": value.Int(1)}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if err := st.Update(e, "bogus", value.Int(1)); err == nil {
+		t.Error("update of unknown attribute accepted")
+	}
+	if _, err := st.Get(999); err == nil {
+		t.Error("phantom atom readable")
+	}
+}
+
+func TestStoreRefRetargeting(t *testing.T) {
+	st, _ := NewStore(testSchema(t), 128)
+	d1, _ := st.Insert("Dept", map[string]value.V{"name": value.String_("d1")})
+	d2, _ := st.Insert("Dept", map[string]value.V{"name": value.String_("d2")})
+	e, _ := st.Insert("Emp", map[string]value.V{"name": value.String_("a"), "dept": value.Ref(d1)})
+	if err := st.Update(e, "dept", value.Ref(d2)); err != nil {
+		t.Fatal(err)
+	}
+	d1st, _ := st.Get(d1)
+	if len(d1st.BackRefs["Emp.dept"]) != 0 {
+		t.Errorf("old dept keeps backref: %v", d1st.BackRefs)
+	}
+	d2st, _ := st.Get(d2)
+	if refs := d2st.BackRefs["Emp.dept"]; len(refs) != 1 || refs[0] != e {
+		t.Errorf("new dept backrefs = %v", refs)
+	}
+}
+
+func TestStoreManyRefs(t *testing.T) {
+	st, _ := NewStore(testSchema(t), 128)
+	e1, _ := st.Insert("Emp", map[string]value.V{"name": value.String_("a")})
+	e2, _ := st.Insert("Emp", map[string]value.V{"name": value.String_("b")})
+	if err := st.AddRef(e1, "mentors", e2); err != nil {
+		t.Fatal(err)
+	}
+	// Adding twice is a no-op.
+	if err := st.AddRef(e1, "mentors", e2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := st.Get(e1)
+	if len(got.Sets["mentors"]) != 1 {
+		t.Errorf("mentors = %v", got.Sets["mentors"])
+	}
+	if err := st.RemoveRef(e1, "mentors", e2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = st.Get(e1)
+	if len(got.Sets["mentors"]) != 0 {
+		t.Errorf("mentors after remove = %v", got.Sets["mentors"])
+	}
+	e2st, _ := st.Get(e2)
+	if len(e2st.BackRefs["Emp.mentors"]) != 0 {
+		t.Errorf("stale mentor backref: %v", e2st.BackRefs)
+	}
+}
+
+func TestStoreDeleteAndMolecule(t *testing.T) {
+	sch := testSchema(t)
+	st, _ := NewStore(sch, 128)
+	d, _ := st.Insert("Dept", map[string]value.V{"name": value.String_("k")})
+	var emps []value.ID
+	for i := 0; i < 3; i++ {
+		e, _ := st.Insert("Emp", map[string]value.V{"name": value.String_("e"), "dept": value.Ref(d)})
+		emps = append(emps, e)
+	}
+	mt, _ := sch.MoleculeType("DeptStaff")
+	mol, err := st.Molecule(mt, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mol) != 4 {
+		t.Fatalf("molecule size = %d", len(mol))
+	}
+	// Deletion is permanent — no history.
+	if err := st.Delete(emps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(emps[0]); err == nil {
+		t.Error("deleted atom readable")
+	}
+	if ids := st.IDs(); len(ids) != 3 {
+		t.Errorf("IDs = %v", ids)
+	}
+	// Wrong root type.
+	if _, err := st.Molecule(mt, emps[1]); err == nil {
+		t.Error("wrong molecule root accepted")
+	}
+}
+
+func TestArchiveGrowsPerSnapshot(t *testing.T) {
+	sch := testSchema(t)
+	ar, err := NewArchive(sch, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := ar.Insert("Emp", map[string]value.V{"name": value.String_("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ar.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	b1 := ar.ArchivedBytes()
+	if b1 == 0 || ar.Copies() != 1 {
+		t.Fatalf("first snapshot: %d bytes, %d copies", b1, ar.Copies())
+	}
+	if err := ar.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if ar.ArchivedBytes() != 2*b1 {
+		t.Errorf("second snapshot did not double the archive: %d vs %d", ar.ArchivedBytes(), 2*b1)
+	}
+	bytes, err := ar.DeviceBytes()
+	if err != nil || bytes == 0 {
+		t.Errorf("DeviceBytes = %d, %v", bytes, err)
+	}
+}

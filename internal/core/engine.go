@@ -1,0 +1,601 @@
+// Package core assembles the full temporal complex-object engine: storage
+// device, buffer pool, write-ahead log, transaction manager, catalog,
+// temporal atom manager, molecule builder, and TMQL query engine — the
+// realization of the temporal complex-object data model on a conventional
+// record-oriented store.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/molecule"
+	"tcodm/internal/query"
+	"tcodm/internal/schema"
+	"tcodm/internal/storage"
+	"tcodm/internal/temporal"
+	"tcodm/internal/txn"
+	"tcodm/internal/value"
+	"tcodm/internal/wal"
+)
+
+// Options configure a database.
+type Options struct {
+	// Path is the database file; the log lives at Path+".wal". Empty
+	// means an ephemeral in-memory database (no log, no durability).
+	Path string
+	// Strategy selects the physical mapping (default: separated).
+	Strategy atom.Strategy
+	// PoolPages sizes the buffer pool (default 1024 pages = 8 MiB).
+	PoolPages int
+	// SyncOnCommit fsyncs the log on every commit.
+	SyncOnCommit bool
+	// TimeIndex maintains the version time index.
+	TimeIndex bool
+	// ValueIndex maintains secondary value indexes over plain attributes.
+	ValueIndex bool
+	// SegmentCap bounds history segment size (separated strategy).
+	SegmentCap int
+}
+
+// Engine is one open database.
+type Engine struct {
+	mu sync.RWMutex
+
+	opts    Options
+	dev     storage.Device
+	pool    *storage.BufferPool
+	heap    *storage.Heap
+	log     *wal.WAL
+	clock   *temporal.Clock
+	txns    *txn.Manager
+	schema  *schema.Schema
+	atoms   *atom.Manager
+	builder *molecule.Builder
+	queries *query.Engine
+
+	catalogRID storage.RID
+	closed     bool
+	diskClean  bool // on-disk meta currently carries the clean mark
+
+	// Recovered reports whether opening required crash recovery.
+	Recovered bool
+}
+
+// metaPayload is the engine state persisted in the meta page.
+type metaPayload struct {
+	Strategy   string           `json:"strategy"`
+	SegmentCap int              `json:"segment_cap"`
+	TimeIndex  bool             `json:"time_index"`
+	CatalogRID uint64           `json:"catalog_rid"`
+	Primary    storage.PageID   `json:"primary_root"`
+	TypeIdx    storage.PageID   `json:"type_root"`
+	TimeIdx    storage.PageID   `json:"time_root"`
+	ValueIdx   storage.PageID   `json:"value_root"`
+	ValueIndex bool             `json:"value_index"`
+	NextID     uint64           `json:"next_id"`
+	Clock      temporal.Instant `json:"clock"`
+	NextLSN    uint64           `json:"next_lsn"`
+	FreePages  []storage.PageID `json:"free_pages,omitempty"`
+}
+
+// Open opens (creating if absent) a database.
+func Open(opts Options) (*Engine, error) {
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 1024
+	}
+	e := &Engine{opts: opts, clock: temporal.NewClock(0)}
+
+	var err error
+	if opts.Path == "" {
+		e.dev = storage.NewMemDevice()
+	} else {
+		e.dev, err = storage.OpenFileDevice(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+		e.log, err = wal.Open(opts.Path+".wal", wal.Options{SyncOnCommit: opts.SyncOnCommit})
+		if err != nil {
+			e.dev.Close()
+			return nil, err
+		}
+	}
+	e.pool = storage.NewBufferPool(e.dev, opts.PoolPages)
+	if e.log != nil {
+		e.pool.SetFlushHook(e.log.EnsureDurable)
+	}
+	e.heap = storage.NewHeap(e.pool, nil)
+
+	if e.dev.NumPages() == 0 {
+		err = e.bootstrap()
+	} else {
+		err = e.recoverOrLoad()
+	}
+	if err != nil {
+		e.closeFiles()
+		return nil, err
+	}
+	if e.log != nil {
+		e.heap.SetLogger(e.log)
+	}
+	e.txns = txn.NewManager(e.clock, e.log, e.heap, e.pool)
+	e.builder = molecule.NewBuilder(e.atoms)
+	e.queries = query.NewEngine(e.atoms)
+
+	// Mark the database dirty on disk so a crash triggers recovery.
+	if opts.Path != "" {
+		if err := e.persistMeta(false); err != nil {
+			e.closeFiles()
+			return nil, err
+		}
+		if err := e.pool.FlushAll(); err != nil {
+			e.closeFiles()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// bootstrap formats a fresh database.
+func (e *Engine) bootstrap() error {
+	if err := storage.InitMeta(e.pool); err != nil {
+		return err
+	}
+	e.schema = schema.New()
+	e.schema.Freeze()
+	catBytes, err := e.schema.Marshal()
+	if err != nil {
+		return err
+	}
+	e.catalogRID, err = e.heap.Insert(catBytes)
+	if err != nil {
+		return err
+	}
+	e.atoms, err = atom.NewManager(e.heap, e.pool, e.schema, atom.Options{
+		Strategy: e.opts.Strategy, SegmentCap: e.opts.SegmentCap,
+		TimeIndex: e.opts.TimeIndex, ValueIndex: e.opts.ValueIndex,
+	})
+	return err
+}
+
+// recoverOrLoad opens an existing database, replaying the log and
+// rebuilding indexes when the previous shutdown was unclean.
+func (e *Engine) recoverOrLoad() error {
+	payload, clean, err := storage.ReadMeta(e.pool)
+	if err != nil {
+		return err
+	}
+	var meta metaPayload
+	if err := json.Unmarshal(payload, &meta); err != nil {
+		return fmt.Errorf("core: corrupt meta payload: %w", err)
+	}
+	strat, ok := atom.ParseStrategy(meta.Strategy)
+	if !ok {
+		return fmt.Errorf("core: unknown stored strategy %q", meta.Strategy)
+	}
+	e.opts.Strategy = strat
+	e.opts.SegmentCap = meta.SegmentCap
+	e.opts.TimeIndex = meta.TimeIndex
+	e.opts.ValueIndex = meta.ValueIndex
+	e.clock.Advance(meta.Clock)
+	e.pool.SetFreePages(meta.FreePages)
+	if e.log != nil {
+		e.log.SetNextLSN(meta.NextLSN)
+	}
+	if err := e.heap.Rebuild(e.dev); err != nil {
+		return err
+	}
+
+	if !clean {
+		e.Recovered = true
+		if e.log == nil {
+			return fmt.Errorf("core: database is marked dirty but has no log")
+		}
+		// The persisted free list predates the crash and may name pages
+		// the replayed transactions reused; drop it (leaking the pages is
+		// safe, reusing them is not).
+		e.pool.SetFreePages(nil)
+		if _, err := e.log.Replay(e.heap); err != nil {
+			return err
+		}
+	}
+
+	e.catalogRID = storage.UnpackRID(meta.CatalogRID)
+	catBytes, err := e.heap.Fetch(e.catalogRID)
+	if err != nil {
+		return fmt.Errorf("core: loading catalog: %w", err)
+	}
+	e.schema, err = schema.Unmarshal(catBytes)
+	if err != nil {
+		return err
+	}
+
+	mgrOpts := atom.Options{Strategy: strat, SegmentCap: meta.SegmentCap,
+		TimeIndex: meta.TimeIndex, ValueIndex: meta.ValueIndex}
+	if clean {
+		e.atoms, err = atom.OpenManager(e.heap, e.pool, e.schema, mgrOpts, atom.Roots{
+			Primary: meta.Primary, Type: meta.TypeIdx, Time: meta.TimeIdx,
+			Value: meta.ValueIdx, NextID: meta.NextID,
+		})
+		return err
+	}
+	// Unclean shutdown: indexes are untrustworthy; rebuild them.
+	e.atoms, err = atom.NewManager(e.heap, e.pool, e.schema, mgrOpts)
+	if err != nil {
+		return err
+	}
+	_, err = e.atoms.RebuildIndexes(e.pool)
+	return err
+}
+
+// persistMeta stores the engine state in the meta page.
+func (e *Engine) persistMeta(clean bool) error {
+	roots := e.atoms.Roots()
+	meta := metaPayload{
+		Strategy:   e.opts.Strategy.String(),
+		SegmentCap: e.opts.SegmentCap,
+		TimeIndex:  e.opts.TimeIndex,
+		CatalogRID: e.catalogRID.Pack(),
+		Primary:    roots.Primary,
+		TypeIdx:    roots.Type,
+		TimeIdx:    roots.Time,
+		ValueIdx:   roots.Value,
+		ValueIndex: e.opts.ValueIndex,
+		NextID:     roots.NextID,
+		Clock:      e.clock.Now(),
+		FreePages:  e.pool.FreePages(),
+	}
+	if e.log != nil {
+		meta.NextLSN = e.log.NextLSN()
+	}
+	payload, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	return storage.WriteMeta(e.pool, payload, clean)
+}
+
+// Checkpoint flushes all state, persists the meta page (marked clean), and
+// truncates the log.
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.checkpointLocked()
+}
+
+func (e *Engine) checkpointLocked() error {
+	// Order matters: all data pages must be durable before the clean flag
+	// is. First flush everything with the meta page still marked dirty,
+	// then truncate the log, and only then persist the clean mark.
+	if err := e.persistMeta(false); err != nil {
+		return err
+	}
+	if err := e.txns.Checkpoint(); err != nil {
+		return err
+	}
+	if err := e.persistMeta(true); err != nil {
+		return err
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	e.diskClean = true
+	return nil
+}
+
+// Close checkpoints and releases the database.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if err := e.checkpointLocked(); err != nil {
+		e.closeFiles()
+		return err
+	}
+	return e.closeFiles()
+}
+
+// Crash abandons the database without checkpointing: buffered pages are
+// discarded and files are closed as-is, leaving the on-disk state exactly
+// as a process crash would. Recovery runs on the next Open. Test support.
+func (e *Engine) Crash() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	return e.closeFiles()
+}
+
+func (e *Engine) closeFiles() error {
+	var firstErr error
+	if e.log != nil {
+		if err := e.log.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if e.dev != nil {
+		if err := e.dev.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Schema returns the current (frozen) schema.
+func (e *Engine) Schema() *schema.Schema {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.schema
+}
+
+// Atoms exposes the atom manager (benchmark and tooling access).
+func (e *Engine) Atoms() *atom.Manager { return e.atoms }
+
+// Pool exposes the buffer pool (statistics).
+func (e *Engine) Pool() *storage.BufferPool { return e.pool }
+
+// Log exposes the WAL (may be nil).
+func (e *Engine) Log() *wal.WAL { return e.log }
+
+// Now returns the engine clock's current instant.
+func (e *Engine) Now() temporal.Instant { return e.clock.Now() }
+
+// AdvanceClock moves the engine clock forward to at least t (lets
+// applications couple valid time to transaction time).
+func (e *Engine) AdvanceClock(t temporal.Instant) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock.Advance(t)
+}
+
+// --- DDL -------------------------------------------------------------------
+
+// DefineAtomType adds an atom type to the schema (atomic, durable).
+func (e *Engine) DefineAtomType(t schema.AtomType) error {
+	return e.ddl(func(s *schema.Schema) error { return s.AddAtomType(t) })
+}
+
+// DefineAttribute adds an attribute to an existing atom type (schema
+// evolution). Atoms written earlier read Null for it until first updated.
+func (e *Engine) DefineAttribute(typeName string, a schema.Attribute) error {
+	return e.ddl(func(s *schema.Schema) error { return s.AddAttribute(typeName, a) })
+}
+
+// DefineMoleculeType adds a molecule type to the schema.
+func (e *Engine) DefineMoleculeType(m schema.MoleculeType) error {
+	return e.ddl(func(s *schema.Schema) error { return s.AddMoleculeType(m) })
+}
+
+func (e *Engine) ddl(mutate func(*schema.Schema) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next := e.schema.Clone()
+	if err := mutate(next); err != nil {
+		return err
+	}
+	next.Freeze()
+	catBytes, err := next.Marshal()
+	if err != nil {
+		return err
+	}
+	// Persist the catalog atomically through a transaction.
+	tx, err := e.txns.Begin()
+	if err != nil {
+		return err
+	}
+	if err := e.heap.Update(e.catalogRID, catBytes); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	e.schema = next
+	e.atoms.SetSchema(next)
+	return nil
+}
+
+// --- Transactions ------------------------------------------------------------
+
+// Txn is a write transaction over the engine. Mutations carry the
+// transaction's TT; they become visible and durable together at Commit.
+type Txn struct {
+	e     *Engine
+	inner *txn.Txn
+}
+
+// Begin starts a write transaction (engine-wide writer exclusion).
+func (e *Engine) Begin() (*Txn, error) {
+	e.mu.Lock() // held until Commit/Abort
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: database closed")
+	}
+	// Re-mark the database dirty before the first write after a
+	// checkpoint, so a crash triggers recovery.
+	if e.diskClean && e.opts.Path != "" {
+		if err := e.persistMeta(false); err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		if err := e.pool.FlushPage(0); err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+	}
+	e.diskClean = false
+	inner, err := e.txns.Begin()
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	e.atoms.SetIndexUndo(inner)
+	return &Txn{e: e, inner: inner}, nil
+}
+
+// TT returns the transaction's transaction-time instant.
+func (t *Txn) TT() temporal.Instant { return t.inner.TT }
+
+// Commit makes the transaction durable and visible.
+func (t *Txn) Commit() error {
+	t.e.atoms.SetIndexUndo(nil)
+	err := t.inner.Commit()
+	t.e.mu.Unlock()
+	return err
+}
+
+// Abort rolls the transaction back.
+func (t *Txn) Abort() error {
+	t.e.atoms.SetIndexUndo(nil)
+	err := t.inner.Abort()
+	t.e.mu.Unlock()
+	return err
+}
+
+// Insert creates an atom alive from validFrom.
+func (t *Txn) Insert(typeName string, vals map[string]value.V, validFrom temporal.Instant) (value.ID, error) {
+	return t.e.atoms.Insert(typeName, vals, validFrom, t.inner.TT)
+}
+
+// Update records a new attribute value over iv.
+func (t *Txn) Update(id value.ID, attr string, v value.V, iv temporal.Interval) error {
+	return t.e.atoms.UpdateAttr(id, attr, v, iv, t.inner.TT)
+}
+
+// Set records a new attribute value from validFrom on (the common case).
+func (t *Txn) Set(id value.ID, attr string, v value.V, validFrom temporal.Instant) error {
+	return t.e.atoms.UpdateAttr(id, attr, v, temporal.Open(validFrom), t.inner.TT)
+}
+
+// AddRef attaches target to a many-reference over iv.
+func (t *Txn) AddRef(id value.ID, attr string, target value.ID, iv temporal.Interval) error {
+	return t.e.atoms.AddRef(id, attr, target, iv, t.inner.TT)
+}
+
+// RemoveRef detaches target from a many-reference over iv.
+func (t *Txn) RemoveRef(id value.ID, attr string, target value.ID, iv temporal.Interval) error {
+	return t.e.atoms.RemoveRef(id, attr, target, iv, t.inner.TT)
+}
+
+// Delete ends an atom's existence from valid time `from` on.
+func (t *Txn) Delete(id value.ID, from temporal.Instant) error {
+	return t.e.atoms.Delete(id, from, t.inner.TT)
+}
+
+// Revive resumes a deleted atom's existence from valid time `from` on.
+func (t *Txn) Revive(id value.ID, from temporal.Instant) error {
+	return t.e.atoms.Revive(id, from, t.inner.TT)
+}
+
+// --- Reads -------------------------------------------------------------------
+
+// StateAt returns one atom's state at (vt, tt). Pass atom.Now as tt for
+// the latest recorded state.
+func (e *Engine) StateAt(id value.ID, vt, tt temporal.Instant) (*atom.State, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.atoms.StateAt(id, vt, tt)
+}
+
+// History returns an attribute's valid-time history at transaction time tt.
+func (e *Engine) History(id value.ID, attr string, tt temporal.Instant) ([]atom.Version, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.atoms.History(id, attr, tt)
+}
+
+// Molecule materializes a complex object at (vt, tt).
+func (e *Engine) Molecule(molType string, root value.ID, vt, tt temporal.Instant) (*molecule.Molecule, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	mt, ok := e.schema.MoleculeType(molType)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown molecule type %q", molType)
+	}
+	return e.builder.Materialize(mt, root, vt, tt)
+}
+
+// MoleculeHistory returns the step-wise history of a complex object.
+func (e *Engine) MoleculeHistory(molType string, root value.ID, window temporal.Interval, tt temporal.Instant) ([]molecule.HistoryStep, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	mt, ok := e.schema.MoleculeType(molType)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown molecule type %q", molType)
+	}
+	return e.builder.History(mt, root, window, tt)
+}
+
+// Vacuum purges versions that left the recorded state before transaction
+// time beforeTT, reclaiming space while preserving every answer for
+// tt >= beforeTT. Runs as a single transaction; beforeTT must not exceed
+// the current clock.
+func (e *Engine) Vacuum(beforeTT temporal.Instant) (int, error) {
+	if beforeTT > e.clock.Now() {
+		return 0, atom.ErrVacuumFuture
+	}
+	tx, err := e.Begin()
+	if err != nil {
+		return 0, err
+	}
+	removed, err := e.atoms.Vacuum(beforeTT)
+	if err != nil {
+		_ = tx.Abort()
+		return 0, err
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return removed, nil
+}
+
+// Query runs a TMQL statement. Queries without an AT clause slice at the
+// engine clock's current instant.
+func (e *Engine) Query(src string) (*query.Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.queries.Run(src, e.clock.Now())
+}
+
+// IDs lists the atoms of a type.
+func (e *Engine) IDs(typeName string) ([]value.ID, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.atoms.IDs(typeName)
+}
+
+// Stats aggregates engine statistics.
+type Stats struct {
+	Atoms      int
+	Pool       storage.PoolStats
+	AtomLayer  atom.Stats
+	LogBytes   int64
+	DevicePags storage.PageID
+}
+
+// Stats returns a snapshot of engine statistics.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := Stats{
+		Atoms:      e.atoms.Count(),
+		Pool:       e.pool.Stats(),
+		AtomLayer:  e.atoms.Stats(),
+		DevicePags: e.dev.NumPages(),
+	}
+	if e.log != nil {
+		s.LogBytes = e.log.Size()
+	}
+	return s
+}
+
+// interface assertions
+var _ storage.RedoLogger = (*wal.WAL)(nil)
+var _ atom.IndexUndo = (*txn.Txn)(nil)

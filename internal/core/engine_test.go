@@ -1,0 +1,574 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/schema"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+func defineTestSchema(t *testing.T, e *Engine) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(e.DefineAtomType(schema.AtomType{
+		Name: "Dept",
+		Attrs: []schema.Attribute{
+			{Name: "name", Kind: value.KindString, Required: true},
+			{Name: "budget", Kind: value.KindInt, Temporal: true},
+		},
+	}))
+	must(e.DefineAtomType(schema.AtomType{
+		Name: "Emp",
+		Attrs: []schema.Attribute{
+			{Name: "name", Kind: value.KindString, Required: true},
+			{Name: "salary", Kind: value.KindInt, Temporal: true},
+			{Name: "dept", Kind: value.KindID, Target: "Dept", Card: schema.One, Temporal: true},
+		},
+	}))
+	must(e.DefineMoleculeType(schema.MoleculeType{
+		Name:  "DeptStaff",
+		Root:  "Dept",
+		Edges: []schema.MoleculeEdge{{From: "Dept", Attr: "dept", To: "Emp", Reverse: true}},
+	}))
+}
+
+func openMem(t *testing.T, strat atom.Strategy) *Engine {
+	t.Helper()
+	e, err := Open(Options{Strategy: strat, TimeIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	defineTestSchema(t, e)
+	return e
+}
+
+func TestEndToEndLifecycle(t *testing.T) {
+	for _, strat := range []atom.Strategy{atom.StrategyEmbedded, atom.StrategySeparated, atom.StrategyTuple} {
+		t.Run(strat.String(), func(t *testing.T) {
+			e := openMem(t, strat)
+			tx, err := e.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := tx.Insert("Dept", map[string]value.V{
+				"name": value.String_("storage"), "budget": value.Int(100),
+			}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			emp, err := tx.Insert("Emp", map[string]value.V{
+				"name": value.String_("wk"), "salary": value.Int(4000), "dept": value.Ref(d),
+			}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			tx2, _ := e.Begin()
+			if err := tx2.Set(emp, "salary", value.Int(5000), 100); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			st, err := e.StateAt(emp, 50, atom.Now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Vals["salary"].AsInt() != 4000 {
+				t.Errorf("salary at 50 = %v", st.Vals["salary"])
+			}
+			st, _ = e.StateAt(emp, 150, atom.Now)
+			if st.Vals["salary"].AsInt() != 5000 {
+				t.Errorf("salary at 150 = %v", st.Vals["salary"])
+			}
+
+			mol, err := e.Molecule("DeptStaff", d, 50, atom.Now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mol.Size() != 2 {
+				t.Errorf("molecule size = %d", mol.Size())
+			}
+
+			res, err := e.Query(`SELECT (Emp.name, Emp.salary) FROM Emp WHERE Emp.salary >= 5000 AT 150`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 1 || res.Rows[0][1].AsInt() != 5000 {
+				t.Errorf("query rows = %v", res.Rows)
+			}
+		})
+	}
+}
+
+func TestAbortIsInvisible(t *testing.T) {
+	e := openMem(t, atom.StrategySeparated)
+	tx, _ := e.Begin()
+	d, err := tx.Insert("Dept", map[string]value.V{"name": value.String_("doomed")}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.StateAt(d, 10, atom.Now); err == nil {
+		t.Error("aborted atom is visible")
+	}
+	if ids, _ := e.IDs("Dept"); len(ids) != 0 {
+		t.Errorf("aborted atom in type index: %v", ids)
+	}
+	// The engine remains usable.
+	tx2, _ := e.Begin()
+	if _, err := tx2.Insert("Dept", map[string]value.V{"name": value.String_("ok")}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortRestoresPriorState(t *testing.T) {
+	e := openMem(t, atom.StrategySeparated)
+	tx, _ := e.Begin()
+	d, _ := tx.Insert("Dept", map[string]value.V{"name": value.String_("x"), "budget": value.Int(1)}, 0)
+	_ = tx.Commit()
+	tx2, _ := e.Begin()
+	if err := tx2.Set(d, "budget", value.Int(999), 50); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx2.Abort()
+	st, err := e.StateAt(d, 100, atom.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Vals["budget"].AsInt() != 1 {
+		t.Errorf("budget after abort = %v", st.Vals["budget"])
+	}
+	hist, _ := e.History(d, "budget", atom.Now)
+	if len(hist) != 1 {
+		t.Errorf("history after abort = %v", hist)
+	}
+}
+
+func TestPersistenceAcrossCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.tdb")
+	e, err := Open(Options{Path: path, Strategy: atom.StrategySeparated, TimeIndex: true, SyncOnCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineTestSchema(t, e)
+	tx, _ := e.Begin()
+	d, _ := tx.Insert("Dept", map[string]value.V{"name": value.String_("persisted"), "budget": value.Int(7)}, 0)
+	_ = tx.Commit()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.Recovered {
+		t.Error("clean close flagged as recovery")
+	}
+	st, err := e2.StateAt(d, 10, atom.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Vals["name"].AsString() != "persisted" || st.Vals["budget"].AsInt() != 7 {
+		t.Errorf("state after reopen = %v", st.Vals)
+	}
+	// Schema survived.
+	if _, ok := e2.Schema().AtomType("Emp"); !ok {
+		t.Error("schema lost")
+	}
+	if _, ok := e2.Schema().MoleculeType("DeptStaff"); !ok {
+		t.Error("molecule type lost")
+	}
+	// The engine keeps working after reopen.
+	tx2, err := e2.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := tx2.Insert("Dept", map[string]value.V{"name": value.String_("new")}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if d2 == d {
+		t.Error("surrogate reuse after reopen")
+	}
+}
+
+// crashClone simulates a crash: it copies the database and log files as
+// they are on disk right now, ignoring any buffered state.
+func crashClone(t *testing.T, path, dest string) {
+	t.Helper()
+	for _, suffix := range []string{"", ".wal"} {
+		data, err := os.ReadFile(path + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dest+suffix, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.tdb")
+	e, err := Open(Options{Path: path, Strategy: atom.StrategySeparated, SyncOnCommit: true, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineTestSchema(t, e)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Committed work after the checkpoint lives only in the log.
+	tx, _ := e.Begin()
+	d, err := tx.Insert("Dept", map[string]value.V{"name": value.String_("survivor"), "budget": value.Int(42)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := e.Begin()
+	if err := tx2.Set(d, "budget", value.Int(43), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: clone the on-disk files while the engine still holds dirty
+	// pages, then abandon the original engine.
+	crashed := filepath.Join(dir, "crashed.tdb")
+	crashClone(t, path, crashed)
+
+	e2, err := Open(Options{Path: crashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if !e2.Recovered {
+		t.Error("unclean database not flagged as recovered")
+	}
+	st, err := e2.StateAt(d, 20, atom.Now)
+	if err != nil {
+		t.Fatalf("committed atom lost in crash: %v", err)
+	}
+	if st.Vals["budget"].AsInt() != 43 {
+		t.Errorf("budget after recovery = %v", st.Vals["budget"])
+	}
+	hist, err := e2.History(d, "budget", atom.Now)
+	if err != nil || len(hist) != 2 {
+		t.Errorf("history after recovery = %v (%v)", hist, err)
+	}
+	_ = e.Close()
+}
+
+func TestCrashLosesUncommitted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "u.tdb")
+	e, err := Open(Options{Path: path, SyncOnCommit: true, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineTestSchema(t, e)
+	tx, _ := e.Begin()
+	committed, _ := tx.Insert("Dept", map[string]value.V{"name": value.String_("committed")}, 0)
+	_ = tx.Commit()
+
+	// An open transaction at crash time.
+	tx2, _ := e.Begin()
+	uncommitted, err := tx2.Insert("Dept", map[string]value.V{"name": value.String_("uncommitted")}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := filepath.Join(dir, "crashed.tdb")
+	crashClone(t, path, crashed)
+	_ = tx2.Abort()
+	_ = e.Close()
+
+	e2, err := Open(Options{Path: crashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if _, err := e2.StateAt(committed, 10, atom.Now); err != nil {
+		t.Errorf("committed atom lost: %v", err)
+	}
+	if _, err := e2.StateAt(uncommitted, 10, atom.Now); err == nil {
+		t.Error("uncommitted atom survived the crash")
+	}
+}
+
+func TestDDLValidationAndPersistence(t *testing.T) {
+	e := openMem(t, atom.StrategySeparated)
+	// Duplicate type rejected, schema unchanged.
+	err := e.DefineAtomType(schema.AtomType{
+		Name:  "Emp",
+		Attrs: []schema.Attribute{{Name: "x", Kind: value.KindInt}},
+	})
+	if err == nil {
+		t.Fatal("duplicate atom type accepted")
+	}
+	// DDL after data exists.
+	tx, _ := e.Begin()
+	if _, err := tx.Insert("Emp", map[string]value.V{"name": value.String_("pre")}, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx.Commit()
+	if err := e.DefineAtomType(schema.AtomType{
+		Name:  "Machine",
+		Attrs: []schema.Attribute{{Name: "serial", Kind: value.KindString}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := e.Begin()
+	if _, err := tx2.Insert("Machine", map[string]value.V{"serial": value.String_("m-1")}, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx2.Commit()
+	if ids, _ := e.IDs("Machine"); len(ids) != 1 {
+		t.Errorf("Machine ids = %v", ids)
+	}
+}
+
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	e := openMem(t, atom.StrategySeparated)
+	tx, _ := e.Begin()
+	d, _ := tx.Insert("Dept", map[string]value.V{"name": value.String_("rw"), "budget": value.Int(1)}, 0)
+	_ = tx.Commit()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st, err := e.StateAt(d, 1000, atom.Now)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if st.Vals["budget"].IsNull() {
+					t.Error("budget became null")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		tx, err := e.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Set(d, "budget", value.Int(int64(i+2)), temporal.Instant(10+i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestMoleculeHistoryThroughEngine(t *testing.T) {
+	e := openMem(t, atom.StrategyEmbedded)
+	tx, _ := e.Begin()
+	d, _ := tx.Insert("Dept", map[string]value.V{"name": value.String_("h")}, 0)
+	emp, _ := tx.Insert("Emp", map[string]value.V{"name": value.String_("later")}, 0)
+	_ = tx.Commit()
+	tx2, _ := e.Begin()
+	if err := tx2.Set(emp, "dept", value.Ref(d), 30); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx2.Commit()
+	steps, err := e.MoleculeHistory("DeptStaff", d, temporal.NewInterval(0, 100), atom.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) < 2 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if steps[0].Mol.Size() != 1 || steps[len(steps)-1].Mol.Size() != 2 {
+		t.Errorf("molecule sizes: first %d, last %d", steps[0].Mol.Size(), steps[len(steps)-1].Mol.Size())
+	}
+}
+
+func TestQueryDefaultsToClockNow(t *testing.T) {
+	e := openMem(t, atom.StrategySeparated)
+	e.AdvanceClock(500)
+	tx, _ := e.Begin()
+	// Atom alive only from 1000 on: invisible to a query at the clock's
+	// current instant (~501), visible AT 2000.
+	d, _ := tx.Insert("Dept", map[string]value.V{"name": value.String_("future")}, 1000)
+	_ = tx.Commit()
+	_ = d
+	res, err := e.Query(`SELECT (name) FROM Dept`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("future atom visible now: %v", res.Rows)
+	}
+	res, _ = e.Query(`SELECT (name) FROM Dept AT 2000`)
+	if len(res.Rows) != 1 {
+		t.Errorf("future atom missing at 2000: %v", res.Rows)
+	}
+}
+
+func TestStatsAndRecoveredFlag(t *testing.T) {
+	e := openMem(t, atom.StrategySeparated)
+	tx, _ := e.Begin()
+	_, _ = tx.Insert("Dept", map[string]value.V{"name": value.String_("s")}, 0)
+	_ = tx.Commit()
+	s := e.Stats()
+	if s.Atoms != 1 {
+		t.Errorf("Atoms = %d", s.Atoms)
+	}
+	if s.DevicePags == 0 {
+		t.Error("device pages = 0")
+	}
+	if e.Recovered {
+		t.Error("fresh database flagged recovered")
+	}
+}
+
+func TestUnknownMoleculeType(t *testing.T) {
+	e := openMem(t, atom.StrategySeparated)
+	if _, err := e.Molecule("Nope", 1, 0, atom.Now); err == nil || !strings.Contains(err.Error(), "unknown molecule") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEngineVacuum(t *testing.T) {
+	e := openMem(t, atom.StrategySeparated)
+	tx, _ := e.Begin()
+	d, _ := tx.Insert("Dept", map[string]value.V{"name": value.String_("v"), "budget": value.Int(1)}, 0)
+	_ = tx.Commit()
+	for i := 2; i <= 6; i++ {
+		tx, _ := e.Begin()
+		if err := tx.Set(d, "budget", value.Int(int64(i)), temporal.Instant(i*10)); err != nil {
+			t.Fatal(err)
+		}
+		_ = tx.Commit()
+	}
+	// Vacuuming beyond the clock is refused.
+	if _, err := e.Vacuum(e.Now() + 100); err == nil {
+		t.Error("future vacuum accepted")
+	}
+	removed, err := e.Vacuum(e.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("nothing vacuumed")
+	}
+	// Valid-time answers survive.
+	st, err := e.StateAt(d, 25, atom.Now)
+	if err != nil || st.Vals["budget"].AsInt() != 2 {
+		t.Errorf("budget at 25 after vacuum = %v (%v)", st.Vals["budget"], err)
+	}
+	st, _ = e.StateAt(d, 100, atom.Now)
+	if st.Vals["budget"].AsInt() != 6 {
+		t.Errorf("budget at 100 after vacuum = %v", st.Vals["budget"])
+	}
+}
+
+func TestEngineValueIndexPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vi.tdb")
+	e, err := Open(Options{Path: path, ValueIndex: true, SyncOnCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineTestSchema(t, e)
+	tx, _ := e.Begin()
+	if _, err := tx.Insert("Dept", map[string]value.V{"name": value.String_("idx"), "budget": value.Int(77)}, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx.Commit()
+	res, err := e.Query(`SELECT (name) FROM Dept WHERE budget = 77 AT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || !strings.Contains(res.Plan, "value-index") {
+		t.Fatalf("rows=%v plan=%q", res.Rows, res.Plan)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The option and index root persist across a clean reopen.
+	e2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	res, err = e2.Query(`SELECT (name) FROM Dept WHERE budget = 77 AT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || !strings.Contains(res.Plan, "value-index") {
+		t.Fatalf("after reopen: rows=%v plan=%q", res.Rows, res.Plan)
+	}
+}
+
+func TestReopenUsesPersistedStrategy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "strat.tdb")
+	e, err := Open(Options{Path: path, Strategy: atom.StrategyTuple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineTestSchema(t, e)
+	tx, _ := e.Begin()
+	id, _ := tx.Insert("Dept", map[string]value.V{"name": value.String_("s")}, 0)
+	_ = tx.Commit()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening with a different strategy option must not reinterpret the
+	// stored records: the persisted strategy wins.
+	e2, err := Open(Options{Path: path, Strategy: atom.StrategyEmbedded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := e2.Atoms().Strategy(); got != atom.StrategyTuple {
+		t.Fatalf("reopened strategy = %v, want tuple", got)
+	}
+	st, err := e2.StateAt(id, 5, atom.Now)
+	if err != nil || st.Vals["name"].AsString() != "s" {
+		t.Fatalf("state = %v, %v", st, err)
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/core"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+	"tcodm/internal/workload"
+)
+
+// RA1SegmentCap is the design-choice ablation for the separated strategy:
+// history segment capacity trades update cost (small segments start new
+// records often; big segments rewrite more bytes per append) against
+// past-slice cost (small segments mean longer chains to walk).
+func RA1SegmentCap(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "R-A1",
+		Title:   "Ablation: separated-strategy history segment capacity",
+		Claim:   "small segments lengthen the chain past slices walk; very large segments slow the appends that fill them; a mid-size capacity balances both",
+		Columns: []string{"segment cap", "update", "old slice", "segments read/slice"},
+	}
+	const updates = 64
+	emps := 50 * int(scale)
+	p := workload.PersonnelParams{Depts: 2, Emps: emps, UpdatesPerEmp: updates, TimeStep: 10, Seed: 42}
+	for _, cap := range []int{4, 16, 64, 256} {
+		db, err := core.Open(core.Options{Strategy: atom.StrategySeparated, SegmentCap: cap, PoolPages: 4096})
+		if err != nil {
+			return nil, err
+		}
+		if err := installSchema(db, workload.PersonnelSchema); err != nil {
+			db.Close()
+			return nil, err
+		}
+		app := workload.NewEngineApplier(db, 256)
+		ids, err := workload.Apply(workload.Personnel(p), app)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := app.Flush(); err != nil {
+			db.Close()
+			return nil, err
+		}
+		empIDs := ids[p.Depts:]
+
+		// Marginal update cost at this capacity.
+		next := updates + 2
+		dUpdate := measure(25*time.Millisecond, func() {
+			tx, err := db.Begin()
+			if err != nil {
+				panic(err)
+			}
+			if err := tx.Set(empIDs[0], "salary", value.Int(1),
+				temporal.Instant(next)*10); err != nil {
+				panic(err)
+			}
+			if err := tx.Commit(); err != nil {
+				panic(err)
+			}
+			next++
+		})
+
+		// Old time-slice cost and the chain length it walks.
+		db.Atoms().ResetStats()
+		dSlice := measure(40*time.Millisecond, func() {
+			if _, err := scanCurrentSalaries(db, empIDs, 5, atom.Now); err != nil {
+				panic(err)
+			}
+		})
+		stats := db.Atoms().Stats()
+		perSlice := float64(stats.SegmentReads) / float64(stats.FullLoads)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(cap), dur(dUpdate), dur(dSlice), fmt.Sprintf("%.1f", perSlice),
+		})
+		db.Close()
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d employees, %d salary versions each; slice at the oldest instant", emps, updates+1))
+	return t, nil
+}
+
+// RF8ValueIndex measures WHERE-predicate selection with and without the
+// secondary value index across selectivities.
+func RF8ValueIndex(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "R-F8",
+		Title:   "Value-index selection (WHERE salary = / range) vs. full scan",
+		Claim:   "the value index turns selection into O(matching); the advantage shrinks as the predicate widens to cover everyone",
+		Columns: []string{"predicate", "matching", "full scan", "value index", "speedup"},
+	}
+	emps := 400 * int(scale)
+	p := workload.PersonnelParams{Depts: 4, Emps: emps, UpdatesPerEmp: 0, TimeStep: 10, Seed: 42}
+	build := func(valueIndex bool) (*core.Engine, error) {
+		db, err := core.Open(core.Options{Strategy: atom.StrategySeparated, ValueIndex: valueIndex, PoolPages: 4096})
+		if err != nil {
+			return nil, err
+		}
+		if err := installSchema(db, workload.PersonnelSchema); err != nil {
+			db.Close()
+			return nil, err
+		}
+		app := workload.NewEngineApplier(db, 256)
+		if _, err := workload.Apply(workload.Personnel(p), app); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := app.Flush(); err != nil {
+			db.Close()
+			return nil, err
+		}
+		return db, nil
+	}
+	withIdx, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	defer withIdx.Close()
+	without, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	defer without.Close()
+	// Salaries are uniform in [1000, 5000): thresholds sweep selectivity.
+	for _, threshold := range []int{1200, 2000, 3000, 5000} {
+		q := fmt.Sprintf(`SELECT (name) FROM Emp WHERE salary < %d AT 5`, threshold)
+		var matching int
+		dIdx := measure(40*time.Millisecond, func() {
+			res, err := withIdx.Query(q)
+			if err != nil {
+				panic(err)
+			}
+			matching = len(res.Rows)
+		})
+		dScan := measure(40*time.Millisecond, func() {
+			if _, err := without.Query(q); err != nil {
+				panic(err)
+			}
+		})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("salary < %d", threshold), fmt.Sprint(matching),
+			dur(dScan), dur(dIdx), ratioDur(dScan, dIdx),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d employees, salaries uniform in [1000, 5000)", emps))
+	return t, nil
+}
+
+// RA2Vacuum measures transaction-time vacuuming: how many versions each
+// strategy reclaims and what it does to past-slice latency.
+func RA2Vacuum(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "R-A2",
+		Title:   "Transaction-time vacuum: reclaimed versions and past-slice latency",
+		Claim:   "attribute versioning reclaims every superseded version (and past slices get cheaper); tuple versioning cannot reclaim — each snapshot stays reachable as a valid-time version",
+		Columns: []string{"strategy", "versions removed", "old slice before", "old slice after"},
+	}
+	const updates = 32
+	emps := 50 * int(scale)
+	p := workload.PersonnelParams{Depts: 2, Emps: emps, UpdatesPerEmp: updates, TimeStep: 10, Seed: 42}
+	for _, s := range Strategies {
+		db, empIDs, err := BuildPersonnelDB(s, p, false)
+		if err != nil {
+			return nil, err
+		}
+		before := measure(40*time.Millisecond, func() {
+			if _, err := scanCurrentSalaries(db, empIDs, 5, atom.Now); err != nil {
+				panic(err)
+			}
+		})
+		removed, err := db.Vacuum(db.Now())
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		after := measure(40*time.Millisecond, func() {
+			if _, err := scanCurrentSalaries(db, empIDs, 5, atom.Now); err != nil {
+				panic(err)
+			}
+		})
+		t.Rows = append(t.Rows, []string{s.String(), fmt.Sprint(removed), dur(before), dur(after)})
+		db.Close()
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d employees, %d updates each; vacuum bound = current transaction time", emps, updates))
+	return t, nil
+}

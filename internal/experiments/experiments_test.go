@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/workload"
+)
+
+func TestBuildPersonnelDB(t *testing.T) {
+	p := workload.PersonnelParams{Depts: 2, Emps: 10, UpdatesPerEmp: 2, TimeStep: 10, Seed: 1}
+	for _, s := range Strategies {
+		db, emps, err := BuildPersonnelDB(s, p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(emps) != 10 {
+			t.Errorf("emps = %d", len(emps))
+		}
+		sum, err := scanCurrentSalaries(db, emps, 100, atom.Now)
+		if err != nil || sum == 0 {
+			t.Errorf("salary sum = %d, %v", sum, err)
+		}
+		db.Close()
+	}
+}
+
+func TestBuildCADDB(t *testing.T) {
+	p := workload.CADParams{Assemblies: 2, Fanout: 2, Depth: 2, Revisions: 1, TimeStep: 10, Seed: 1}
+	db, asms, err := BuildCADDB(atom.StrategySeparated, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if len(asms) != 2 {
+		t.Errorf("assemblies = %d", len(asms))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID: "T-X", Title: "test", Claim: "c",
+		Columns: []string{"a", "bee"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n"},
+	}
+	s := tbl.String()
+	for _, want := range []string{"T-X", "claim: c", "bee", "333", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestSuiteRuns executes every experiment end-to-end (slow; skipped with
+// -short). It checks structure, not timings.
+func TestSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow; run without -short")
+	}
+	dir := t.TempDir()
+	type exp struct {
+		name string
+		run  func() (*Table, error)
+		rows int
+	}
+	suite := []exp{
+		{"R-T1", func() (*Table, error) { return RT1StorageCost(1) }, 5},
+		{"R-F1", func() (*Table, error) { return RF1CurrentQuery(1) }, 4},
+		{"R-F2", func() (*Table, error) { return RF2TimeSlice(1) }, 5},
+		{"R-F3", func() (*Table, error) { return RF3UpdateCost(1) }, 4},
+		{"R-T2", func() (*Table, error) { return RT2Molecule(1) }, 6},
+		{"R-F4", func() (*Table, error) { return RF4WhenSelection(1) }, 4},
+		{"R-F5", func() (*Table, error) { return RF5HistoryQuery(1) }, 3},
+		{"R-T3", func() (*Table, error) { return RT3Txn(1, dir) }, 5},
+		{"R-F6", func() (*Table, error) { return RF6BufferPool(1, dir) }, 4},
+		{"R-A1", func() (*Table, error) { return RA1SegmentCap(1) }, 4},
+		{"R-F8", func() (*Table, error) { return RF8ValueIndex(1) }, 4},
+		{"R-A2", func() (*Table, error) { return RA2Vacuum(1) }, 3},
+	}
+	for _, e := range suite {
+		t.Run(e.name, func(t *testing.T) {
+			tbl, err := e.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) != e.rows {
+				t.Errorf("%s rows = %d, want %d", e.name, len(tbl.Rows), e.rows)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("%s row width %d != %d columns", e.name, len(row), len(tbl.Columns))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+// Package history provides step-function utilities over attribute
+// histories: coalescing, temporal projection (when did a predicate hold),
+// duration-weighted aggregates, and history differencing. These are the
+// building blocks of the query layer's temporal operators.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+// Step is one piece of a step function: a value holding over an interval.
+type Step struct {
+	During temporal.Interval
+	Val    value.V
+}
+
+// StepFunction is a valid-time step function: non-overlapping steps sorted
+// by start. Gaps mean "no value" (Null).
+type StepFunction []Step
+
+// FromVersions projects versions (as returned by Manager.History, i.e.
+// already filtered to one transaction time and sorted) into a step
+// function.
+func FromVersions(vs []atom.Version) StepFunction {
+	out := make(StepFunction, 0, len(vs))
+	for _, v := range vs {
+		if v.Valid.IsEmpty() {
+			continue
+		}
+		out = append(out, Step{During: v.Valid, Val: v.Val})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].During.From < out[j].During.From })
+	return out
+}
+
+// Validate checks the non-overlap invariant.
+func (f StepFunction) Validate() error {
+	for i := 1; i < len(f); i++ {
+		if f[i-1].During.Overlaps(f[i].During) {
+			return fmt.Errorf("history: overlapping steps %v and %v", f[i-1].During, f[i].During)
+		}
+	}
+	return nil
+}
+
+// At returns the value at instant t (Null in gaps).
+func (f StepFunction) At(t temporal.Instant) value.V {
+	i := sort.Search(len(f), func(i int) bool { return f[i].During.To > t })
+	if i < len(f) && f[i].During.Contains(t) {
+		return f[i].Val
+	}
+	return value.Null
+}
+
+// Coalesce merges adjacent steps carrying equal values — the canonical form
+// temporal projection and aggregation expect.
+func (f StepFunction) Coalesce() StepFunction {
+	if len(f) == 0 {
+		return nil
+	}
+	out := StepFunction{f[0]}
+	for _, s := range f[1:] {
+		last := &out[len(out)-1]
+		if last.Val.Equal(s.Val) && last.During.To == s.During.From {
+			last.During.To = s.During.To
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// When returns the temporal element over which pred holds.
+func (f StepFunction) When(pred func(value.V) bool) temporal.Element {
+	var ivs []temporal.Interval
+	for _, s := range f {
+		if pred(s.Val) {
+			ivs = append(ivs, s.During)
+		}
+	}
+	return temporal.NewElement(ivs...)
+}
+
+// Clip restricts the function to a window.
+func (f StepFunction) Clip(window temporal.Interval) StepFunction {
+	var out StepFunction
+	for _, s := range f {
+		iv := s.During.Intersect(window)
+		if !iv.IsEmpty() {
+			out = append(out, Step{During: iv, Val: s.Val})
+		}
+	}
+	return out
+}
+
+// Changes returns the number of value transitions (coalesced steps - 1;
+// zero for empty or constant histories).
+func (f StepFunction) Changes() int {
+	c := f.Coalesce()
+	if len(c) <= 1 {
+		return 0
+	}
+	return len(c) - 1
+}
+
+// WeightedAvg returns the duration-weighted average of a numeric history
+// over window, ignoring gaps. Returns ok=false when the window holds no
+// bounded numeric steps.
+func (f StepFunction) WeightedAvg(window temporal.Interval) (avg float64, ok bool) {
+	var sum float64
+	var dur float64
+	for _, s := range f.Clip(window) {
+		if !s.Val.Numeric() {
+			continue
+		}
+		d := s.During.Duration()
+		if d == int64(^uint64(0)>>1) {
+			continue // unbounded step: undefined weight
+		}
+		sum += s.Val.FloatValue() * float64(d)
+		dur += float64(d)
+	}
+	if dur == 0 {
+		return 0, false
+	}
+	return sum / dur, true
+}
+
+// Extremum returns the maximum (or minimum) value over window.
+func (f StepFunction) Extremum(window temporal.Interval, max bool) (value.V, bool) {
+	var best value.V
+	found := false
+	for _, s := range f.Clip(window) {
+		if s.Val.IsNull() {
+			continue
+		}
+		if !found {
+			best = s.Val
+			found = true
+			continue
+		}
+		cmp := s.Val.Compare(best)
+		if (max && cmp > 0) || (!max && cmp < 0) {
+			best = s.Val
+		}
+	}
+	return best, found
+}
+
+// CoveredElement returns the temporal element where the function has any
+// (non-Null) value.
+func (f StepFunction) CoveredElement() temporal.Element {
+	return f.When(func(v value.V) bool { return !v.IsNull() })
+}
+
+// DiffKind classifies one region of a history comparison.
+type DiffKind uint8
+
+const (
+	// OnlyA: a has a value, b has none.
+	OnlyA DiffKind = iota
+	// OnlyB: b has a value, a has none.
+	OnlyB
+	// Differ: both have values and they differ.
+	Differ
+)
+
+// DiffRegion is one maximal interval where two histories disagree.
+type DiffRegion struct {
+	During temporal.Interval
+	Kind   DiffKind
+	A, B   value.V
+}
+
+// Diff compares two step functions over window and returns the regions of
+// disagreement in ascending order.
+func Diff(a, b StepFunction, window temporal.Interval) []DiffRegion {
+	a = a.Clip(window).Coalesce()
+	b = b.Clip(window).Coalesce()
+	// Sweep over the union of boundaries.
+	cuts := map[temporal.Instant]bool{window.From: true, window.To: true}
+	for _, s := range a {
+		cuts[s.During.From] = true
+		cuts[s.During.To] = true
+	}
+	for _, s := range b {
+		cuts[s.During.From] = true
+		cuts[s.During.To] = true
+	}
+	points := make([]temporal.Instant, 0, len(cuts))
+	for t := range cuts {
+		if window.Contains(t) || t == window.To {
+			points = append(points, t)
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	var out []DiffRegion
+	for i := 0; i+1 < len(points); i++ {
+		iv := temporal.NewInterval(points[i], points[i+1])
+		if iv.IsEmpty() {
+			continue
+		}
+		va, vb := a.At(iv.From), b.At(iv.From)
+		var kind DiffKind
+		switch {
+		case va.IsNull() && vb.IsNull():
+			continue
+		case vb.IsNull():
+			kind = OnlyA
+		case va.IsNull():
+			kind = OnlyB
+		case va.Equal(vb):
+			continue
+		default:
+			kind = Differ
+		}
+		// Merge with the previous region when contiguous and identical.
+		if n := len(out); n > 0 && out[n-1].During.To == iv.From &&
+			out[n-1].Kind == kind && out[n-1].A.Equal(va) && out[n-1].B.Equal(vb) {
+			out[n-1].During.To = iv.To
+			continue
+		}
+		out = append(out, DiffRegion{During: iv, Kind: kind, A: va, B: vb})
+	}
+	return out
+}

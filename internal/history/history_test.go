@@ -1,0 +1,203 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+func sf(steps ...Step) StepFunction { return StepFunction(steps) }
+
+func step(from, to temporal.Instant, v int64) Step {
+	return Step{During: temporal.NewInterval(from, to), Val: value.Int(v)}
+}
+
+func TestFromVersionsSortsAndDropsEmpty(t *testing.T) {
+	f := FromVersions([]atom.Version{
+		{Valid: temporal.NewInterval(10, 20), Val: value.Int(2)},
+		{Valid: temporal.Interval{}, Val: value.Int(9)},
+		{Valid: temporal.NewInterval(0, 10), Val: value.Int(1)},
+	})
+	if len(f) != 2 || f[0].Val.AsInt() != 1 || f[1].Val.AsInt() != 2 {
+		t.Fatalf("FromVersions = %+v", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAt(t *testing.T) {
+	f := sf(step(0, 10, 1), step(20, 30, 2))
+	if got := f.At(5); got.AsInt() != 1 {
+		t.Errorf("At(5) = %v", got)
+	}
+	if got := f.At(15); !got.IsNull() {
+		t.Errorf("At(15) = %v, want null (gap)", got)
+	}
+	if got := f.At(29); got.AsInt() != 2 {
+		t.Errorf("At(29) = %v", got)
+	}
+	if got := f.At(30); !got.IsNull() {
+		t.Errorf("At(30) = %v, want null", got)
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	f := sf(step(0, 10, 1), step(10, 20, 1), step(20, 30, 2), step(40, 50, 2))
+	c := f.Coalesce()
+	if len(c) != 3 {
+		t.Fatalf("coalesced to %d steps: %+v", len(c), c)
+	}
+	if !c[0].During.Equal(temporal.NewInterval(0, 20)) {
+		t.Errorf("first coalesced step = %v", c[0].During)
+	}
+	// The gap between 30 and 40 prevents merging equal values.
+	if !c[2].During.Equal(temporal.NewInterval(40, 50)) {
+		t.Errorf("last coalesced step = %v", c[2].During)
+	}
+	if f.Changes() != 2 {
+		t.Errorf("Changes = %d", f.Changes())
+	}
+}
+
+func TestWhen(t *testing.T) {
+	f := sf(step(0, 10, 5), step(10, 20, 15), step(20, 30, 7), step(30, 40, 25))
+	e := f.When(func(v value.V) bool { return v.AsInt() > 10 })
+	want := temporal.NewElement(temporal.NewInterval(10, 20), temporal.NewInterval(30, 40))
+	if !e.Equal(want) {
+		t.Errorf("When = %v, want %v", e, want)
+	}
+}
+
+func TestClip(t *testing.T) {
+	f := sf(step(0, 100, 1))
+	c := f.Clip(temporal.NewInterval(30, 60))
+	if len(c) != 1 || !c[0].During.Equal(temporal.NewInterval(30, 60)) {
+		t.Fatalf("Clip = %+v", c)
+	}
+	if got := f.Clip(temporal.NewInterval(200, 300)); len(got) != 0 {
+		t.Errorf("Clip outside = %+v", got)
+	}
+}
+
+func TestWeightedAvg(t *testing.T) {
+	// 10 chronons at 100, 10 chronons at 200 -> avg 150.
+	f := sf(step(0, 10, 100), step(10, 20, 200))
+	avg, ok := f.WeightedAvg(temporal.NewInterval(0, 20))
+	if !ok || avg != 150 {
+		t.Errorf("WeightedAvg = %v, %v", avg, ok)
+	}
+	// Clipping the window shifts the weights: [5,20) = 5@100 + 10@200.
+	avg, ok = f.WeightedAvg(temporal.NewInterval(5, 20))
+	want := (5.0*100 + 10.0*200) / 15.0
+	if !ok || avg != want {
+		t.Errorf("WeightedAvg clipped = %v, want %v", avg, want)
+	}
+	// Empty window.
+	if _, ok := f.WeightedAvg(temporal.NewInterval(50, 60)); ok {
+		t.Error("WeightedAvg over a gap should report !ok")
+	}
+	// Unbounded steps are skipped.
+	g := sf(Step{During: temporal.Open(0), Val: value.Int(5)})
+	if _, ok := g.WeightedAvg(temporal.All()); ok {
+		t.Error("unbounded step should not aggregate")
+	}
+}
+
+func TestExtremum(t *testing.T) {
+	f := sf(step(0, 10, 3), step(10, 20, 9), step(20, 30, 1))
+	if v, ok := f.Extremum(temporal.NewInterval(0, 30), true); !ok || v.AsInt() != 9 {
+		t.Errorf("max = %v, %v", v, ok)
+	}
+	if v, ok := f.Extremum(temporal.NewInterval(0, 30), false); !ok || v.AsInt() != 1 {
+		t.Errorf("min = %v, %v", v, ok)
+	}
+	if v, ok := f.Extremum(temporal.NewInterval(0, 10), true); !ok || v.AsInt() != 3 {
+		t.Errorf("windowed max = %v, %v", v, ok)
+	}
+	if _, ok := f.Extremum(temporal.NewInterval(100, 200), true); ok {
+		t.Error("extremum over a gap should report !ok")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := sf(step(0, 20, 1), step(20, 40, 2))
+	b := sf(step(10, 30, 1), step(30, 40, 2))
+	regions := Diff(a, b, temporal.NewInterval(0, 40))
+	// [0,10): only a (1). [10,20): equal. [20,30): differ (2 vs 1).
+	// [30,40): equal.
+	if len(regions) != 2 {
+		t.Fatalf("diff regions = %+v", regions)
+	}
+	if regions[0].Kind != OnlyA || !regions[0].During.Equal(temporal.NewInterval(0, 10)) {
+		t.Errorf("region 0 = %+v", regions[0])
+	}
+	if regions[1].Kind != Differ || !regions[1].During.Equal(temporal.NewInterval(20, 30)) {
+		t.Errorf("region 1 = %+v", regions[1])
+	}
+	if regions[1].A.AsInt() != 2 || regions[1].B.AsInt() != 1 {
+		t.Errorf("region 1 values = %v vs %v", regions[1].A, regions[1].B)
+	}
+}
+
+func TestDiffIdenticalAndDisjoint(t *testing.T) {
+	a := sf(step(0, 10, 1))
+	if regions := Diff(a, a, temporal.NewInterval(0, 20)); len(regions) != 0 {
+		t.Errorf("self-diff = %+v", regions)
+	}
+	b := sf(step(10, 20, 2))
+	regions := Diff(a, b, temporal.NewInterval(0, 20))
+	if len(regions) != 2 || regions[0].Kind != OnlyA || regions[1].Kind != OnlyB {
+		t.Errorf("disjoint diff = %+v", regions)
+	}
+}
+
+// TestPropWhenPartition: When(p) and When(!p) partition the covered
+// element, for random step functions.
+func TestPropWhenPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		var f StepFunction
+		at := temporal.Instant(0)
+		for i := 0; i < rng.Intn(8); i++ {
+			at += temporal.Instant(rng.Intn(5))
+			length := temporal.Instant(1 + rng.Intn(10))
+			f = append(f, Step{During: temporal.NewInterval(at, at+length), Val: value.Int(int64(rng.Intn(4)))})
+			at += length
+		}
+		pred := func(v value.V) bool { return v.AsInt()%2 == 0 }
+		yes := f.When(pred)
+		no := f.When(func(v value.V) bool { return !pred(v) })
+		covered := f.CoveredElement()
+		if !yes.Union(no).Equal(covered) {
+			t.Fatalf("partition broken: %v + %v != %v", yes, no, covered)
+		}
+		if !yes.Intersect(no).IsEmpty() {
+			t.Fatalf("partitions overlap: %v, %v", yes, no)
+		}
+	}
+}
+
+// TestPropCoalescePreservesSemantics: coalescing never changes At().
+func TestPropCoalescePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 300; trial++ {
+		var f StepFunction
+		at := temporal.Instant(0)
+		for i := 0; i < rng.Intn(10); i++ {
+			length := temporal.Instant(1 + rng.Intn(6))
+			f = append(f, Step{During: temporal.NewInterval(at, at+length), Val: value.Int(int64(rng.Intn(3)))})
+			at += length
+			at += temporal.Instant(rng.Intn(2))
+		}
+		c := f.Coalesce()
+		for x := temporal.Instant(-1); x < at+2; x++ {
+			if !f.At(x).Equal(c.At(x)) {
+				t.Fatalf("At(%v) changed by coalescing: %v -> %v", x, f.At(x), c.At(x))
+			}
+		}
+	}
+}

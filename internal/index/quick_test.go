@@ -1,0 +1,98 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tcodm/internal/storage"
+)
+
+// opSeq is a quick-generated sequence of tree operations.
+type opSeq []treeOp
+
+type treeOp struct {
+	Insert bool
+	Key    uint16 // small key space forces overwrites and delete hits
+	Val    uint64
+}
+
+// Generate implements quick.Generator.
+func (opSeq) Generate(rand *rand.Rand, size int) reflect.Value {
+	n := 50 + rand.Intn(400)
+	ops := make(opSeq, n)
+	for i := range ops {
+		ops[i] = treeOp{
+			Insert: rand.Intn(3) != 0,
+			Key:    uint16(rand.Intn(200)),
+			Val:    rand.Uint64(),
+		}
+	}
+	return reflect.ValueOf(ops)
+}
+
+// TestPropTreeMatchesMap: any operation sequence leaves the tree equal to a
+// plain map (the obviously correct model).
+func TestPropTreeMatchesMap(t *testing.T) {
+	f := func(ops opSeq) bool {
+		dev := storage.NewMemDevice()
+		pool := storage.NewBufferPool(dev, 64)
+		if err := storage.InitMeta(pool); err != nil {
+			return false
+		}
+		tr, err := New(pool)
+		if err != nil {
+			return false
+		}
+		model := map[uint16]uint64{}
+		for _, op := range ops {
+			k := []byte{byte(op.Key >> 8), byte(op.Key)}
+			if op.Insert {
+				if err := tr.Insert(k, op.Val); err != nil {
+					return false
+				}
+				model[op.Key] = op.Val
+			} else {
+				ok, err := tr.Delete(k)
+				if err != nil {
+					return false
+				}
+				_, inModel := model[op.Key]
+				if ok != inModel {
+					return false
+				}
+				delete(model, op.Key)
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			v, ok, err := tr.Get([]byte{byte(k >> 8), byte(k)})
+			if err != nil || !ok || v != want {
+				return false
+			}
+		}
+		// Scan visits exactly the model keys, in order.
+		count := 0
+		prev := -1
+		err = tr.Scan(nil, func(key []byte, v uint64) (bool, error) {
+			k := int(key[0])<<8 | int(key[1])
+			if k <= prev {
+				return false, nil
+			}
+			if model[uint16(k)] != v {
+				return false, nil
+			}
+			prev = k
+			count++
+			return true, nil
+		})
+		return err == nil && count == len(model)
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"tcodm/internal/value"
+)
+
+func TestTemporalAggregates(t *testing.T) {
+	e, _, emps := fixture(t, false)
+	_ = emps
+	// ada: salary 1000 during [0, 50), 9000 from 50 on.
+	res, err := e.Run(`SELECT (name, TAVG(salary)) FROM Emp WHERE name = "ada" DURING [0, 100) AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	want := (50.0*1000 + 50.0*9000) / 100.0
+	if got := res.Rows[0][1].AsFloat(); got != want {
+		t.Errorf("TAVG = %v, want %v", got, want)
+	}
+	// TMIN / TMAX over the same window.
+	res, err = e.Run(`SELECT (TMIN(salary), TMAX(salary)) FROM Emp WHERE name = "ada" DURING [0, 100) AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 1000 || res.Rows[0][1].AsInt() != 9000 {
+		t.Errorf("TMIN/TMAX = %v", res.Rows[0])
+	}
+	// CHANGES counts value transitions in the window.
+	res, err = e.Run(`SELECT (CHANGES(salary)) FROM Emp WHERE name = "ada" DURING [0, 100) AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 1 {
+		t.Errorf("CHANGES = %v", res.Rows[0][0])
+	}
+	// A window before the raise sees no change and the initial salary only.
+	res, err = e.Run(`SELECT (CHANGES(salary), TMAX(salary)) FROM Emp WHERE name = "ada" DURING [0, 40) AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 0 || res.Rows[0][1].AsInt() != 1000 {
+		t.Errorf("windowed aggregates = %v", res.Rows[0])
+	}
+	// Column labels.
+	res, _ = e.Run(`SELECT (TAVG(salary)) FROM Emp WHERE name = "ada" DURING [0, 10) AT 5`, 5)
+	if res.Columns[0] != "tavg(Emp.salary)" {
+		t.Errorf("label = %q", res.Columns[0])
+	}
+}
+
+func TestAggregateDefaultsToAllTime(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	// Without DURING, TAVG spans all time; ada's newest version is
+	// open-ended (unbounded weight), so only the bounded [0,50) piece
+	// aggregates: average = 1000.
+	res, err := e.Run(`SELECT (TAVG(salary)) FROM Emp WHERE name = "ada" AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].AsFloat(); got != 1000 {
+		t.Errorf("all-time TAVG = %v", got)
+	}
+}
+
+func TestAggregateAnalyzeErrors(t *testing.T) {
+	sch := testSchema(t)
+	cases := map[string]string{
+		`SELECT (TAVG(salary)) FROM DeptStaff`:  "require an atom type",
+		`SELECT (TAVG(bogus)) FROM Emp`:         "no attribute",
+		`SELECT (name) FROM Emp DURING [0, 10)`: "DURING is only valid",
+	}
+	for src, frag := range cases {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		_, err = Analyze(q, sch)
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("Analyze(%q) = %v, want %q", src, err, frag)
+		}
+	}
+}
+
+func TestAggregateNullOnEmptyWindow(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	// eve was deleted at 80; her history still aggregates, but a window
+	// before anyone existed yields Null.
+	res, err := e.Run(`SELECT (TAVG(salary)) FROM Emp WHERE name = "bob" DURING [-100, -50) AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("empty-window TAVG = %v", res.Rows[0][0])
+	}
+	_ = value.Null
+}

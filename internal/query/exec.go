@@ -1,0 +1,668 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/history"
+	"tcodm/internal/molecule"
+	"tcodm/internal/schema"
+	"tcodm/internal/storage"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+// Result holds a query's answer: tabular rows and, for SELECT ALL,
+// materialized molecules.
+type Result struct {
+	Columns   []string
+	Rows      [][]value.V
+	Molecules []*molecule.Molecule
+	// Plan describes the chosen access path (diagnostics / experiments).
+	Plan string
+}
+
+// Table renders the rows as an aligned text table.
+func (r *Result) Table() string {
+	if len(r.Columns) == 0 {
+		return fmt.Sprintf("%d molecule(s)\n", len(r.Molecules))
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range r.Columns {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for i := range r.Columns {
+		sb.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		for i, c := range row {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Engine executes analyzed queries against the atom and molecule layers.
+type Engine struct {
+	Mgr     *atom.Manager
+	Builder *molecule.Builder
+}
+
+// NewEngine wires a query engine.
+func NewEngine(mgr *atom.Manager) *Engine {
+	return &Engine{Mgr: mgr, Builder: molecule.NewBuilder(mgr)}
+}
+
+// Run parses, analyzes, and executes src. defaultVT is the valid time used
+// when the query has no AT clause (the engine passes its clock's now).
+func (e *Engine) Run(src string, defaultVT temporal.Instant) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	a, err := Analyze(q, e.Mgr.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(a, defaultVT)
+}
+
+// Execute runs an analyzed query.
+func (e *Engine) Execute(a *Analyzed, defaultVT temporal.Instant) (*Result, error) {
+	q := a.Query
+	vt := defaultVT
+	if q.At != nil {
+		vt = *q.At
+	}
+	tt := atom.Now
+	if q.AsOf != nil {
+		tt = *q.AsOf
+	}
+	var res *Result
+	var err error
+	switch a.Class {
+	case ClassAtom:
+		res, err = e.execAtom(a, vt, tt)
+	case ClassHistory:
+		res, err = e.execHistory(a, vt, tt)
+	case ClassMolecule:
+		res, err = e.execMolecule(a, vt, tt)
+	default:
+		return nil, fmt.Errorf("query: unknown query class %d", a.Class)
+	}
+	if err != nil {
+		return nil, err
+	}
+	applyOrderLimit(a, res)
+	return res, nil
+}
+
+// applyOrderLimit sorts and truncates the result per ORDER BY / LIMIT.
+func applyOrderLimit(a *Analyzed, res *Result) {
+	q := a.Query
+	if q.OrderBy != "" {
+		if col, ok := orderColumn(a); ok {
+			sort.SliceStable(res.Rows, func(i, j int) bool {
+				cmp := res.Rows[i][col].Compare(res.Rows[j][col])
+				if q.OrderDesc {
+					return cmp > 0
+				}
+				return cmp < 0
+			})
+		}
+	}
+	if q.Limit > 0 {
+		if len(res.Rows) > q.Limit {
+			res.Rows = res.Rows[:q.Limit]
+		}
+		if len(res.Molecules) > q.Limit {
+			res.Molecules = res.Molecules[:q.Limit]
+		}
+	}
+}
+
+// candidates streams the candidate atom IDs for the FROM type, pruning
+// with the time index (WHEN clauses) or the value index (sargable WHERE
+// conjuncts) when available. Returns the plan description.
+func (e *Engine) candidates(a *Analyzed, typeName string, fn func(id value.ID) (bool, error)) (string, error) {
+	q := a.Query
+	if q.When != nil && !q.When.Lifespan {
+		if bound, ok := whenStartBound(q.When); ok {
+			err := e.Mgr.TimeIndexScan(q.When.Attr.Type, q.When.Attr.Attr, bound, fn)
+			if err == nil {
+				return fmt.Sprintf("time-index scan on %s below %v", q.When.Attr, bound), nil
+			}
+			// Time index unavailable: fall through.
+		}
+	}
+	if q.When == nil && e.Mgr.HasValueIndex() {
+		if pred := sargable(q.Where, baseType(a)); pred != nil {
+			err := e.Mgr.ValueIndexScan(typeName, pred.attr, pred.op, pred.lit, fn)
+			if err == nil {
+				return fmt.Sprintf("value-index scan on %s.%s %s %s", typeName, pred.attr, pred.op, pred.lit), nil
+			}
+		}
+	}
+	err := e.Mgr.ScanType(typeName, func(id value.ID, _ storage.RID) (bool, error) {
+		return fn(id)
+	})
+	return "full type scan on " + typeName, err
+}
+
+func baseType(a *Analyzed) *schema.AtomType {
+	if a.Class == ClassMolecule {
+		return a.RootType
+	}
+	return a.AtomType
+}
+
+// indexablePred is a WHERE conjunct the value index can serve.
+type indexablePred struct {
+	attr string
+	op   string
+	lit  value.V
+}
+
+// sargable finds a usable conjunct in the WHERE tree: a comparison between
+// an attribute of the scanned type and a same-kind literal, reachable
+// through top-level ANDs (any other operator shape disables the index for
+// that branch). "!=" is never sargable.
+func sargable(e *Expr, t *schema.AtomType) *indexablePred {
+	if e == nil || t == nil {
+		return nil
+	}
+	switch e.Op {
+	case "AND":
+		if p := sargable(e.Left, t); p != nil {
+			return p
+		}
+		return sargable(e.Right, t)
+	case "=", "<", "<=", ">", ">=":
+		ref, lit, op := e.Left, e.Right, e.Op
+		if ref.Ref == nil && lit.Ref != nil {
+			// literal op ref: flip the comparison.
+			ref, lit = lit, ref
+			op = map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+		}
+		if ref.Ref == nil || lit.Lit == nil || lit.Lit.IsNull() {
+			return nil
+		}
+		at, ok := t.Attr(ref.Ref.Attr)
+		if !ok || at.Kind != lit.Lit.Kind() {
+			return nil
+		}
+		return &indexablePred{attr: ref.Ref.Attr, op: op, lit: *lit.Lit}
+	default:
+		return nil
+	}
+}
+
+// whenStartBound derives an exclusive upper bound on the valid-start
+// instants of versions that can satisfy the WHEN predicate: every
+// predicate constrains the version to begin before some instant.
+func whenStartBound(w *WhenClause) (temporal.Instant, bool) {
+	switch w.Pred {
+	case PredOverlaps, PredDuring:
+		return w.Period.To, true
+	case PredContains, PredEquals:
+		return w.Period.From + 1, true
+	case PredPrecedes, PredMeets:
+		return w.Period.From, true
+	default:
+		return 0, false
+	}
+}
+
+// whenHolds evaluates the WHEN clause exactly for one atom.
+func (e *Engine) whenHolds(id value.ID, w *WhenClause, tt temporal.Instant) (bool, error) {
+	if w.Lifespan {
+		life, err := e.Mgr.Lifespan(id)
+		if err != nil {
+			return false, err
+		}
+		for _, iv := range life {
+			if w.Pred.Holds(iv, w.Period) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	hist, err := e.Mgr.History(id, w.Attr.Attr, tt)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range hist {
+		if w.Pred.Holds(v.Valid, w.Period) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (e *Engine) execAtom(a *Analyzed, vt, tt temporal.Instant) (*Result, error) {
+	q := a.Query
+	res := &Result{}
+	for _, p := range q.Projs {
+		res.Columns = append(res.Columns, p.Label())
+	}
+	window := temporal.All()
+	if q.During != nil {
+		window = *q.During
+	}
+	seen := map[value.ID]bool{}
+	plan, err := e.forEachCandidate(a, vt, tt, seen, func(st *atom.State) error {
+		row := make([]value.V, 0, len(q.Projs))
+		for _, p := range q.Projs {
+			if p.Agg != "" {
+				v, err := e.evalAggregate(st.ID, p, window, tt)
+				if err != nil {
+					return err
+				}
+				row = append(row, v)
+				continue
+			}
+			row = append(row, projectValue(st, p))
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+	return res, nil
+}
+
+// evalAggregate computes a temporal aggregate over one atom's attribute
+// history within the window.
+func (e *Engine) evalAggregate(id value.ID, p Projection, window temporal.Interval, tt temporal.Instant) (value.V, error) {
+	hist, err := e.Mgr.History(id, p.Attr.Attr, tt)
+	if err != nil {
+		return value.Null, err
+	}
+	sf := history.FromVersions(hist)
+	switch p.Agg {
+	case "TAVG":
+		avg, ok := sf.WeightedAvg(window)
+		if !ok {
+			return value.Null, nil
+		}
+		return value.Float(avg), nil
+	case "TMIN", "TMAX":
+		v, ok := sf.Extremum(window, p.Agg == "TMAX")
+		if !ok {
+			return value.Null, nil
+		}
+		return v, nil
+	case "CHANGES":
+		return value.Int(int64(sf.Clip(window).Changes())), nil
+	default:
+		return value.Null, fmt.Errorf("query: unknown aggregate %q", p.Agg)
+	}
+}
+
+// forEachCandidate applies the WHEN and WHERE filters and calls emit for
+// every qualifying atom's state.
+func (e *Engine) forEachCandidate(a *Analyzed, vt, tt temporal.Instant, seen map[value.ID]bool, emit func(*atom.State) error) (string, error) {
+	q := a.Query
+	typeName := a.AtomType.Name
+	var innerErr error
+	plan, err := e.candidates(a, typeName, func(id value.ID) (bool, error) {
+		if seen[id] {
+			return true, nil
+		}
+		seen[id] = true
+		if q.When != nil {
+			ok, err := e.whenHolds(id, q.When, tt)
+			if err != nil {
+				innerErr = err
+				return false, nil
+			}
+			if !ok {
+				return true, nil
+			}
+		}
+		st, err := e.Mgr.StateAt(id, vt, tt)
+		if err != nil {
+			innerErr = err
+			return false, nil
+		}
+		// Without a WHEN clause the query is a pure time-slice: only atoms
+		// alive at vt qualify. With WHEN, selection is by history.
+		if q.When == nil && !st.Alive {
+			return true, nil
+		}
+		if q.Where != nil {
+			ok, err := evalBool(q.Where, st)
+			if err != nil {
+				innerErr = err
+				return false, nil
+			}
+			if !ok {
+				return true, nil
+			}
+		}
+		if err := emit(st); err != nil {
+			innerErr = err
+			return false, nil
+		}
+		return true, nil
+	})
+	if innerErr != nil {
+		return plan, innerErr
+	}
+	return plan, err
+}
+
+func projectValue(st *atom.State, p Projection) value.V {
+	if p.Count != "" {
+		return value.Null // counts are molecule-level; unreachable for atoms
+	}
+	if v, ok := st.Vals[p.Attr.Attr]; ok {
+		return v
+	}
+	// Set attribute: project its cardinality at the slice point.
+	if vs, ok := st.Sets[p.Attr.Attr]; ok {
+		return value.Int(int64(len(vs)))
+	}
+	return value.Null
+}
+
+func (e *Engine) execHistory(a *Analyzed, vt, tt temporal.Instant) (*Result, error) {
+	q := a.Query
+	window := temporal.All()
+	if q.During != nil {
+		window = *q.During
+	}
+	res := &Result{Columns: []string{"id", q.History.Attr, "valid_from", "valid_to"}}
+	seen := map[value.ID]bool{}
+	var innerErr error
+	plan, err := e.candidates(a, a.AtomType.Name, func(id value.ID) (bool, error) {
+		if seen[id] {
+			return true, nil
+		}
+		seen[id] = true
+		if q.When != nil {
+			ok, err := e.whenHolds(id, q.When, tt)
+			if err != nil {
+				innerErr = err
+				return false, nil
+			}
+			if !ok {
+				return true, nil
+			}
+		}
+		if q.Where != nil {
+			st, err := e.Mgr.StateAt(id, vt, tt)
+			if err != nil {
+				innerErr = err
+				return false, nil
+			}
+			ok, err := evalBool(q.Where, st)
+			if err != nil || !ok {
+				innerErr = err
+				return err == nil, nil
+			}
+		}
+		hist, err := e.Mgr.History(id, q.History.Attr, tt)
+		if err != nil {
+			innerErr = err
+			return false, nil
+		}
+		for _, v := range hist {
+			iv := v.Valid.Intersect(window)
+			if iv.IsEmpty() {
+				continue
+			}
+			res.Rows = append(res.Rows, []value.V{
+				value.Ref(id), v.Val, value.Instant(iv.From), value.Instant(iv.To),
+			})
+		}
+		return true, nil
+	})
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+	return res, nil
+}
+
+func (e *Engine) execMolecule(a *Analyzed, vt, tt temporal.Instant) (*Result, error) {
+	q := a.Query
+	res := &Result{}
+	if !q.SelectAll {
+		for _, p := range q.Projs {
+			res.Columns = append(res.Columns, p.Label())
+		}
+	}
+	seen := map[value.ID]bool{}
+	sub := &Analyzed{Query: q, Class: ClassAtom, AtomType: a.RootType}
+	plan, err := e.forEachCandidate(sub, vt, tt, seen, func(st *atom.State) error {
+		mol, err := e.Builder.Materialize(a.MolType, st.ID, vt, tt)
+		if err != nil {
+			return err
+		}
+		if q.Having != nil {
+			ok, err := evalHaving(q.Having, mol)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		if q.SelectAll {
+			res.Molecules = append(res.Molecules, mol)
+			return nil
+		}
+		res.Rows = append(res.Rows, moleculeRows(q, a, st, mol)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan + " + molecule materialization (" + a.MolType.Name + ")"
+	return res, nil
+}
+
+// moleculeRows projects one molecule into result rows. Projections of
+// non-root constituent types unnest the molecule: one row per combination
+// of constituents, inner-join style (a molecule lacking a referenced type
+// yields no rows). Root attributes and COUNTs repeat per row.
+func moleculeRows(q *Query, a *Analyzed, root *atom.State, mol *molecule.Molecule) [][]value.V {
+	// The referenced non-root types, in first-appearance order.
+	var unnest []string
+	seen := map[string]bool{}
+	for _, p := range q.Projs {
+		if p.Count == "" && p.Attr != nil && p.Attr.Type != a.RootType.Name && !seen[p.Attr.Type] {
+			unnest = append(unnest, p.Attr.Type)
+			seen[p.Attr.Type] = true
+		}
+	}
+	// Current bindings: type -> chosen constituent state.
+	binding := map[string]*atom.State{}
+	var rows [][]value.V
+	var emit func(level int)
+	emit = func(level int) {
+		if level == len(unnest) {
+			row := make([]value.V, 0, len(q.Projs))
+			for _, p := range q.Projs {
+				switch {
+				case p.Count != "":
+					row = append(row, value.Int(int64(len(mol.AtomsOfType(p.Count)))))
+				case p.Attr.Type == a.RootType.Name:
+					row = append(row, projectValue(root, p))
+				default:
+					row = append(row, projectValue(binding[p.Attr.Type], p))
+				}
+			}
+			rows = append(rows, row)
+			return
+		}
+		for _, st := range mol.AtomsOfType(unnest[level]) {
+			binding[unnest[level]] = st
+			emit(level + 1)
+		}
+	}
+	emit(0)
+	return rows
+}
+
+// evalHaving qualifies a molecule: each comparison leaf `T.attr op lit`
+// holds iff SOME constituent atom of type T satisfies it (existential
+// qualification); AND/OR/NOT compose those per-comparison facts. NOT thus
+// reads "no constituent satisfies".
+func evalHaving(ex *Expr, mol *molecule.Molecule) (bool, error) {
+	switch ex.Op {
+	case "AND":
+		l, err := evalHaving(ex.Left, mol)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalHaving(ex.Right, mol)
+	case "OR":
+		l, err := evalHaving(ex.Left, mol)
+		if err != nil || l {
+			return l, err
+		}
+		return evalHaving(ex.Right, mol)
+	case "NOT":
+		l, err := evalHaving(ex.Left, mol)
+		return !l, err
+	case "=", "!=", "<", "<=", ">", ">=":
+		typeName := havingType(ex)
+		if typeName == "" {
+			return false, fmt.Errorf("query: HAVING comparison %s references no constituent attribute", ex)
+		}
+		for _, st := range mol.AtomsOfType(typeName) {
+			ok, err := evalBool(ex, st)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("query: unsupported HAVING expression %s", ex)
+	}
+}
+
+// havingType finds the constituent type a comparison references.
+func havingType(ex *Expr) string {
+	if ex.Left != nil && ex.Left.Ref != nil {
+		return ex.Left.Ref.Type
+	}
+	if ex.Right != nil && ex.Right.Ref != nil {
+		return ex.Right.Ref.Type
+	}
+	return ""
+}
+
+// evalBool evaluates a WHERE expression against one atom state.
+func evalBool(e *Expr, st *atom.State) (bool, error) {
+	switch e.Op {
+	case "AND":
+		l, err := evalBool(e.Left, st)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalBool(e.Right, st)
+	case "OR":
+		l, err := evalBool(e.Left, st)
+		if err != nil || l {
+			return l, err
+		}
+		return evalBool(e.Right, st)
+	case "NOT":
+		l, err := evalBool(e.Left, st)
+		return !l, err
+	case "=", "!=", "<", "<=", ">", ">=":
+		l, err := evalValue(e.Left, st)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalValue(e.Right, st)
+		if err != nil {
+			return false, err
+		}
+		// Comparisons involving NULL hold only for = NULL / != NULL.
+		if l.IsNull() || r.IsNull() {
+			switch e.Op {
+			case "=":
+				return l.IsNull() && r.IsNull(), nil
+			case "!=":
+				return l.IsNull() != r.IsNull(), nil
+			default:
+				return false, nil
+			}
+		}
+		cmp := l.Compare(r)
+		switch e.Op {
+		case "=":
+			return cmp == 0, nil
+		case "!=":
+			return cmp != 0, nil
+		case "<":
+			return cmp < 0, nil
+		case "<=":
+			return cmp <= 0, nil
+		case ">":
+			return cmp > 0, nil
+		default:
+			return cmp >= 0, nil
+		}
+	case "":
+		v, err := evalValue(e, st)
+		if err != nil {
+			return false, err
+		}
+		if v.Kind() == value.KindBool {
+			return v.AsBool(), nil
+		}
+		return false, fmt.Errorf("query: non-boolean expression %s in WHERE", e)
+	default:
+		return false, fmt.Errorf("query: unknown operator %q", e.Op)
+	}
+}
+
+func evalValue(e *Expr, st *atom.State) (value.V, error) {
+	switch {
+	case e.Lit != nil:
+		return *e.Lit, nil
+	case e.Ref != nil:
+		if v, ok := st.Vals[e.Ref.Attr]; ok {
+			return v, nil
+		}
+		if vs, ok := st.Sets[e.Ref.Attr]; ok {
+			return value.Int(int64(len(vs))), nil
+		}
+		return value.Null, fmt.Errorf("query: atom state has no attribute %q", e.Ref.Attr)
+	default:
+		return value.Null, fmt.Errorf("query: expression %s is not a value", e)
+	}
+}

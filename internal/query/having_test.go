@@ -1,0 +1,91 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHavingQualifiesMolecules(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	// Departments employing someone earning > 4000 at t=10:
+	// kernel has eve (5000); tools tops out at dan (4000).
+	res, err := e.Run(`SELECT (Dept.name) FROM DeptStaff HAVING Emp.salary > 4000 AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "kernel" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// At t=90 eve is gone but ada (kernel) earns 9000.
+	res, err = e.Run(`SELECT (Dept.name) FROM DeptStaff HAVING Emp.salary > 4000 AT 90`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "kernel" {
+		t.Fatalf("rows at 90 = %v", res.Rows)
+	}
+	// Conjunctions compose per-comparison existentials: a department with
+	// both a low earner and a high earner.
+	res, err = e.Run(`SELECT (Dept.name) FROM DeptStaff HAVING Emp.salary > 4000 AND Emp.salary < 2000 AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "kernel" {
+		t.Fatalf("conjunct rows = %v", res.Rows)
+	}
+	// NOT: departments where no employee earns > 4000.
+	res, err = e.Run(`SELECT (Dept.name) FROM DeptStaff HAVING NOT Emp.salary > 4000 AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "tools" {
+		t.Fatalf("NOT rows = %v", res.Rows)
+	}
+	// HAVING composes with SELECT ALL.
+	res, err = e.Run(`SELECT ALL FROM DeptStaff HAVING Emp.salary > 4000 AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Molecules) != 1 {
+		t.Fatalf("molecules = %d", len(res.Molecules))
+	}
+	// And with WHERE on the root.
+	res, err = e.Run(`SELECT (Dept.name) FROM DeptStaff WHERE name = "tools" HAVING Emp.salary > 3000 AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "tools" {
+		t.Fatalf("where+having rows = %v", res.Rows)
+	}
+}
+
+func TestHavingErrors(t *testing.T) {
+	sch := testSchema(t)
+	cases := map[string]string{
+		`SELECT (name) FROM Emp HAVING Emp.salary > 1`:              "requires a molecule",
+		`SELECT (Dept.name) FROM DeptStaff HAVING salary > 1`:       "must be qualified",
+		`SELECT (Dept.name) FROM DeptStaff HAVING Proj.title = "x"`: "no constituent type",
+		`SELECT (Dept.name) FROM DeptStaff HAVING Emp.bogus > 1`:    "no attribute",
+	}
+	for src, frag := range cases {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		_, err = Analyze(q, sch)
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("Analyze(%q) = %v, want %q", src, err, frag)
+		}
+	}
+}
+
+func TestHavingRoundTrip(t *testing.T) {
+	q, err := Parse(`SELECT ALL FROM DeptStaff HAVING Emp.salary > 4000 AND NOT Emp.name = "x" AT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(q.String()); err != nil {
+		t.Fatalf("re-parse of %q: %v", q.String(), err)
+	}
+}

@@ -1,0 +1,97 @@
+package query
+
+import (
+	"testing"
+)
+
+func TestOrderByAndLimit(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	// Ascending by salary.
+	res, err := e.Run(`SELECT (name, salary) FROM Emp ORDER BY salary AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i-1][1].AsInt() > res.Rows[i][1].AsInt() {
+			t.Fatalf("not ascending: %v", res.Rows)
+		}
+	}
+	// Descending with LIMIT: the top 2 earners.
+	res, err = e.Run(`SELECT (name, salary) FROM Emp ORDER BY salary DESC LIMIT 2 AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("limited rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][1].AsInt() != 5000 || res.Rows[1][1].AsInt() != 4000 {
+		t.Errorf("top earners = %v", res.Rows)
+	}
+	// ORDER BY a qualified label.
+	res, err = e.Run(`SELECT (Emp.name) FROM Emp ORDER BY Emp.name AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsString() != "ada" {
+		t.Errorf("first by name = %v", res.Rows[0])
+	}
+	// LIMIT without ORDER BY.
+	res, err = e.Run(`SELECT (name) FROM Emp LIMIT 3 AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("limit-only rows = %d", len(res.Rows))
+	}
+	// LIMIT on SELECT ALL caps molecules.
+	res, err = e.Run(`SELECT ALL FROM DeptStaff LIMIT 1 AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Molecules) != 1 {
+		t.Errorf("limited molecules = %d", len(res.Molecules))
+	}
+	// History queries order by their columns.
+	res, err = e.Run(`SELECT HISTORY(salary) FROM Emp WHERE name = "ada" ORDER BY valid_from DESC DURING [0, 100) AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][2].AsInstant() != 50 {
+		t.Errorf("history desc = %v", res.Rows)
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	if _, err := e.Run(`SELECT (name) FROM Emp ORDER BY salary AT 10`, 10); err == nil {
+		t.Error("ORDER BY on a non-projected column accepted")
+	}
+	if _, err := e.Run(`SELECT ALL FROM DeptStaff ORDER BY name AT 10`, 10); err == nil {
+		t.Error("ORDER BY on SELECT ALL accepted")
+	}
+	if _, err := Parse(`SELECT (name) FROM Emp LIMIT 0`); err == nil {
+		t.Error("LIMIT 0 accepted")
+	}
+	if _, err := Parse(`SELECT (name) FROM Emp LIMIT 2 LIMIT 3`); err == nil {
+		t.Error("duplicate LIMIT accepted")
+	}
+	if _, err := Parse(`SELECT (name) FROM Emp ORDER salary`); err == nil {
+		t.Error("ORDER without BY accepted")
+	}
+}
+
+func TestOrderLimitRoundTrip(t *testing.T) {
+	q, err := Parse(`SELECT (name, salary) FROM Emp ORDER BY salary DESC LIMIT 5 AT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(q.String()); err != nil {
+		t.Fatalf("re-parse of %q: %v", q.String(), err)
+	}
+	if q.Limit != 5 || !q.OrderDesc || q.OrderBy != "salary" {
+		t.Errorf("parsed: %+v", q)
+	}
+}

@@ -1,0 +1,80 @@
+package query
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestMoleculeUnnesting(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	// One row per (dept, employee) pair at t=10: 5 employees total.
+	res, err := e.Run(`SELECT (Dept.name, Emp.name, Emp.salary) FROM DeptStaff ORDER BY Emp.salary AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("unnested rows = %d: %v", len(res.Rows), res.Rows)
+	}
+	// Rows are (dept, emp) pairs with the right membership: ada/cay/eve in
+	// kernel, bob/dan in tools.
+	membership := map[string]string{}
+	for _, row := range res.Rows {
+		membership[row[1].AsString()] = row[0].AsString()
+	}
+	want := map[string]string{"ada": "kernel", "cay": "kernel", "eve": "kernel", "bob": "tools", "dan": "tools"}
+	for emp, dept := range want {
+		if membership[emp] != dept {
+			t.Errorf("%s in %q, want %q", emp, membership[emp], dept)
+		}
+	}
+	// Ordering by the unnested column held.
+	if res.Rows[0][2].AsInt() != 1000 || res.Rows[4][2].AsInt() != 5000 {
+		t.Errorf("ordering: %v", res.Rows)
+	}
+	// Mixing root attrs, counts, and unnested attrs in one query.
+	res, err = e.Run(`SELECT (Dept.name, COUNT(Emp), Emp.name) FROM DeptStaff WHERE name = "kernel" AT 10`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("mixed rows = %v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row[1].AsInt() != 3 {
+			t.Errorf("count column = %v", row)
+		}
+	}
+	// A department with no staff produces no unnested rows (inner join).
+	// At t=90 eve is deleted; kernel still has 2.
+	res, _ = e.Run(`SELECT (Dept.name, Emp.name) FROM DeptStaff AT 90`, 10)
+	if len(res.Rows) != 4 {
+		t.Errorf("rows at 90 = %v", res.Rows)
+	}
+	names := []string{}
+	for _, row := range res.Rows {
+		names = append(names, row[1].AsString())
+	}
+	sort.Strings(names)
+	if strings.Join(names, ",") != "ada,bob,cay,dan" {
+		t.Errorf("names at 90 = %v", names)
+	}
+}
+
+func TestMoleculeUnnestingValidation(t *testing.T) {
+	sch := testSchema(t)
+	cases := map[string]string{
+		`SELECT (Proj.title) FROM DeptStaff`: "no constituent type",
+		`SELECT (Emp.bogus) FROM DeptStaff`:  "no attribute",
+	}
+	for src, frag := range cases {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Analyze(q, sch)
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("Analyze(%q) = %v, want %q", src, err, frag)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tcodm/internal/value"
+)
+
+// The catalog persists schemas as JSON inside the database file's catalog
+// record. JSON keeps the catalog debuggable with standard tools; the format
+// is versioned for forward evolution.
+
+const catalogVersion = 1
+
+type jsonAttribute struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Target   string `json:"target,omitempty"`
+	Card     string `json:"card,omitempty"`
+	Temporal bool   `json:"temporal,omitempty"`
+	Required bool   `json:"required,omitempty"`
+}
+
+type jsonAtomType struct {
+	Name  string          `json:"name"`
+	Attrs []jsonAttribute `json:"attrs"`
+}
+
+type jsonEdge struct {
+	From    string `json:"from"`
+	Attr    string `json:"attr"`
+	To      string `json:"to"`
+	Reverse bool   `json:"reverse,omitempty"`
+}
+
+type jsonMoleculeType struct {
+	Name  string     `json:"name"`
+	Root  string     `json:"root"`
+	Edges []jsonEdge `json:"edges,omitempty"`
+}
+
+type jsonCatalog struct {
+	Version   int                `json:"version"`
+	Atoms     []jsonAtomType     `json:"atoms"`
+	Molecules []jsonMoleculeType `json:"molecules"`
+}
+
+// Marshal serializes the schema for the catalog.
+func (s *Schema) Marshal() ([]byte, error) {
+	cat := jsonCatalog{Version: catalogVersion}
+	for _, name := range s.AtomTypeNames() {
+		t := s.atomTypes[name]
+		jt := jsonAtomType{Name: t.Name}
+		for _, a := range t.Attrs {
+			ja := jsonAttribute{
+				Name:     a.Name,
+				Kind:     a.Kind.String(),
+				Target:   a.Target,
+				Temporal: a.Temporal,
+				Required: a.Required,
+			}
+			if a.IsRef() {
+				ja.Card = a.Card.String()
+			}
+			jt.Attrs = append(jt.Attrs, ja)
+		}
+		cat.Atoms = append(cat.Atoms, jt)
+	}
+	for _, name := range s.MoleculeTypeNames() {
+		m := s.moleculeTypes[name]
+		jm := jsonMoleculeType{Name: m.Name, Root: m.Root}
+		for _, e := range m.Edges {
+			jm.Edges = append(jm.Edges, jsonEdge(e))
+		}
+		cat.Molecules = append(cat.Molecules, jm)
+	}
+	return json.Marshal(cat)
+}
+
+// Unmarshal reconstructs a frozen schema from catalog bytes, re-running all
+// validation so a corrupt catalog cannot produce an inconsistent schema.
+func Unmarshal(data []byte) (*Schema, error) {
+	var cat jsonCatalog
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return nil, fmt.Errorf("schema: corrupt catalog: %w", err)
+	}
+	if cat.Version != catalogVersion {
+		return nil, fmt.Errorf("schema: unsupported catalog version %d", cat.Version)
+	}
+	s := New()
+	for _, jt := range cat.Atoms {
+		t := AtomType{Name: jt.Name}
+		for _, ja := range jt.Attrs {
+			kind, ok := value.ParseKind(ja.Kind)
+			if !ok {
+				return nil, fmt.Errorf("schema: catalog: %s.%s: unknown kind %q", jt.Name, ja.Name, ja.Kind)
+			}
+			card := One
+			if ja.Card == "many" {
+				card = Many
+			}
+			t.Attrs = append(t.Attrs, Attribute{
+				Name:     ja.Name,
+				Kind:     kind,
+				Target:   ja.Target,
+				Card:     card,
+				Temporal: ja.Temporal,
+				Required: ja.Required,
+			})
+		}
+		if err := s.AddAtomType(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, jm := range cat.Molecules {
+		m := MoleculeType{Name: jm.Name, Root: jm.Root}
+		for _, je := range jm.Edges {
+			m.Edges = append(m.Edges, MoleculeEdge(je))
+		}
+		if err := s.AddMoleculeType(m); err != nil {
+			return nil, err
+		}
+	}
+	s.Freeze()
+	return s, nil
+}

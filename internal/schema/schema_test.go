@@ -1,0 +1,341 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"tcodm/internal/value"
+)
+
+// testSchema builds the personnel schema used across the test suite:
+// departments employ employees; employees work on projects.
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := New()
+	mustAdd := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(s.AddAtomType(AtomType{
+		Name: "Dept",
+		Attrs: []Attribute{
+			{Name: "name", Kind: value.KindString, Required: true},
+			{Name: "budget", Kind: value.KindInt, Temporal: true},
+		},
+	}))
+	mustAdd(s.AddAtomType(AtomType{
+		Name: "Emp",
+		Attrs: []Attribute{
+			{Name: "name", Kind: value.KindString, Required: true},
+			{Name: "salary", Kind: value.KindInt, Temporal: true},
+			{Name: "dept", Kind: value.KindID, Target: "Dept", Card: One, Temporal: true},
+		},
+	}))
+	mustAdd(s.AddAtomType(AtomType{
+		Name: "Proj",
+		Attrs: []Attribute{
+			{Name: "title", Kind: value.KindString},
+			{Name: "members", Kind: value.KindID, Target: "Emp", Card: Many, Temporal: true},
+		},
+	}))
+	mustAdd(s.AddMoleculeType(MoleculeType{
+		Name: "DeptStaff",
+		Root: "Dept",
+		Edges: []MoleculeEdge{
+			{From: "Dept", Attr: "dept", To: "Emp", Reverse: true},
+			{From: "Emp", Attr: "members", To: "Proj", Reverse: true},
+		},
+	}))
+	return s
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := testSchema(t)
+	emp, ok := s.AtomType("Emp")
+	if !ok {
+		t.Fatal("Emp missing")
+	}
+	a, ok := emp.Attr("salary")
+	if !ok || a.Kind != value.KindInt || !a.Temporal {
+		t.Fatalf("salary attribute wrong: %+v ok=%v", a, ok)
+	}
+	if emp.AttrIndex("dept") != 2 {
+		t.Errorf("dept index = %d", emp.AttrIndex("dept"))
+	}
+	if emp.AttrIndex("nope") != -1 {
+		t.Error("missing attribute should index -1")
+	}
+	ref, _ := emp.Attr("dept")
+	if !ref.IsRef() || ref.Target != "Dept" || ref.Card != One {
+		t.Errorf("dept ref wrong: %+v", ref)
+	}
+	if _, ok := s.MoleculeType("DeptStaff"); !ok {
+		t.Error("molecule type missing")
+	}
+	if _, ok := s.AtomType("Nothing"); ok {
+		t.Error("phantom atom type")
+	}
+}
+
+func TestSchemaNames(t *testing.T) {
+	s := testSchema(t)
+	got := s.AtomTypeNames()
+	want := []string{"Dept", "Emp", "Proj"}
+	if len(got) != len(want) {
+		t.Fatalf("AtomTypeNames = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AtomTypeNames = %v, want %v", got, want)
+		}
+	}
+	if m := s.MoleculeTypeNames(); len(m) != 1 || m[0] != "DeptStaff" {
+		t.Fatalf("MoleculeTypeNames = %v", m)
+	}
+}
+
+func TestAddAtomTypeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		at   AtomType
+		frag string
+	}{
+		{"bad name", AtomType{Name: "9lives", Attrs: []Attribute{{Name: "x", Kind: value.KindInt}}}, "invalid atom type name"},
+		{"no attrs", AtomType{Name: "Empty"}, "no attributes"},
+		{"bad attr name", AtomType{Name: "T", Attrs: []Attribute{{Name: "a b", Kind: value.KindInt}}}, "invalid attribute name"},
+		{"dup attr", AtomType{Name: "T", Attrs: []Attribute{{Name: "x", Kind: value.KindInt}, {Name: "x", Kind: value.KindInt}}}, "duplicate attribute"},
+		{"id without target", AtomType{Name: "T", Attrs: []Attribute{{Name: "x", Kind: value.KindID}}}, "requires a reference target"},
+		{"ref wrong kind", AtomType{Name: "T", Attrs: []Attribute{{Name: "x", Kind: value.KindInt, Target: "T"}}}, "must have kind id"},
+		{"null kind", AtomType{Name: "T", Attrs: []Attribute{{Name: "x", Kind: value.KindNull}}}, "invalid attribute kind"},
+	}
+	for _, c := range cases {
+		s := New()
+		err := s.AddAtomType(c.at)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestAddAtomTypeDuplicate(t *testing.T) {
+	s := New()
+	at := AtomType{Name: "T", Attrs: []Attribute{{Name: "x", Kind: value.KindInt}}}
+	if err := s.AddAtomType(at); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAtomType(at); err == nil {
+		t.Fatal("duplicate atom type accepted")
+	}
+}
+
+func TestAddMoleculeTypeRejections(t *testing.T) {
+	base := func() *Schema {
+		s := New()
+		_ = s.AddAtomType(AtomType{Name: "A", Attrs: []Attribute{
+			{Name: "x", Kind: value.KindInt},
+			{Name: "b", Kind: value.KindID, Target: "B"},
+		}})
+		_ = s.AddAtomType(AtomType{Name: "B", Attrs: []Attribute{{Name: "y", Kind: value.KindInt}}})
+		_ = s.AddAtomType(AtomType{Name: "C", Attrs: []Attribute{{Name: "z", Kind: value.KindInt}}})
+		return s
+	}
+	cases := []struct {
+		name string
+		mt   MoleculeType
+		frag string
+	}{
+		{"unknown root", MoleculeType{Name: "M", Root: "Z"}, "unknown root"},
+		{"unknown from", MoleculeType{Name: "M", Root: "A", Edges: []MoleculeEdge{{From: "Z", Attr: "b", To: "B"}}}, "unknown atom type"},
+		{"unknown attr", MoleculeType{Name: "M", Root: "A", Edges: []MoleculeEdge{{From: "A", Attr: "q", To: "B"}}}, "no attribute"},
+		{"non-ref attr", MoleculeType{Name: "M", Root: "A", Edges: []MoleculeEdge{{From: "A", Attr: "x", To: "B"}}}, "not a reference"},
+		{"wrong target", MoleculeType{Name: "M", Root: "A", Edges: []MoleculeEdge{{From: "A", Attr: "b", To: "C"}}}, "targets"},
+		{"disconnected", MoleculeType{Name: "M", Root: "B", Edges: []MoleculeEdge{{From: "A", Attr: "b", To: "B"}}}, "not reachable"},
+	}
+	for _, c := range cases {
+		s := base()
+		err := s.AddMoleculeType(c.mt)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestReverseEdgeValidation(t *testing.T) {
+	s := New()
+	if err := s.AddAtomType(AtomType{Name: "A", Attrs: []Attribute{
+		{Name: "b", Kind: value.KindID, Target: "B"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAtomType(AtomType{Name: "B", Attrs: []Attribute{{Name: "y", Kind: value.KindInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Reverse edge: from B back to A along A.b.
+	err := s.AddMoleculeType(MoleculeType{Name: "M", Root: "B", Edges: []MoleculeEdge{
+		{From: "B", Attr: "b", To: "A", Reverse: true},
+	}})
+	if err != nil {
+		t.Fatalf("valid reverse edge rejected: %v", err)
+	}
+}
+
+func TestFreezeBlocksDDL(t *testing.T) {
+	s := testSchema(t)
+	s.Freeze()
+	if err := s.AddAtomType(AtomType{Name: "X", Attrs: []Attribute{{Name: "a", Kind: value.KindInt}}}); err == nil {
+		t.Error("frozen schema accepted atom type")
+	}
+	if err := s.AddMoleculeType(MoleculeType{Name: "X", Root: "Emp"}); err == nil {
+		t.Error("frozen schema accepted molecule type")
+	}
+	// Clone is unfrozen and independent.
+	c := s.Clone()
+	if err := c.AddAtomType(AtomType{Name: "X", Attrs: []Attribute{{Name: "a", Kind: value.KindInt}}}); err != nil {
+		t.Errorf("clone should accept DDL: %v", err)
+	}
+	if _, ok := s.AtomType("X"); ok {
+		t.Error("clone leaked into original")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	s.Freeze()
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := got.AtomTypeNames(); len(names) != 3 {
+		t.Fatalf("round-trip atom types = %v", names)
+	}
+	emp, ok := got.AtomType("Emp")
+	if !ok {
+		t.Fatal("Emp lost in round trip")
+	}
+	a, _ := emp.Attr("dept")
+	if !a.IsRef() || a.Target != "Dept" || !a.Temporal || a.Card != One {
+		t.Errorf("dept attribute corrupted: %+v", a)
+	}
+	members, _ := mustAtom(t, got, "Proj").Attr("members")
+	if members.Card != Many {
+		t.Errorf("members cardinality lost: %+v", members)
+	}
+	m, ok := got.MoleculeType("DeptStaff")
+	if !ok || len(m.Edges) != 2 || !m.Edges[0].Reverse {
+		t.Fatalf("molecule type corrupted: %+v", m)
+	}
+	// Round-tripped schema is frozen.
+	if err := got.AddAtomType(AtomType{Name: "X", Attrs: []Attribute{{Name: "a", Kind: value.KindInt}}}); err == nil {
+		t.Error("unmarshaled schema should be frozen")
+	}
+}
+
+func mustAtom(t *testing.T, s *Schema, name string) *AtomType {
+	t.Helper()
+	at, ok := s.AtomType(name)
+	if !ok {
+		t.Fatalf("atom type %q missing", name)
+	}
+	return at
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	if _, err := Unmarshal([]byte("{")); err == nil {
+		t.Error("syntactically corrupt catalog accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"version": 99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	// Structurally valid JSON encoding an invalid schema.
+	bad := `{"version":1,"atoms":[{"name":"T","attrs":[{"name":"x","kind":"widget"}]}]}`
+	if _, err := Unmarshal([]byte(bad)); err == nil {
+		t.Error("unknown kind in catalog accepted")
+	}
+}
+
+func TestEdgesFrom(t *testing.T) {
+	s := testSchema(t)
+	m, _ := s.MoleculeType("DeptStaff")
+	if es := m.EdgesFrom("Dept"); len(es) != 1 || es[0].To != "Emp" {
+		t.Errorf("EdgesFrom(Dept) = %v", es)
+	}
+	if es := m.EdgesFrom("Proj"); es != nil {
+		t.Errorf("EdgesFrom(Proj) = %v, want none", es)
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for _, good := range []string{"A", "Emp", "foo_bar9", "x"} {
+		if !ValidName(good) {
+			t.Errorf("ValidName(%q) = false", good)
+		}
+	}
+	for _, bad := range []string{"", "9x", "a-b", "a b", "ü"} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true", bad)
+		}
+	}
+}
+
+func TestAddAttributeEvolution(t *testing.T) {
+	s := testSchema(t)
+	if err := s.AddAttribute("Emp", Attribute{Name: "bonus", Kind: value.KindInt, Temporal: true}); err != nil {
+		t.Fatal(err)
+	}
+	emp, _ := s.AtomType("Emp")
+	a, ok := emp.Attr("bonus")
+	if !ok || !a.Temporal {
+		t.Fatalf("bonus = %+v ok=%v", a, ok)
+	}
+	if emp.AttrIndex("bonus") != len(emp.Attrs)-1 {
+		t.Error("evolved attribute not appended")
+	}
+	// The evolved schema round-trips through the catalog.
+	s.Freeze()
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp2, _ := got.AtomType("Emp")
+	if _, ok := emp2.Attr("bonus"); !ok {
+		t.Error("evolved attribute lost in catalog round-trip")
+	}
+	// Frozen schema refuses evolution.
+	if err := got.AddAttribute("Emp", Attribute{Name: "x", Kind: value.KindInt}); err == nil {
+		t.Error("frozen schema evolved")
+	}
+}
+
+func TestAddAttributeRejections(t *testing.T) {
+	s := testSchema(t)
+	cases := []struct {
+		attr Attribute
+		frag string
+	}{
+		{Attribute{Name: "name", Kind: value.KindInt}, "duplicate"},
+		{Attribute{Name: "9bad", Kind: value.KindInt}, "invalid attribute name"},
+		{Attribute{Name: "r", Kind: value.KindInt, Required: true}, "cannot be required"},
+		{Attribute{Name: "r", Kind: value.KindID, Target: "Nope"}, "unknown target"},
+		{Attribute{Name: "r", Kind: value.KindInt, Target: "Dept"}, "must have kind id"},
+		{Attribute{Name: "r", Kind: value.KindNull}, "invalid attribute kind"},
+	}
+	for _, c := range cases {
+		err := s.AddAttribute("Emp", c.attr)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("AddAttribute(%+v) = %v, want %q", c.attr, err, c.frag)
+		}
+	}
+	if err := s.AddAttribute("Nope", Attribute{Name: "x", Kind: value.KindInt}); err == nil {
+		t.Error("evolution of unknown type accepted")
+	}
+}

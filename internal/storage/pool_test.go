@@ -1,0 +1,342 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileDeviceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.db")
+	d, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, "hello page zero")
+	if err := d.WritePage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "hello page one!")
+	if err := d.WritePage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPages() != 2 {
+		t.Fatalf("NumPages = %d", d.NumPages())
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen and verify.
+	d2, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 2 {
+		t.Fatalf("reopened NumPages = %d", d2.NumPages())
+	}
+	got := make([]byte, PageSize)
+	if err := d2.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("hello page zero")) {
+		t.Error("page 0 content lost")
+	}
+}
+
+func TestFileDeviceRejectsHolesAndTornFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.db")
+	d, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.WritePage(5, buf); err == nil {
+		t.Error("write beyond end+1 should fail")
+	}
+	if err := d.ReadPage(0, buf); err == nil {
+		t.Error("read beyond end should fail")
+	}
+	if err := d.ReadPage(0, buf[:10]); err == nil {
+		t.Error("short buffer should fail")
+	}
+	d.Close()
+	// Torn file: size not a multiple of PageSize.
+	if err := os.WriteFile(path, make([]byte, PageSize+100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileDevice(path); err == nil {
+		t.Error("torn file accepted")
+	}
+}
+
+func TestMemDevice(t *testing.T) {
+	d := NewMemDevice()
+	buf := make([]byte, PageSize)
+	copy(buf, "mem")
+	if err := d.WritePage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := d.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("mem")) {
+		t.Error("content lost")
+	}
+	if err := d.WritePage(7, buf); err == nil {
+		t.Error("hole write accepted")
+	}
+	if err := d.ReadPage(3, got); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+}
+
+func TestBufferPoolFetchAllocateUnpin(t *testing.T) {
+	dev := NewMemDevice()
+	bp := NewBufferPool(dev, 8)
+	p, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.ID()
+	copy(p.Data()[100:], "payload")
+	p.MarkDirty(false)
+	bp.Unpin(p)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Refetch: must hit the pool.
+	before := bp.Stats()
+	p2, err := bp.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(p2.Data()[100:], []byte("payload")) {
+		t.Error("content lost across flush")
+	}
+	bp.Unpin(p2)
+	after := bp.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Errorf("expected a pool hit, stats %+v -> %+v", before, after)
+	}
+}
+
+func TestBufferPoolEvictionLRU(t *testing.T) {
+	dev := NewMemDevice()
+	bp := NewBufferPool(dev, 4)
+	// Create 8 pages through a pool of 4: evictions must occur and all
+	// content must survive on the device.
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		p, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Data()[200] = byte(i)
+		p.MarkDirty(false)
+		ids = append(ids, p.ID())
+		bp.Unpin(p)
+	}
+	if bp.Stats().Evictions == 0 {
+		t.Error("no evictions with pool smaller than working set")
+	}
+	for i, id := range ids {
+		p, err := bp.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Data()[200] != byte(i) {
+			t.Errorf("page %d content lost through eviction", id)
+		}
+		bp.Unpin(p)
+	}
+}
+
+func TestBufferPoolPinnedPagesNotEvicted(t *testing.T) {
+	dev := NewMemDevice()
+	bp := NewBufferPool(dev, 4)
+	var pinned []*Page
+	for i := 0; i < 4; i++ {
+		p, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, p)
+	}
+	// Pool is full of pinned pages: the next allocation must fail.
+	if _, err := bp.Allocate(); err == nil {
+		t.Fatal("allocation with fully pinned pool should fail")
+	}
+	bp.Unpin(pinned[0])
+	if _, err := bp.Allocate(); err != nil {
+		t.Fatalf("allocation after unpin failed: %v", err)
+	}
+	for _, p := range pinned[1:] {
+		bp.Unpin(p)
+	}
+}
+
+func TestBufferPoolNoStealTxnDirty(t *testing.T) {
+	dev := NewMemDevice()
+	bp := NewBufferPool(dev, 4)
+	p, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MarkDirty(true) // txn-dirty
+	id := p.ID()
+	bp.Unpin(p)
+	// Fill the pool; the txn-dirty page must survive unflushed.
+	for i := 0; i < 6; i++ {
+		q, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.MarkDirty(false)
+		bp.Unpin(q)
+	}
+	// The txn-dirty page is still buffered (was never evicted).
+	bp.mu.Lock()
+	_, present := bp.frames[id]
+	bp.mu.Unlock()
+	if !present {
+		t.Fatal("txn-dirty page was evicted (no-steal violated)")
+	}
+	bp.EndTxn()
+	// Now it may be evicted.
+	for i := 0; i < 6; i++ {
+		q, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(q)
+	}
+}
+
+func TestBufferPoolFlushHookWALRule(t *testing.T) {
+	dev := NewMemDevice()
+	bp := NewBufferPool(dev, 4)
+	var flushedThrough []uint64
+	bp.SetFlushHook(func(lsn uint64) error {
+		flushedThrough = append(flushedThrough, lsn)
+		return nil
+	})
+	p, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetLSN(77)
+	p.MarkDirty(false)
+	bp.Unpin(p)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range flushedThrough {
+		if l == 77 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("flush hook never saw LSN 77: %v", flushedThrough)
+	}
+}
+
+func TestBufferPoolDeallocateReuse(t *testing.T) {
+	dev := NewMemDevice()
+	bp := NewBufferPool(dev, 8)
+	p, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.ID()
+	bp.Unpin(p)
+	if err := bp.Deallocate(id); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ID() != id {
+		t.Errorf("freed page not reused: got %d, want %d", p2.ID(), id)
+	}
+	bp.Unpin(p2)
+	// Free list round-trips through Set/Get.
+	bp.SetFreePages([]PageID{9, 11})
+	got := bp.FreePages()
+	if len(got) != 2 || got[0] != 9 || got[1] != 11 {
+		t.Errorf("free list = %v", got)
+	}
+}
+
+func TestBufferPoolDeallocatePinnedFails(t *testing.T) {
+	dev := NewMemDevice()
+	bp := NewBufferPool(dev, 8)
+	p, _ := bp.Allocate()
+	if err := bp.Deallocate(p.ID()); err == nil {
+		t.Error("deallocating a pinned page should fail")
+	}
+	bp.Unpin(p)
+}
+
+func TestPoolStatsHitRatio(t *testing.T) {
+	s := PoolStats{Hits: 3, Misses: 1}
+	if got := s.HitRatio(); got != 0.75 {
+		t.Errorf("HitRatio = %v", got)
+	}
+	if (PoolStats{}).HitRatio() != 0 {
+		t.Error("empty stats should have ratio 0")
+	}
+}
+
+func TestMetaPage(t *testing.T) {
+	dev := NewMemDevice()
+	bp := NewBufferPool(dev, 8)
+	if err := InitMeta(bp); err != nil {
+		t.Fatal(err)
+	}
+	payload, clean, err := ReadMeta(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 0 || !clean {
+		t.Fatalf("fresh meta: payload %d bytes, clean %v", len(payload), clean)
+	}
+	if err := WriteMeta(bp, []byte("engine state"), false); err != nil {
+		t.Fatal(err)
+	}
+	payload, clean, err = ReadMeta(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "engine state" || clean {
+		t.Fatalf("meta round-trip: %q clean=%v", payload, clean)
+	}
+	if err := WriteMeta(bp, make([]byte, MetaPayloadMax+1), true); err == nil {
+		t.Error("oversized meta payload accepted")
+	}
+	// InitMeta on a non-empty device must fail.
+	if err := InitMeta(bp); err == nil {
+		t.Error("InitMeta on non-empty device accepted")
+	}
+}
+
+func TestUnpinPanicsWhenNotPinned(t *testing.T) {
+	dev := NewMemDevice()
+	bp := NewBufferPool(dev, 4)
+	p, _ := bp.Allocate()
+	bp.Unpin(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unpin did not panic")
+		}
+	}()
+	bp.Unpin(p)
+}

@@ -1,0 +1,137 @@
+package temporal
+
+// Relation enumerates Allen's thirteen qualitative relations between two
+// non-empty intervals, plus Invalid for comparisons involving an empty
+// interval. The names follow Allen (1983); the first operand is the
+// receiver-side interval.
+type Relation uint8
+
+const (
+	// Invalid is returned when either operand is empty.
+	Invalid Relation = iota
+	// Precedes: a ends strictly before b starts, with a gap.
+	Precedes
+	// Meets: a ends exactly where b starts.
+	Meets
+	// OverlapsWith: a starts before b, they share instants, a ends inside b.
+	OverlapsWith
+	// Starts: a and b start together, a ends first.
+	Starts
+	// During: a lies strictly inside b.
+	During
+	// Finishes: a and b end together, a starts later.
+	Finishes
+	// Equals: identical intervals.
+	Equals
+	// FinishedBy: inverse of Finishes.
+	FinishedBy
+	// Contains: inverse of During.
+	Contains
+	// StartedBy: inverse of Starts.
+	StartedBy
+	// OverlappedBy: inverse of OverlapsWith.
+	OverlappedBy
+	// MetBy: inverse of Meets.
+	MetBy
+	// PrecededBy: inverse of Precedes.
+	PrecededBy
+)
+
+var relationNames = [...]string{
+	Invalid:      "invalid",
+	Precedes:     "precedes",
+	Meets:        "meets",
+	OverlapsWith: "overlaps",
+	Starts:       "starts",
+	During:       "during",
+	Finishes:     "finishes",
+	Equals:       "equals",
+	FinishedBy:   "finished-by",
+	Contains:     "contains",
+	StartedBy:    "started-by",
+	OverlappedBy: "overlapped-by",
+	MetBy:        "met-by",
+	PrecededBy:   "preceded-by",
+}
+
+// String returns the conventional name of the relation.
+func (r Relation) String() string {
+	if int(r) < len(relationNames) {
+		return relationNames[r]
+	}
+	return "unknown"
+}
+
+// Inverse returns the converse relation (the relation of b to a given the
+// relation of a to b).
+func (r Relation) Inverse() Relation {
+	switch r {
+	case Precedes:
+		return PrecededBy
+	case PrecededBy:
+		return Precedes
+	case Meets:
+		return MetBy
+	case MetBy:
+		return Meets
+	case OverlapsWith:
+		return OverlappedBy
+	case OverlappedBy:
+		return OverlapsWith
+	case Starts:
+		return StartedBy
+	case StartedBy:
+		return Starts
+	case During:
+		return Contains
+	case Contains:
+		return During
+	case Finishes:
+		return FinishedBy
+	case FinishedBy:
+		return Finishes
+	default:
+		return r // Equals and Invalid are self-inverse.
+	}
+}
+
+// Classify determines Allen's relation of a with respect to b.
+// Either operand being empty yields Invalid.
+func Classify(a, b Interval) Relation {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Invalid
+	}
+	switch {
+	case a.To < b.From:
+		return Precedes
+	case a.To == b.From:
+		return Meets
+	case b.To < a.From:
+		return PrecededBy
+	case b.To == a.From:
+		return MetBy
+	}
+	// The intervals overlap in at least one instant.
+	switch {
+	case a.From == b.From && a.To == b.To:
+		return Equals
+	case a.From == b.From:
+		if a.To < b.To {
+			return Starts
+		}
+		return StartedBy
+	case a.To == b.To:
+		if a.From > b.From {
+			return Finishes
+		}
+		return FinishedBy
+	case a.From > b.From && a.To < b.To:
+		return During
+	case a.From < b.From && a.To > b.To:
+		return Contains
+	case a.From < b.From:
+		return OverlapsWith
+	default:
+		return OverlappedBy
+	}
+}

@@ -1,0 +1,106 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestClassifyAll13(t *testing.T) {
+	b := NewInterval(10, 20)
+	cases := []struct {
+		a    Interval
+		want Relation
+	}{
+		{NewInterval(0, 5), Precedes},
+		{NewInterval(0, 10), Meets},
+		{NewInterval(5, 15), OverlapsWith},
+		{NewInterval(10, 15), Starts},
+		{NewInterval(12, 18), During},
+		{NewInterval(15, 20), Finishes},
+		{NewInterval(10, 20), Equals},
+		{NewInterval(5, 20), FinishedBy},
+		{NewInterval(5, 25), Contains},
+		{NewInterval(10, 25), StartedBy},
+		{NewInterval(15, 25), OverlappedBy},
+		{NewInterval(20, 25), MetBy},
+		{NewInterval(25, 30), PrecededBy},
+	}
+	seen := map[Relation]bool{}
+	for _, c := range cases {
+		got := Classify(c.a, b)
+		if got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", c.a, b, got, c.want)
+		}
+		seen[got] = true
+	}
+	if len(seen) != 13 {
+		t.Errorf("only %d distinct relations exercised, want 13", len(seen))
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	if Classify(Interval{}, NewInterval(0, 1)) != Invalid {
+		t.Error("empty first operand should be Invalid")
+	}
+	if Classify(NewInterval(0, 1), Interval{}) != Invalid {
+		t.Error("empty second operand should be Invalid")
+	}
+}
+
+func TestInverseIsInvolution(t *testing.T) {
+	for r := Invalid; r <= PrecededBy; r++ {
+		if got := r.Inverse().Inverse(); got != r {
+			t.Errorf("Inverse(Inverse(%v)) = %v", r, got)
+		}
+	}
+}
+
+// TestClassifyInverseProperty checks Classify(a,b).Inverse() == Classify(b,a)
+// over random interval pairs.
+func TestClassifyInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := randInterval(rng)
+		b := randInterval(rng)
+		if got, want := Classify(a, b).Inverse(), Classify(b, a); got != want {
+			t.Fatalf("Classify(%v,%v).Inverse() = %v, Classify(%v,%v) = %v", a, b, got, b, a, want)
+		}
+	}
+}
+
+// TestClassifyConsistentWithSetOps checks the relation classification
+// against the set-level predicates it must agree with.
+func TestClassifyConsistentWithSetOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := randInterval(rng)
+		b := randInterval(rng)
+		r := Classify(a, b)
+		overlapRelations := map[Relation]bool{
+			OverlapsWith: true, Starts: true, During: true, Finishes: true,
+			Equals: true, FinishedBy: true, Contains: true, StartedBy: true,
+			OverlappedBy: true,
+		}
+		if a.Overlaps(b) != overlapRelations[r] {
+			t.Fatalf("relation %v inconsistent with Overlaps for %v, %v", r, a, b)
+		}
+		if r == Equals && !a.Equal(b) {
+			t.Fatalf("Equals relation but intervals differ: %v, %v", a, b)
+		}
+	}
+}
+
+func randInterval(rng *rand.Rand) Interval {
+	from := Instant(rng.Intn(40))
+	length := Instant(1 + rng.Intn(15))
+	return Interval{From: from, To: from + length}
+}
+
+func TestRelationString(t *testing.T) {
+	if Precedes.String() != "precedes" {
+		t.Errorf("Precedes.String() = %q", Precedes.String())
+	}
+	if Relation(200).String() != "unknown" {
+		t.Errorf("out-of-range relation should stringify to unknown")
+	}
+}

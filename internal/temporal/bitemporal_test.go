@@ -1,0 +1,150 @@
+package temporal
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStampVisibility(t *testing.T) {
+	s := Stamp{Valid: NewInterval(10, 20), Trans: Open(100)}
+	if !s.Current() {
+		t.Error("open-ended trans interval should be current")
+	}
+	if !s.VisibleAt(15, 100) {
+		t.Error("should be visible at (15, 100)")
+	}
+	if s.VisibleAt(25, 100) {
+		t.Error("valid time outside range")
+	}
+	if s.VisibleAt(15, 99) {
+		t.Error("transaction time before creation")
+	}
+	closed := Stamp{Valid: NewInterval(10, 20), Trans: NewInterval(100, 200)}
+	if closed.Current() {
+		t.Error("closed trans interval should not be current")
+	}
+	if !closed.VisibleAt(15, 150) {
+		t.Error("should be visible within both intervals")
+	}
+	if closed.VisibleAt(15, 200) {
+		t.Error("transaction end is exclusive")
+	}
+}
+
+func TestInstantEncodingOrderPreserving(t *testing.T) {
+	instants := []Instant{Beginning, -1000, -1, 0, 1, 42, 1 << 40, Forever}
+	encoded := make([][]byte, len(instants))
+	for i, in := range instants {
+		encoded[i] = AppendInstant(nil, in)
+	}
+	if !sort.SliceIsSorted(encoded, func(i, j int) bool {
+		return bytes.Compare(encoded[i], encoded[j]) < 0
+	}) {
+		t.Fatal("instant encodings are not order-preserving")
+	}
+	for i, in := range instants {
+		got, err := DecodeInstant(encoded[i])
+		if err != nil || got != in {
+			t.Errorf("round-trip of %v failed: got %v, err %v", in, got, err)
+		}
+	}
+}
+
+func TestPropInstantEncodingRoundTrip(t *testing.T) {
+	f := func(x int64) bool {
+		in := Instant(x)
+		got, err := DecodeInstant(AppendInstant(nil, in))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropInstantEncodingOrdering(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea := AppendInstant(nil, Instant(a))
+		eb := AppendInstant(nil, Instant(b))
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalStampRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		iv := randInterval(rng)
+		got, err := DecodeInterval(AppendInterval(nil, iv))
+		if err != nil || !got.Equal(iv) {
+			t.Fatalf("interval round-trip failed: %v -> %v (%v)", iv, got, err)
+		}
+		s := Stamp{Valid: randInterval(rng), Trans: randInterval(rng)}
+		gs, err := DecodeStamp(AppendStamp(nil, s))
+		if err != nil || gs != s {
+			t.Fatalf("stamp round-trip failed: %v -> %v (%v)", s, gs, err)
+		}
+	}
+}
+
+func TestDecodeShortBuffers(t *testing.T) {
+	if _, err := DecodeInstant(nil); err == nil {
+		t.Error("DecodeInstant(nil) should fail")
+	}
+	if _, err := DecodeInterval(make([]byte, 5)); err == nil {
+		t.Error("DecodeInterval(short) should fail")
+	}
+	if _, err := DecodeStamp(make([]byte, 17)); err == nil {
+		t.Error("DecodeStamp(short) should fail")
+	}
+	if _, _, err := DecodeElement(nil); err == nil {
+		t.Error("DecodeElement(nil) should fail")
+	}
+	// Element with claimed length longer than the buffer.
+	buf := AppendElement(nil, NewElement(NewInterval(0, 5)))
+	if _, _, err := DecodeElement(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated element should fail")
+	}
+}
+
+func TestDecodeElementRejectsNonCanonical(t *testing.T) {
+	// Hand-assemble an element encoding with overlapping intervals.
+	var buf []byte
+	buf = append(buf, 0, 0, 0, 2)
+	buf = AppendInterval(buf, NewInterval(0, 10))
+	buf = AppendInterval(buf, NewInterval(5, 15))
+	if _, _, err := DecodeElement(buf); err == nil {
+		t.Error("non-canonical element should be rejected")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock(10)
+	if c.Now() != 10 {
+		t.Errorf("Now = %v, want 10", c.Now())
+	}
+	a, b := c.Tick(), c.Tick()
+	if a != 11 || b != 12 {
+		t.Errorf("ticks = %v, %v; want 11, 12", a, b)
+	}
+	c.Advance(100)
+	if c.Tick() != 101 {
+		t.Error("Advance did not move clock")
+	}
+	c.Advance(50) // no-op: never moves backwards
+	if c.Now() != 101 {
+		t.Error("Advance moved clock backwards")
+	}
+}

@@ -1,0 +1,180 @@
+package temporal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalEmpty(t *testing.T) {
+	cases := []struct {
+		iv    Interval
+		empty bool
+	}{
+		{Interval{}, true},
+		{Interval{From: 5, To: 5}, true},
+		{Interval{From: 6, To: 5}, true},
+		{Interval{From: 5, To: 6}, false},
+		{All(), false},
+		{Open(0), false},
+	}
+	for _, c := range cases {
+		if got := c.iv.IsEmpty(); got != c.empty {
+			t.Errorf("IsEmpty(%v) = %v, want %v", c.iv, got, c.empty)
+		}
+	}
+}
+
+func TestNewIntervalPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInterval(10, 5) did not panic")
+		}
+	}()
+	NewInterval(10, 5)
+}
+
+func TestPoint(t *testing.T) {
+	p := Point(7)
+	if !p.Contains(7) {
+		t.Error("Point(7) does not contain 7")
+	}
+	if p.Contains(6) || p.Contains(8) {
+		t.Error("Point(7) contains a neighbour")
+	}
+	if p.Duration() != 1 {
+		t.Errorf("Point duration = %d, want 1", p.Duration())
+	}
+}
+
+func TestPointForeverPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Point(Forever) did not panic")
+		}
+	}()
+	Point(Forever)
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := NewInterval(10, 20)
+	for _, in := range []Instant{10, 15, 19} {
+		if !iv.Contains(in) {
+			t.Errorf("%v should contain %v", iv, in)
+		}
+	}
+	for _, out := range []Instant{9, 20, 100, Beginning} {
+		if iv.Contains(out) {
+			t.Errorf("%v should not contain %v", iv, out)
+		}
+	}
+}
+
+func TestIntervalOverlapIntersect(t *testing.T) {
+	cases := []struct {
+		a, b    Interval
+		overlap bool
+		want    Interval
+	}{
+		{NewInterval(0, 10), NewInterval(5, 15), true, NewInterval(5, 10)},
+		{NewInterval(0, 10), NewInterval(10, 20), false, Interval{}},
+		{NewInterval(0, 10), NewInterval(2, 4), true, NewInterval(2, 4)},
+		{NewInterval(0, 10), Interval{}, false, Interval{}},
+		{All(), NewInterval(-5, 5), true, NewInterval(-5, 5)},
+		{Open(100), NewInterval(50, 150), true, NewInterval(100, 150)},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.overlap {
+			t.Errorf("Overlaps(%v, %v) = %v, want %v", c.a, c.b, got, c.overlap)
+		}
+		if got := c.a.Intersect(c.b); !got.Equal(c.want) {
+			t.Errorf("Intersect(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// Symmetry.
+		if got := c.b.Overlaps(c.a); got != c.overlap {
+			t.Errorf("Overlaps(%v, %v) = %v, want %v", c.b, c.a, got, c.overlap)
+		}
+	}
+}
+
+func TestIntervalAdjacentUnion(t *testing.T) {
+	a, b := NewInterval(0, 10), NewInterval(10, 20)
+	if !a.Adjacent(b) || !b.Adjacent(a) {
+		t.Fatal("adjacent intervals not reported adjacent")
+	}
+	if got := a.Union(b); !got.Equal(NewInterval(0, 20)) {
+		t.Errorf("Union = %v, want [0, 20)", got)
+	}
+	if a.Adjacent(NewInterval(11, 20)) {
+		t.Error("gap intervals reported adjacent")
+	}
+}
+
+func TestIntervalUnionDisjointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union of disjoint intervals did not panic")
+		}
+	}()
+	NewInterval(0, 5).Union(NewInterval(10, 20))
+}
+
+func TestIntervalDuration(t *testing.T) {
+	if d := NewInterval(3, 11).Duration(); d != 8 {
+		t.Errorf("duration = %d, want 8", d)
+	}
+	if d := Open(5).Duration(); d != math.MaxInt64 {
+		t.Errorf("open-ended duration = %d, want MaxInt64", d)
+	}
+	if d := (Interval{}).Duration(); d != 0 {
+		t.Errorf("empty duration = %d, want 0", d)
+	}
+}
+
+func TestIntervalContainsInterval(t *testing.T) {
+	outer := NewInterval(0, 100)
+	if !outer.ContainsInterval(NewInterval(10, 90)) {
+		t.Error("inner interval not contained")
+	}
+	if !outer.ContainsInterval(outer) {
+		t.Error("interval does not contain itself")
+	}
+	if !outer.ContainsInterval(Interval{}) {
+		t.Error("empty interval not contained")
+	}
+	if outer.ContainsInterval(NewInterval(50, 150)) {
+		t.Error("overhanging interval reported contained")
+	}
+}
+
+func TestInstantString(t *testing.T) {
+	if s := Forever.String(); s != "inf" {
+		t.Errorf("Forever = %q", s)
+	}
+	if s := Beginning.String(); s != "-inf" {
+		t.Errorf("Beginning = %q", s)
+	}
+	if s := Instant(42).String(); s != "42" {
+		t.Errorf("42 = %q", s)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+}
+
+func TestBefore(t *testing.T) {
+	if !NewInterval(0, 5).Before(NewInterval(5, 10)) {
+		t.Error("meeting intervals: first should be Before second")
+	}
+	if NewInterval(0, 6).Before(NewInterval(5, 10)) {
+		t.Error("overlapping intervals reported Before")
+	}
+	if (Interval{}).Before(NewInterval(5, 10)) {
+		t.Error("empty interval reported Before")
+	}
+}

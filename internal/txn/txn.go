@@ -1,0 +1,208 @@
+// Package txn implements the transaction layer: single-writer transactions
+// that assign transaction-time instants from a monotone clock, buffer redo
+// records in the write-ahead log, capture in-memory undo for abort, and
+// enforce the no-steal protocol on the buffer pool.
+package txn
+
+import (
+	"fmt"
+	"sync"
+
+	"tcodm/internal/storage"
+	"tcodm/internal/temporal"
+	"tcodm/internal/wal"
+)
+
+// Manager coordinates transactions over one database's heap, pool, clock,
+// and (optional) log.
+type Manager struct {
+	writeMu sync.Mutex // held by the active write transaction
+
+	mu      sync.Mutex
+	clock   *temporal.Clock
+	log     *wal.WAL // nil = unlogged database
+	heap    *storage.Heap
+	pool    *storage.BufferPool
+	nextTxn uint64
+	active  *Txn
+	commits uint64
+	aborts  uint64
+}
+
+// NewManager wires the transaction layer. log may be nil for unlogged
+// (ephemeral or bulk-load) operation.
+func NewManager(clock *temporal.Clock, log *wal.WAL, heap *storage.Heap, pool *storage.BufferPool) *Manager {
+	return &Manager{clock: clock, log: log, heap: heap, pool: pool, nextTxn: 1}
+}
+
+// Clock exposes the transaction-time clock (reads use Now()).
+func (m *Manager) Clock() *temporal.Clock { return m.clock }
+
+// Stats returns (commits, aborts).
+func (m *Manager) Stats() (commits, aborts uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commits, m.aborts
+}
+
+// Txn is one write transaction. All mutations performed between Begin and
+// Commit/Abort carry the transaction's TT instant and are atomic: they
+// become durable together at Commit or vanish together at Abort.
+type Txn struct {
+	ID      uint64
+	TT      temporal.Instant
+	mgr     *Manager
+	undo    []undoOp
+	idxUndo []func() error
+	done    bool
+}
+
+// RecordIndexUndo implements atom.IndexUndo: it collects inverse index
+// operations to run if the transaction aborts.
+func (t *Txn) RecordIndexUndo(fn func() error) {
+	t.idxUndo = append(t.idxUndo, fn)
+}
+
+type undoKind uint8
+
+const (
+	undoInsert undoKind = iota
+	undoUpdate
+	undoDelete
+)
+
+type undoOp struct {
+	kind  undoKind
+	rid   storage.RID
+	prior []byte
+}
+
+// Begin starts a write transaction, blocking until any current writer
+// finishes. The returned transaction's TT is a fresh clock tick, strictly
+// greater than every previously assigned instant.
+func (m *Manager) Begin() (*Txn, error) {
+	m.writeMu.Lock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Txn{ID: m.nextTxn, mgr: m}
+	m.nextTxn++
+	t.TT = m.clock.Tick()
+	if m.log != nil {
+		if err := m.log.BeginTxn(t.ID); err != nil {
+			m.writeMu.Unlock()
+			return nil, err
+		}
+	}
+	m.heap.SetTxnActive(true)
+	m.heap.SetUndoRecorder(t)
+	m.active = t
+	return t, nil
+}
+
+// RecordInsert implements storage.UndoRecorder.
+func (t *Txn) RecordInsert(rid storage.RID) {
+	t.undo = append(t.undo, undoOp{kind: undoInsert, rid: rid})
+}
+
+// RecordUpdate implements storage.UndoRecorder.
+func (t *Txn) RecordUpdate(rid storage.RID, prior []byte) {
+	t.undo = append(t.undo, undoOp{kind: undoUpdate, rid: rid, prior: prior})
+}
+
+// RecordDelete implements storage.UndoRecorder.
+func (t *Txn) RecordDelete(rid storage.RID, prior []byte) {
+	t.undo = append(t.undo, undoOp{kind: undoDelete, rid: rid, prior: prior})
+}
+
+// Commit makes the transaction's effects durable (to the degree the WAL
+// options promise) and releases the writer slot.
+func (t *Txn) Commit() error {
+	if t.done {
+		return fmt.Errorf("txn: transaction %d already finished", t.ID)
+	}
+	m := t.mgr
+	if m.log != nil {
+		if err := m.log.Commit(); err != nil {
+			return err
+		}
+	}
+	t.finish(true)
+	return nil
+}
+
+// Abort rolls the transaction's effects back in memory and releases the
+// writer slot. Nothing of the transaction reaches the log or (thanks to
+// no-steal) the device.
+func (t *Txn) Abort() error {
+	if t.done {
+		return fmt.Errorf("txn: transaction %d already finished", t.ID)
+	}
+	m := t.mgr
+	// Detach the recorder first so undo operations are not re-captured.
+	m.heap.SetUndoRecorder(nil)
+	var firstErr error
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		op := t.undo[i]
+		var err error
+		switch op.kind {
+		case undoInsert:
+			err = m.heap.UndoInsert(op.rid)
+		case undoUpdate:
+			err = m.heap.UndoUpdate(op.rid, op.prior)
+		case undoDelete:
+			err = m.heap.UndoDelete(op.rid, op.prior)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("txn: undo of %v failed: %w", op.rid, err)
+		}
+	}
+	for i := len(t.idxUndo) - 1; i >= 0; i-- {
+		if err := t.idxUndo[i](); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("txn: index undo failed: %w", err)
+		}
+	}
+	if m.log != nil {
+		m.log.Abort()
+	}
+	t.finish(false)
+	return firstErr
+}
+
+func (t *Txn) finish(committed bool) {
+	m := t.mgr
+	m.heap.SetUndoRecorder(nil)
+	m.heap.SetTxnActive(false)
+	m.pool.EndTxn()
+	m.mu.Lock()
+	m.active = nil
+	if committed {
+		m.commits++
+	} else {
+		m.aborts++
+	}
+	m.mu.Unlock()
+	t.done = true
+	t.undo = nil
+	m.writeMu.Unlock()
+}
+
+// Checkpoint flushes every dirty page, syncs the device, and truncates the
+// log. Must not run inside a write transaction.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	if m.active != nil {
+		m.mu.Unlock()
+		return fmt.Errorf("txn: checkpoint during active transaction")
+	}
+	m.mu.Unlock()
+	// Serialize with writers for the duration of the flush.
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if err := m.pool.FlushAll(); err != nil {
+		return err
+	}
+	if m.log != nil {
+		return m.log.Checkpoint()
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package txn
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"tcodm/internal/storage"
+	"tcodm/internal/temporal"
+	"tcodm/internal/wal"
+)
+
+func newEnv(t *testing.T, logged bool) (*Manager, *storage.Heap, *storage.BufferPool) {
+	t.Helper()
+	dev := storage.NewMemDevice()
+	pool := storage.NewBufferPool(dev, 64)
+	if err := storage.InitMeta(pool); err != nil {
+		t.Fatal(err)
+	}
+	var w *wal.WAL
+	if logged {
+		var err error
+		w, err = wal.Open(filepath.Join(t.TempDir(), "t.wal"), wal.Options{SyncOnCommit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+	}
+	heap := storage.NewHeap(pool, nil)
+	if w != nil {
+		heap.SetLogger(w)
+		pool.SetFlushHook(w.EnsureDurable)
+	}
+	m := NewManager(temporal.NewClock(0), w, heap, pool)
+	return m, heap, pool
+}
+
+func TestCommitAssignsMonotoneTT(t *testing.T) {
+	m, heap, _ := newEnv(t, true)
+	t1, err := m.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := heap.Insert([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := m.Begin()
+	if t2.TT <= t1.TT {
+		t.Errorf("TT not monotone: %v then %v", t1.TT, t2.TT)
+	}
+	_ = t2.Commit()
+	c, a := m.Stats()
+	if c != 2 || a != 0 {
+		t.Errorf("stats = %d commits, %d aborts", c, a)
+	}
+}
+
+func TestAbortRollsBackHeap(t *testing.T) {
+	m, heap, _ := newEnv(t, true)
+	// Committed baseline record.
+	t0, _ := m.Begin()
+	rid, err := heap.Insert([]byte("keep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t0.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Aborted transaction: insert, update, delete.
+	t1, _ := m.Begin()
+	rid2, _ := heap.Insert([]byte("rollback-me"))
+	if err := heap.Update(rid, []byte("mutated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// Inserted record gone, updated record restored.
+	if _, err := heap.Fetch(rid2); err == nil {
+		t.Error("aborted insert survived")
+	}
+	got, err := heap.Fetch(rid)
+	if err != nil || string(got) != "keep" {
+		t.Errorf("aborted update not rolled back: %q, %v", got, err)
+	}
+	// Delete rollback.
+	t2, _ := m.Begin()
+	if err := heap.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	_ = t2.Abort()
+	got, err = heap.Fetch(rid)
+	if err != nil || string(got) != "keep" {
+		t.Errorf("aborted delete not rolled back: %q, %v", got, err)
+	}
+}
+
+func TestIndexUndoRunsOnAbort(t *testing.T) {
+	m, heap, _ := newEnv(t, false)
+	t1, _ := m.Begin()
+	if _, err := heap.Insert([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	t1.RecordIndexUndo(func() error { ran = true; return nil })
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("index undo did not run on abort")
+	}
+	// Commit must NOT run index undo.
+	t2, _ := m.Begin()
+	ran2 := false
+	t2.RecordIndexUndo(func() error { ran2 = true; return nil })
+	_ = t2.Commit()
+	if ran2 {
+		t.Error("index undo ran on commit")
+	}
+}
+
+func TestDoubleFinishRejected(t *testing.T) {
+	m, _, _ := newEnv(t, false)
+	t1, _ := m.Begin()
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err == nil {
+		t.Error("double commit accepted")
+	}
+	if err := t1.Abort(); err == nil {
+		t.Error("abort after commit accepted")
+	}
+}
+
+func TestWritersSerialize(t *testing.T) {
+	m, heap, _ := newEnv(t, false)
+	const writers = 8
+	const perWriter = 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tx, err := m.Begin()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := heap.Insert([]byte{byte(w), byte(i)}); err != nil {
+					t.Error(err)
+					_ = tx.Abort()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	n := 0
+	_ = heap.Scan(func(rid storage.RID, data []byte) (bool, error) {
+		n++
+		return true, nil
+	})
+	if n != writers*perWriter {
+		t.Errorf("record count = %d, want %d", n, writers*perWriter)
+	}
+	c, _ := m.Stats()
+	if c != writers*perWriter {
+		t.Errorf("commits = %d", c)
+	}
+}
+
+func TestCheckpointFlushesAndTruncates(t *testing.T) {
+	dev := storage.NewMemDevice()
+	pool := storage.NewBufferPool(dev, 64)
+	if err := storage.InitMeta(pool); err != nil {
+		t.Fatal(err)
+	}
+	w, err := wal.Open(filepath.Join(t.TempDir(), "c.wal"), wal.Options{SyncOnCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	heap := storage.NewHeap(pool, nil)
+	heap.SetLogger(w)
+	pool.SetFlushHook(w.EnsureDurable)
+	m := NewManager(temporal.NewClock(0), w, heap, pool)
+
+	tx, _ := m.Begin()
+	if _, err := heap.Insert([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() == 0 {
+		t.Fatal("log empty after commit")
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 0 {
+		t.Error("log not truncated by checkpoint")
+	}
+	if pool.DirtyPages() != 0 {
+		t.Error("dirty pages survive checkpoint")
+	}
+}
+
+func TestCommittedSurviveCrashViaReplay(t *testing.T) {
+	// Build a logged database, commit one txn, "crash" (drop the pool
+	// without flushing), then recover on a fresh pool via WAL replay.
+	dev := storage.NewMemDevice()
+	pool := storage.NewBufferPool(dev, 64)
+	if err := storage.InitMeta(pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil { // meta page reaches "disk"
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(t.TempDir(), "crash.wal")
+	w, err := wal.Open(walPath, wal.Options{SyncOnCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := storage.NewHeap(pool, nil)
+	heap.SetLogger(w)
+	pool.SetFlushHook(w.EnsureDurable)
+	m := NewManager(temporal.NewClock(0), w, heap, pool)
+
+	tx, _ := m.Begin()
+	rid, err := heap.Insert([]byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: pool discarded. Uncommitted writes never hit dev (no-steal),
+	// committed ones are in the log.
+	w.Close()
+
+	w2, err := wal.Open(walPath, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	pool2 := storage.NewBufferPool(dev, 64)
+	heap2 := storage.NewHeap(pool2, nil)
+	if err := heap2.Rebuild(dev); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := w2.Replay(heap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replayed == 0 {
+		t.Fatal("nothing replayed")
+	}
+	got, err := heap2.Fetch(rid)
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("committed record lost in crash: %q, %v", got, err)
+	}
+}

@@ -1,0 +1,318 @@
+package value
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tcodm/internal/temporal"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("bool round-trip broken")
+	}
+	if Int(-42).AsInt() != -42 {
+		t.Error("int round-trip broken")
+	}
+	if Float(3.5).AsFloat() != 3.5 {
+		t.Error("float round-trip broken")
+	}
+	if String_("héllo").AsString() != "héllo" {
+		t.Error("string round-trip broken")
+	}
+	if Instant(7).AsInstant() != temporal.Instant(7) {
+		t.Error("instant round-trip broken")
+	}
+	if Ref(9).AsID() != ID(9) {
+		t.Error("id round-trip broken")
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull broken")
+	}
+}
+
+func TestAccessorPanicsOnKindMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AsInt on a string did not panic")
+		}
+	}()
+	String_("x").AsInt()
+}
+
+func TestIDValidity(t *testing.T) {
+	if ID(0).IsValid() {
+		t.Error("zero ID should be invalid")
+	}
+	if !ID(1).IsValid() {
+		t.Error("ID 1 should be valid")
+	}
+	if ID(5).String() != "@5" {
+		t.Errorf("ID string = %q", ID(5).String())
+	}
+}
+
+func TestCompareWithinKind(t *testing.T) {
+	cases := []struct {
+		a, b V
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(5), Int(5), 0},
+		{Int(-10), Int(3), -1},
+		{Float(1.5), Float(2.5), -1},
+		{String_("abc"), String_("abd"), -1},
+		{String_("a"), String_("aa"), -1},
+		{Bool(false), Bool(true), -1},
+		{Instant(3), Instant(9), -1},
+		{Ref(2), Ref(10), -1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestCompareCrossKind(t *testing.T) {
+	// Null sorts first.
+	if Null.Compare(Int(math.MinInt64)) >= 0 {
+		t.Error("null should sort before every int")
+	}
+	// Int and float compare numerically.
+	if Int(2).Compare(Float(2.5)) != -1 {
+		t.Error("Int(2) should be < Float(2.5)")
+	}
+	if Float(2.0).Compare(Int(2)) != 0 {
+		t.Error("Float(2.0) should equal Int(2) numerically")
+	}
+	// Other cross-kind comparisons order by kind tag.
+	if Bool(true).Compare(String_("")) >= 0 {
+		t.Error("bool should sort before string by kind")
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := Float(math.NaN())
+	if nan.Compare(Float(-math.MaxFloat64)) != -1 {
+		t.Error("NaN should sort before all floats")
+	}
+	if nan.Compare(nan) != 0 {
+		t.Error("NaN should equal itself in ordering")
+	}
+}
+
+func TestEqualDistinguishesKinds(t *testing.T) {
+	if Int(2).Equal(Float(2.0)) {
+		t.Error("Equal must distinguish int from float")
+	}
+	if !Int(2).Equal(Int(2)) {
+		t.Error("identical ints must be Equal")
+	}
+}
+
+func TestRecordEncodingRoundTrip(t *testing.T) {
+	vals := []V{
+		Null, Bool(true), Bool(false), Int(0), Int(-1), Int(math.MaxInt64),
+		Float(0), Float(-2.75), Float(math.Inf(1)), String_(""),
+		String_("hello world"), String_("with\x00nul"), Instant(12345),
+		Instant(temporal.Forever), Ref(1), Ref(math.MaxUint64),
+	}
+	var buf []byte
+	for _, v := range vals {
+		buf = AppendRecord(buf, v)
+	}
+	off := 0
+	for i, want := range vals {
+		got, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("decode #%d: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("decode #%d = %v, want %v", i, got, want)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	if _, _, err := DecodeRecord(nil); err == nil {
+		t.Error("empty buffer should fail")
+	}
+	if _, _, err := DecodeRecord([]byte{byte(KindInt), 1, 2}); err == nil {
+		t.Error("truncated numeric payload should fail")
+	}
+	if _, _, err := DecodeRecord([]byte{200}); err == nil {
+		t.Error("unknown kind tag should fail")
+	}
+	// String with length beyond the buffer.
+	buf := AppendRecord(nil, String_("hello"))
+	if _, _, err := DecodeRecord(buf[:4]); err == nil {
+		t.Error("truncated string payload should fail")
+	}
+}
+
+// randValue generates a random non-NaN value for ordering properties.
+func randValue(rng *rand.Rand) V {
+	switch rng.Intn(6) {
+	case 0:
+		return Bool(rng.Intn(2) == 1)
+	case 1:
+		return Int(rng.Int63() - rng.Int63())
+	case 2:
+		return Float(rng.NormFloat64() * 1e6)
+	case 3:
+		n := rng.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(4)) // includes 0x00 to stress escaping
+		}
+		return String_(string(b))
+	case 4:
+		return Instant(temporal.Instant(rng.Int63() - rng.Int63()))
+	default:
+		return Ref(ID(rng.Uint64()))
+	}
+}
+
+// TestPropKeyEncodingOrderPreserving: for same-kind values, byte order of
+// key encodings matches Compare.
+func TestPropKeyEncodingOrderPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		a := randValue(rng)
+		b := randValue(rng)
+		if a.Kind() != b.Kind() {
+			continue
+		}
+		ka := AppendKey(nil, a)
+		kb := AppendKey(nil, b)
+		cmpKeys := bytes.Compare(ka, kb)
+		cmpVals := a.Compare(b)
+		if (cmpKeys < 0) != (cmpVals < 0) || (cmpKeys > 0) != (cmpVals > 0) {
+			t.Fatalf("key order mismatch: %v vs %v (keys %d, vals %d)", a, b, cmpKeys, cmpVals)
+		}
+	}
+}
+
+// TestPropRecordRoundTrip uses testing/quick over the string domain, the
+// only variable-length encoding.
+func TestPropRecordRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		v := String_(s)
+		got, n, err := DecodeRecord(AppendRecord(nil, v))
+		return err == nil && n > 0 && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropIntKeyOrdering exercises the int key encoding exhaustively via
+// quick over random int64 pairs.
+func TestPropIntKeyOrdering(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := AppendKey(nil, Int(a))
+		kb := AppendKey(nil, Int(b))
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropStringKeyPrefixFree: distinct strings produce distinct keys and
+// no key is a strict prefix of another (termination correctness).
+func TestPropStringKeyPrefixFree(t *testing.T) {
+	f := func(a, b string) bool {
+		ka := AppendKey(nil, String_(a))
+		kb := AppendKey(nil, String_(b))
+		if a == b {
+			return bytes.Equal(ka, kb)
+		}
+		if bytes.Equal(ka, kb) {
+			return false
+		}
+		shorter, longer := ka, kb
+		if len(kb) < len(ka) {
+			shorter, longer = kb, ka
+		}
+		// A strict prefix relationship would break composite keys.
+		return !bytes.HasPrefix(longer, shorter)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range []string{"bool", "int", "float", "string", "instant", "id"} {
+		k, ok := ParseKind(name)
+		if !ok {
+			t.Errorf("ParseKind(%q) failed", name)
+		}
+		if k.String() != name {
+			t.Errorf("ParseKind(%q).String() = %q", name, k.String())
+		}
+	}
+	if _, ok := ParseKind("null"); ok {
+		t.Error("null must not be declarable")
+	}
+	if _, ok := ParseKind("widget"); ok {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]V{
+		"null": Null,
+		"true": Bool(true),
+		"-7":   Int(-7),
+		"2.5":  Float(2.5),
+		`"hi"`: String_("hi"),
+		"@3":   Ref(3),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFloatValueWidening(t *testing.T) {
+	if Int(3).FloatValue() != 3.0 {
+		t.Error("int widening broken")
+	}
+	if Float(2.5).FloatValue() != 2.5 {
+		t.Error("float identity broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FloatValue on string did not panic")
+		}
+	}()
+	String_("x").FloatValue()
+}
+
+// Interface check: quick.Generator unused here but reflect import needed.
+var _ = reflect.TypeOf(V{})

@@ -1,0 +1,360 @@
+// Package wal implements the redo-only write-ahead log that makes
+// committed transactions durable: heap mutations are buffered per
+// transaction, written (with CRC framing) and optionally fsynced at commit,
+// replayed idempotently at recovery via page-LSN guards, and truncated at
+// checkpoints.
+//
+// The protocol pairs with the buffer pool's no-steal policy: pages dirtied
+// by an uncommitted transaction never reach the device, so the log needs no
+// undo information. Aborts are handled above the log by in-memory undo.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"tcodm/internal/storage"
+)
+
+// Op tags a log record's operation.
+type Op uint8
+
+const (
+	// OpHeapInsert logs a heap record insertion.
+	OpHeapInsert Op = iota + 1
+	// OpHeapUpdate logs a heap record replacement.
+	OpHeapUpdate
+	// OpHeapDelete logs a heap record deletion.
+	OpHeapDelete
+	// OpCommit marks a transaction as committed; only records of
+	// committed transactions are replayed.
+	OpCommit
+)
+
+// Record is one decoded log record.
+type Record struct {
+	LSN  uint64
+	Txn  uint64
+	Op   Op
+	RID  storage.RID
+	Data []byte
+}
+
+// Options configure a WAL.
+type Options struct {
+	// SyncOnCommit fsyncs the log at every commit (full durability).
+	// When false, commits are durable only at the next checkpoint or
+	// explicit sync — the classic group-commit trade-off.
+	SyncOnCommit bool
+}
+
+// WAL is the write-ahead log over a single file. It implements
+// storage.RedoLogger; install it on the heap so mutations are captured.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	opts Options
+
+	nextLSN  uint64 // next LSN to assign
+	appended uint64 // highest LSN written to the OS file
+	durable  uint64 // highest LSN known synced
+
+	txn     uint64   // active transaction (0 = none)
+	pending []Record // buffered records of the active transaction
+	size    int64    // current file size
+}
+
+// Open opens (creating if absent) the log file at path.
+func Open(path string, opts Options) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	return &WAL{f: f, path: path, opts: opts, nextLSN: 1, size: info.Size()}, nil
+}
+
+// SetNextLSN moves the LSN counter past LSNs already used (called after
+// recovery and when reopening a checkpointed database, so page LSNs on disk
+// stay strictly below future LSNs).
+func (w *WAL) SetNextLSN(lsn uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn > w.nextLSN {
+		w.nextLSN = lsn
+	}
+	if w.nextLSN-1 > w.appended {
+		w.appended = w.nextLSN - 1
+		w.durable = w.appended
+	}
+}
+
+// NextLSN returns the next LSN the log would assign.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Size returns the current log file size in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// BeginTxn starts buffering for transaction id (non-zero).
+func (w *WAL) BeginTxn(id uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.txn != 0 {
+		return fmt.Errorf("wal: transaction %d already active", w.txn)
+	}
+	if id == 0 {
+		return fmt.Errorf("wal: transaction id must be non-zero")
+	}
+	w.txn = id
+	w.pending = w.pending[:0]
+	return nil
+}
+
+// LogHeapInsert implements storage.RedoLogger.
+func (w *WAL) LogHeapInsert(rid storage.RID, data []byte) uint64 {
+	return w.buffer(OpHeapInsert, rid, data)
+}
+
+// LogHeapUpdate implements storage.RedoLogger.
+func (w *WAL) LogHeapUpdate(rid storage.RID, data []byte) uint64 {
+	return w.buffer(OpHeapUpdate, rid, data)
+}
+
+// LogHeapDelete implements storage.RedoLogger.
+func (w *WAL) LogHeapDelete(rid storage.RID) uint64 {
+	return w.buffer(OpHeapDelete, rid, nil)
+}
+
+func (w *WAL) buffer(op Op, rid storage.RID, data []byte) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lsn := w.nextLSN
+	w.nextLSN++
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	w.pending = append(w.pending, Record{LSN: lsn, Txn: w.txn, Op: op, RID: rid, Data: cp})
+	return lsn
+}
+
+// Commit writes the buffered records plus a commit marker and (optionally)
+// syncs. After Commit the transaction's effects survive a crash.
+func (w *WAL) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.txn == 0 {
+		return fmt.Errorf("wal: commit without active transaction")
+	}
+	commit := Record{LSN: w.nextLSN, Txn: w.txn, Op: OpCommit}
+	w.nextLSN++
+	records := append(w.pending, commit)
+	var buf []byte
+	for _, r := range records {
+		buf = appendRecord(buf, r)
+	}
+	if _, err := w.f.WriteAt(buf, w.size); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	w.size += int64(len(buf))
+	w.appended = commit.LSN
+	if w.opts.SyncOnCommit {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		w.durable = w.appended
+	}
+	w.txn = 0
+	w.pending = w.pending[:0]
+	return nil
+}
+
+// Abort drops the buffered records of the active transaction.
+func (w *WAL) Abort() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.txn = 0
+	w.pending = w.pending[:0]
+}
+
+// EnsureDurable enforces the WAL rule for a page flush: everything logged
+// up to lsn must be on stable storage first. LSNs belonging to the active
+// uncommitted transaction cannot be made durable — that is a protocol
+// violation (the no-steal policy should have prevented the flush).
+func (w *WAL) EnsureDurable(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn <= w.durable {
+		return nil
+	}
+	if lsn <= w.appended {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		w.durable = w.appended
+		return nil
+	}
+	return fmt.Errorf("wal: WAL-rule violation: page LSN %d not yet appended (appended through %d)", lsn, w.appended)
+}
+
+// Checkpoint truncates the log. The caller must have flushed and synced all
+// dirty pages first; the LSN counter keeps advancing across checkpoints.
+func (w *WAL) Checkpoint() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.txn != 0 {
+		return fmt.Errorf("wal: checkpoint during active transaction %d", w.txn)
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync after truncate: %w", err)
+	}
+	w.size = 0
+	w.durable = w.nextLSN - 1
+	w.appended = w.nextLSN - 1
+	return nil
+}
+
+// Close releases the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// --- Framing -------------------------------------------------------------
+
+// Frame layout: [payloadLen uint32][crc32(payload) uint32][payload].
+// Payload: [lsn uint64][txn uint64][op uint8][rid uint64][dataLen uint32][data].
+func appendRecord(dst []byte, r Record) []byte {
+	payload := make([]byte, 0, 29+len(r.Data))
+	payload = binary.LittleEndian.AppendUint64(payload, r.LSN)
+	payload = binary.LittleEndian.AppendUint64(payload, r.Txn)
+	payload = append(payload, byte(r.Op))
+	payload = binary.LittleEndian.AppendUint64(payload, r.RID.Pack())
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(r.Data)))
+	payload = append(payload, r.Data...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) < 29 {
+		return Record{}, fmt.Errorf("wal: short record payload (%d bytes)", len(payload))
+	}
+	r := Record{
+		LSN: binary.LittleEndian.Uint64(payload[0:]),
+		Txn: binary.LittleEndian.Uint64(payload[8:]),
+		Op:  Op(payload[16]),
+		RID: storage.UnpackRID(binary.LittleEndian.Uint64(payload[17:])),
+	}
+	n := binary.LittleEndian.Uint32(payload[25:])
+	if int(n) != len(payload)-29 {
+		return Record{}, fmt.Errorf("wal: record data length mismatch: header %d, actual %d", n, len(payload)-29)
+	}
+	r.Data = append([]byte(nil), payload[29:]...)
+	return r, nil
+}
+
+// ReadAll decodes every complete, checksum-valid record from the log,
+// stopping silently at the first torn or corrupt frame (the crash tail).
+func (w *WAL) ReadAll() ([]Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	data, err := io.ReadAll(w.f)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read: %w", err)
+	}
+	var out []Record
+	off := 0
+	for off+8 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if off+8+n > len(data) {
+			break // torn tail
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt tail
+		}
+		r, err := decodeRecord(payload)
+		if err != nil {
+			break
+		}
+		out = append(out, r)
+		off += 8 + n
+	}
+	return out, nil
+}
+
+// RecoveryStats summarizes a replay.
+type RecoveryStats struct {
+	Records   int    // records read from the log
+	Committed int    // records belonging to committed transactions
+	Replayed  int    // redo operations applied (page-LSN guard may no-op them)
+	MaxLSN    uint64 // highest LSN seen
+}
+
+// Replay applies the redo records of committed transactions to the heap,
+// in log order, and returns statistics. Call SetNextLSN(stats.MaxLSN+1)
+// afterwards (Replay does it internally as well).
+func (w *WAL) Replay(h *storage.Heap) (RecoveryStats, error) {
+	records, err := w.ReadAll()
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	stats := RecoveryStats{Records: len(records)}
+	committed := map[uint64]bool{}
+	for _, r := range records {
+		if r.Op == OpCommit {
+			committed[r.Txn] = true
+		}
+		if r.LSN > stats.MaxLSN {
+			stats.MaxLSN = r.LSN
+		}
+	}
+	for _, r := range records {
+		if !committed[r.Txn] || r.Op == OpCommit {
+			continue
+		}
+		stats.Committed++
+		var err error
+		switch r.Op {
+		case OpHeapInsert:
+			err = h.RedoInsert(r.RID, r.Data, r.LSN)
+		case OpHeapUpdate:
+			err = h.RedoUpdate(r.RID, r.Data, r.LSN)
+		case OpHeapDelete:
+			err = h.RedoDelete(r.RID, r.LSN)
+		default:
+			err = fmt.Errorf("wal: unknown op %d at LSN %d", r.Op, r.LSN)
+		}
+		if err != nil {
+			return stats, fmt.Errorf("wal: replay LSN %d: %w", r.LSN, err)
+		}
+		stats.Replayed++
+	}
+	w.SetNextLSN(stats.MaxLSN + 1)
+	return stats, nil
+}

@@ -1,0 +1,354 @@
+// Package workload provides the deterministic synthetic workload
+// generators the evaluation runs on: the personnel database (departments,
+// employees, salary and assignment histories — the standard motivating
+// example of temporal data models) and the CAD design database (assemblies
+// of parts with revision histories — the standard motivating example of
+// complex-object models). Workloads are generated as operation lists so
+// the same history can be applied to the temporal engine (any strategy)
+// and to the baselines.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcodm/internal/schema"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+// OpKind enumerates workload operations.
+type OpKind uint8
+
+const (
+	// OpInsert creates an atom; its position in the op list defines its
+	// handle (index into the applier's id table).
+	OpInsert OpKind = iota
+	// OpUpdate sets a plain attribute from a valid instant on.
+	OpUpdate
+	// OpAddRef attaches a many-reference member.
+	OpAddRef
+	// OpRemoveRef detaches a many-reference member.
+	OpRemoveRef
+	// OpDelete ends an atom's existence.
+	OpDelete
+	// OpUpdateRef retargets a One-reference attribute to another handle.
+	OpUpdateRef
+)
+
+// Op is one workload operation. Atom identity is positional: Handle and
+// Target index the sequence of OpInserts.
+type Op struct {
+	Kind   OpKind
+	Type   string             // OpInsert
+	Vals   map[string]value.V // OpInsert
+	Refs   map[string]int     // OpInsert: One-reference initializations by handle
+	Handle int                // subject atom (insert order index)
+	Attr   string
+	Val    value.V
+	Target int // reference target handle
+	From   temporal.Instant
+}
+
+// Applier consumes a workload. The engine and the baselines implement it.
+type Applier interface {
+	Insert(typeName string, vals map[string]value.V, from temporal.Instant) (value.ID, error)
+	Update(id value.ID, attr string, v value.V, from temporal.Instant) error
+	AddRef(id value.ID, attr string, target value.ID, from temporal.Instant) error
+	RemoveRef(id value.ID, attr string, target value.ID, from temporal.Instant) error
+	Delete(id value.ID, from temporal.Instant) error
+}
+
+// Apply replays ops against an applier, returning the id table (handle ->
+// assigned surrogate).
+func Apply(ops []Op, a Applier) ([]value.ID, error) {
+	var ids []value.ID
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			vals := map[string]value.V{}
+			for k, v := range op.Vals {
+				vals[k] = v
+			}
+			for attr, h := range op.Refs {
+				vals[attr] = value.Ref(ids[h])
+			}
+			id, err := a.Insert(op.Type, vals, op.From)
+			if err != nil {
+				return nil, fmt.Errorf("workload: op %d (insert %s): %w", i, op.Type, err)
+			}
+			ids = append(ids, id)
+		case OpUpdate:
+			if err := a.Update(ids[op.Handle], op.Attr, op.Val, op.From); err != nil {
+				return nil, fmt.Errorf("workload: op %d (update): %w", i, err)
+			}
+		case OpUpdateRef:
+			if err := a.Update(ids[op.Handle], op.Attr, value.Ref(ids[op.Target]), op.From); err != nil {
+				return nil, fmt.Errorf("workload: op %d (update-ref): %w", i, err)
+			}
+		case OpAddRef:
+			if err := a.AddRef(ids[op.Handle], op.Attr, ids[op.Target], op.From); err != nil {
+				return nil, fmt.Errorf("workload: op %d (addref): %w", i, err)
+			}
+		case OpRemoveRef:
+			if err := a.RemoveRef(ids[op.Handle], op.Attr, ids[op.Target], op.From); err != nil {
+				return nil, fmt.Errorf("workload: op %d (removeref): %w", i, err)
+			}
+		case OpDelete:
+			if err := a.Delete(ids[op.Handle], op.From); err != nil {
+				return nil, fmt.Errorf("workload: op %d (delete): %w", i, err)
+			}
+		}
+	}
+	return ids, nil
+}
+
+// --- Personnel workload -------------------------------------------------------
+
+// PersonnelParams size the personnel workload.
+type PersonnelParams struct {
+	Depts         int
+	Emps          int
+	UpdatesPerEmp int // salary updates per employee
+	MovesPerEmp   int // department reassignments per employee
+	// UpdateFraction is the share of employees touched per update round
+	// (0 or 1 = everyone). Sparse rounds separate per-change costs from
+	// per-epoch costs (snapshot copies pay for unchanged atoms too).
+	UpdateFraction float64
+	// HireStagger > 0 spreads hire dates (employee e joins at e×HireStagger)
+	// and staggers each employee's updates relative to their own hire date,
+	// giving version start instants a spread the time index can exploit.
+	HireStagger temporal.Instant
+	TimeStep    temporal.Instant
+	Seed        int64
+}
+
+// DefaultPersonnel returns laptop-scale defaults.
+func DefaultPersonnel() PersonnelParams {
+	return PersonnelParams{Depts: 8, Emps: 200, UpdatesPerEmp: 8, MovesPerEmp: 2, TimeStep: 10, Seed: 42}
+}
+
+// PersonnelSchema returns the personnel schema.
+func PersonnelSchema() (*schema.Schema, error) {
+	s := schema.New()
+	if err := s.AddAtomType(schema.AtomType{
+		Name: "Dept",
+		Attrs: []schema.Attribute{
+			{Name: "name", Kind: value.KindString, Required: true},
+			{Name: "budget", Kind: value.KindInt, Temporal: true},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := s.AddAtomType(schema.AtomType{
+		Name: "Emp",
+		Attrs: []schema.Attribute{
+			{Name: "name", Kind: value.KindString, Required: true},
+			// bio is the atom's stable payload (address, title, notes in a
+			// real system). It never changes, so it separates approaches
+			// that version at attribute granularity from those that copy
+			// whole atoms per version.
+			{Name: "bio", Kind: value.KindString},
+			{Name: "salary", Kind: value.KindInt, Temporal: true},
+			{Name: "dept", Kind: value.KindID, Target: "Dept", Card: schema.One, Temporal: true},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := s.AddAtomType(schema.AtomType{
+		Name: "Proj",
+		Attrs: []schema.Attribute{
+			{Name: "title", Kind: value.KindString},
+			{Name: "members", Kind: value.KindID, Target: "Emp", Card: schema.Many, Temporal: true},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := s.AddMoleculeType(schema.MoleculeType{
+		Name:  "DeptStaff",
+		Root:  "Dept",
+		Edges: []schema.MoleculeEdge{{From: "Dept", Attr: "dept", To: "Emp", Reverse: true}},
+	}); err != nil {
+		return nil, err
+	}
+	s.Freeze()
+	return s, nil
+}
+
+// Personnel generates the personnel op list: departments and employees
+// inserted at t=0, then rounds of salary raises and department moves
+// advancing valid time by TimeStep per round.
+func Personnel(p PersonnelParams) []Op {
+	rng := rand.New(rand.NewSource(p.Seed))
+	var ops []Op
+	for d := 0; d < p.Depts; d++ {
+		ops = append(ops, Op{Kind: OpInsert, Type: "Dept", From: 0, Vals: map[string]value.V{
+			"name":   value.String_(fmt.Sprintf("dept-%02d", d)),
+			"budget": value.Int(int64(10000 * (d + 1))),
+		}})
+	}
+	empBase := p.Depts
+	bio := make([]byte, 160)
+	hire := func(e int) temporal.Instant { return temporal.Instant(e) * p.HireStagger }
+	for e := 0; e < p.Emps; e++ {
+		for i := range bio {
+			bio[i] = byte('a' + rng.Intn(26))
+		}
+		ops = append(ops, Op{Kind: OpInsert, Type: "Emp", From: hire(e),
+			Vals: map[string]value.V{
+				"name":   value.String_(fmt.Sprintf("emp-%04d", e)),
+				"bio":    value.String_(string(bio)),
+				"salary": value.Int(int64(1000 + rng.Intn(4000))),
+			},
+			Refs: map[string]int{"dept": rng.Intn(p.Depts)},
+		})
+	}
+	// Interleave rounds of updates so histories grow in lock-step.
+	rounds := p.UpdatesPerEmp + p.MovesPerEmp
+	t := p.TimeStep
+	moveEvery := 1
+	if p.MovesPerEmp > 0 {
+		moveEvery = rounds / p.MovesPerEmp
+	}
+	frac := p.UpdateFraction
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	for r := 0; r < rounds; r++ {
+		isMove := p.MovesPerEmp > 0 && (r+1)%moveEvery == 0
+		for e := 0; e < p.Emps; e++ {
+			if frac < 1 && rng.Float64() >= frac {
+				continue
+			}
+			h := empBase + e
+			from := t
+			if p.HireStagger > 0 {
+				from = hire(e) + temporal.Instant(r+1)*p.TimeStep
+			}
+			if isMove {
+				ops = append(ops, Op{Kind: OpUpdateRef, Handle: h, Attr: "dept",
+					Target: rng.Intn(p.Depts), From: from})
+			} else {
+				ops = append(ops, Op{Kind: OpUpdate, Handle: h, Attr: "salary",
+					Val: value.Int(int64(1000 + rng.Intn(9000))), From: from})
+			}
+		}
+		t += p.TimeStep
+	}
+	return ops
+}
+
+// --- CAD workload ----------------------------------------------------------
+
+// CADParams size the design-database workload.
+type CADParams struct {
+	Assemblies int
+	Fanout     int // parts per assembly (and sub-parts per part)
+	Depth      int // levels of part nesting below the assembly
+	Revisions  int // weight revisions per part
+	TimeStep   temporal.Instant
+	Seed       int64
+}
+
+// DefaultCAD returns laptop-scale defaults.
+func DefaultCAD() CADParams {
+	return CADParams{Assemblies: 4, Fanout: 4, Depth: 3, Revisions: 4, TimeStep: 10, Seed: 7}
+}
+
+// CADSchema returns the design-database schema.
+func CADSchema() (*schema.Schema, error) {
+	s := schema.New()
+	if err := s.AddAtomType(schema.AtomType{
+		Name: "Assembly",
+		Attrs: []schema.Attribute{
+			{Name: "name", Kind: value.KindString, Required: true},
+			{Name: "rev", Kind: value.KindInt, Temporal: true},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := s.AddAtomType(schema.AtomType{
+		Name: "Part",
+		Attrs: []schema.Attribute{
+			{Name: "name", Kind: value.KindString, Required: true},
+			{Name: "weight", Kind: value.KindInt, Temporal: true},
+			{Name: "assembly", Kind: value.KindID, Target: "Assembly", Card: schema.One, Temporal: true},
+			{Name: "uses", Kind: value.KindID, Target: "Part", Card: schema.Many, Temporal: true},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := s.AddMoleculeType(schema.MoleculeType{
+		Name: "Design",
+		Root: "Assembly",
+		Edges: []schema.MoleculeEdge{
+			{From: "Assembly", Attr: "assembly", To: "Part", Reverse: true},
+			{From: "Part", Attr: "uses", To: "Part"},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	s.Freeze()
+	return s, nil
+}
+
+// CAD generates the design workload: each assembly owns Fanout top-level
+// parts; each part at depth < Depth uses Fanout sub-parts; every part's
+// weight is revised Revisions times.
+func CAD(p CADParams) []Op {
+	rng := rand.New(rand.NewSource(p.Seed))
+	var ops []Op
+	var partHandles []int
+
+	var addParts func(asmHandle, parentPart, depth int)
+	addParts = func(asmHandle, parentPart, depth int) {
+		for f := 0; f < p.Fanout; f++ {
+			op := Op{Kind: OpInsert, Type: "Part", From: 0, Vals: map[string]value.V{
+				"name":   value.String_(fmt.Sprintf("part-%d", len(partHandles))),
+				"weight": value.Int(int64(1 + rng.Intn(100))),
+			}}
+			if parentPart < 0 {
+				op.Refs = map[string]int{"assembly": asmHandle}
+			}
+			ops = append(ops, op)
+			handle := countInserts(ops) - 1
+			partHandles = append(partHandles, handle)
+			if parentPart >= 0 {
+				ops = append(ops, Op{Kind: OpAddRef, Handle: parentPart, Attr: "uses", Target: handle, From: 0})
+			}
+			if depth+1 < p.Depth {
+				addParts(asmHandle, handle, depth+1)
+			}
+		}
+	}
+
+	for a := 0; a < p.Assemblies; a++ {
+		ops = append(ops, Op{Kind: OpInsert, Type: "Assembly", From: 0, Vals: map[string]value.V{
+			"name": value.String_(fmt.Sprintf("asm-%d", a)),
+			"rev":  value.Int(1),
+		}})
+		asmHandle := countInserts(ops) - 1
+		addParts(asmHandle, -1, 0)
+	}
+	// Revision rounds.
+	t := p.TimeStep
+	for r := 0; r < p.Revisions; r++ {
+		for _, h := range partHandles {
+			ops = append(ops, Op{Kind: OpUpdate, Handle: h, Attr: "weight",
+				Val: value.Int(int64(1 + rng.Intn(100))), From: t})
+		}
+		t += p.TimeStep
+	}
+	return ops
+}
+
+// countInserts counts the OpInserts in ops (the next insert's handle).
+func countInserts(ops []Op) int {
+	n := 0
+	for _, op := range ops {
+		if op.Kind == OpInsert {
+			n++
+		}
+	}
+	return n
+}

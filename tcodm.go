@@ -1,0 +1,179 @@
+// Package tcodm is a temporal complex-object database engine: a Go
+// realization of the temporal complex-object data model (Käfer & Schöning,
+// SIGMOD 1992). Atoms — typed records with system surrogates — carry
+// bitemporal version histories on every attribute; molecules — complex
+// objects — are derived dynamically as connected atom networks and can be
+// materialized as of any past valid or transaction time.
+//
+// The engine realizes the model on a from-scratch record storage substrate
+// (slotted pages, buffer pool, write-ahead log, B+-trees) under three
+// alternative physical mappings whose trade-offs the accompanying
+// benchmarks reproduce: embedded histories, separated current/history
+// records, and classic tuple versioning.
+//
+// Quick start:
+//
+//	db, err := tcodm.Open(tcodm.Options{}) // in-memory
+//	...
+//	db.DefineAtomType(tcodm.AtomType{
+//		Name: "Emp",
+//		Attrs: []tcodm.Attribute{
+//			{Name: "name", Kind: tcodm.KindString, Required: true},
+//			{Name: "salary", Kind: tcodm.KindInt, Temporal: true},
+//		},
+//	})
+//	tx, _ := db.Begin()
+//	id, _ := tx.Insert("Emp", tcodm.Attrs{"name": tcodm.String("kaefer"),
+//		"salary": tcodm.Int(4200)}, 0)
+//	tx.Set(id, "salary", tcodm.Int(5000), 100)
+//	tx.Commit()
+//	st, _ := db.StateAt(id, 50, tcodm.Now) // time slice: salary = 4200
+package tcodm
+
+import (
+	"tcodm/internal/atom"
+	"tcodm/internal/core"
+	"tcodm/internal/molecule"
+	"tcodm/internal/query"
+	"tcodm/internal/schema"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+// DB is an open temporal complex-object database.
+type DB = core.Engine
+
+// Txn is a write transaction.
+type Txn = core.Txn
+
+// Options configure Open.
+type Options = core.Options
+
+// Stats aggregates engine statistics.
+type Stats = core.Stats
+
+// Open opens (creating if needed) a database. An empty Path yields an
+// ephemeral in-memory database.
+func Open(opts Options) (*DB, error) { return core.Open(opts) }
+
+// --- Time ----------------------------------------------------------------
+
+// Instant is a point on the discrete time axis (a chronon number).
+type Instant = temporal.Instant
+
+// Interval is a half-open interval [From, To) of instants.
+type Interval = temporal.Interval
+
+// Element is a temporal element: a canonical set of disjoint intervals.
+type Element = temporal.Element
+
+// Forever is the open-ended upper time sentinel.
+const Forever = temporal.Forever
+
+// Now, passed as a transaction-time argument, selects the latest recorded
+// state.
+const Now = atom.Now
+
+// NewInterval returns [from, to); it panics when from > to.
+func NewInterval(from, to Instant) Interval { return temporal.NewInterval(from, to) }
+
+// Open_ returns the open-ended interval [from, Forever). (Named with a
+// trailing underscore because Open is the database constructor.)
+func Open_(from Instant) Interval { return temporal.Open(from) }
+
+// --- Values ----------------------------------------------------------------
+
+// V is a typed attribute value.
+type V = value.V
+
+// ID is an atom surrogate.
+type ID = value.ID
+
+// Kind identifies a value domain.
+type Kind = value.Kind
+
+// Value kinds for attribute declarations.
+const (
+	KindBool    = value.KindBool
+	KindInt     = value.KindInt
+	KindFloat   = value.KindFloat
+	KindString  = value.KindString
+	KindInstant = value.KindInstant
+	KindID      = value.KindID
+)
+
+// Null is the absent value.
+var Null = value.Null
+
+// Bool builds a boolean value.
+func Bool(b bool) V { return value.Bool(b) }
+
+// Int builds an integer value.
+func Int(i int64) V { return value.Int(i) }
+
+// Float builds a floating-point value.
+func Float(f float64) V { return value.Float(f) }
+
+// String builds a string value.
+func String(s string) V { return value.String_(s) }
+
+// InstantV builds a time-point value.
+func InstantV(t Instant) V { return value.Instant(t) }
+
+// Ref builds a reference value.
+func Ref(id ID) V { return value.Ref(id) }
+
+// Attrs is the attribute-value map passed to Txn.Insert.
+type Attrs = map[string]V
+
+// --- Schema ----------------------------------------------------------------
+
+// AtomType declares a record type.
+type AtomType = schema.AtomType
+
+// Attribute declares one attribute of an atom type.
+type Attribute = schema.Attribute
+
+// MoleculeType declares a complex-object type.
+type MoleculeType = schema.MoleculeType
+
+// MoleculeEdge is one traversal edge of a molecule type.
+type MoleculeEdge = schema.MoleculeEdge
+
+// Cardinality constrains reference attributes.
+type Cardinality = schema.Cardinality
+
+// Reference cardinalities.
+const (
+	One  = schema.One
+	Many = schema.Many
+)
+
+// --- Storage strategies -------------------------------------------------------
+
+// Strategy selects the physical mapping of temporal atoms onto records.
+type Strategy = atom.Strategy
+
+// The three physical mappings the engine implements.
+const (
+	StrategyEmbedded  = atom.StrategyEmbedded
+	StrategySeparated = atom.StrategySeparated
+	StrategyTuple     = atom.StrategyTuple
+)
+
+// --- Results ----------------------------------------------------------------
+
+// State is an atom's materialized state at one time point.
+type State = atom.State
+
+// Version is one bitemporally stamped attribute value.
+type Version = atom.Version
+
+// Molecule is one materialized complex object.
+type Molecule = molecule.Molecule
+
+// MoleculeStep is one interval of constancy in a molecule's history.
+type MoleculeStep = molecule.HistoryStep
+
+// Result is a TMQL query answer.
+type Result = query.Result

@@ -1,0 +1,147 @@
+package tcodm_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"tcodm"
+)
+
+func defineEmp(t *testing.T, db *tcodm.DB) {
+	t.Helper()
+	err := db.DefineAtomType(tcodm.AtomType{
+		Name: "Emp",
+		Attrs: []tcodm.Attribute{
+			{Name: "name", Kind: tcodm.KindString, Required: true},
+			{Name: "salary", Kind: tcodm.KindInt, Temporal: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db, err := tcodm.Open(tcodm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defineEmp(t, db)
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := tx.Insert("Emp", tcodm.Attrs{
+		"name":   tcodm.String("kaefer"),
+		"salary": tcodm.Int(4200),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Set(id, "salary", tcodm.Int(5000), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := db.StateAt(id, 50, tcodm.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Vals["salary"].AsInt() != 4200 {
+		t.Errorf("salary at 50 = %v", st.Vals["salary"])
+	}
+	st, _ = db.StateAt(id, 150, tcodm.Now)
+	if st.Vals["salary"].AsInt() != 5000 {
+		t.Errorf("salary at 150 = %v", st.Vals["salary"])
+	}
+
+	hist, err := db.History(id, "salary", tcodm.Now)
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("history = %v (%v)", hist, err)
+	}
+
+	res, err := db.Query(`SELECT HISTORY(salary) FROM Emp DURING [0, 200)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("history query rows = %v", res.Rows)
+	}
+}
+
+func TestPublicAPIStrategies(t *testing.T) {
+	for _, strat := range []tcodm.Strategy{tcodm.StrategyEmbedded, tcodm.StrategySeparated, tcodm.StrategyTuple} {
+		t.Run(fmt.Sprint(strat), func(t *testing.T) {
+			db, err := tcodm.Open(tcodm.Options{Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			defineEmp(t, db)
+			tx, _ := db.Begin()
+			id, err := tx.Insert("Emp", tcodm.Attrs{"name": tcodm.String("s"), "salary": tcodm.Int(1)}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = tx.Commit()
+			st, err := db.StateAt(id, 5, tcodm.Now)
+			if err != nil || st.Vals["salary"].AsInt() != 1 {
+				t.Fatalf("state = %v, %v", st, err)
+			}
+		})
+	}
+}
+
+func TestPublicAPIPersistent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "api.tdb")
+	db, err := tcodm.Open(tcodm.Options{Path: path, SyncOnCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineEmp(t, db)
+	tx, _ := db.Begin()
+	id, _ := tx.Insert("Emp", tcodm.Attrs{"name": tcodm.String("p"), "salary": tcodm.Int(2)}, 0)
+	_ = tx.Commit()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := tcodm.Open(tcodm.Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	st, err := db2.StateAt(id, 5, tcodm.Now)
+	if err != nil || st.Vals["name"].AsString() != "p" {
+		t.Fatalf("reopened state = %v, %v", st, err)
+	}
+}
+
+// Example demonstrates the package-level quick start.
+func Example() {
+	db, err := tcodm.Open(tcodm.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	_ = db.DefineAtomType(tcodm.AtomType{
+		Name: "Emp",
+		Attrs: []tcodm.Attribute{
+			{Name: "name", Kind: tcodm.KindString, Required: true},
+			{Name: "salary", Kind: tcodm.KindInt, Temporal: true},
+		},
+	})
+	tx, _ := db.Begin()
+	id, _ := tx.Insert("Emp", tcodm.Attrs{"name": tcodm.String("kaefer"), "salary": tcodm.Int(4200)}, 0)
+	_ = tx.Set(id, "salary", tcodm.Int(5000), 100)
+	_ = tx.Commit()
+
+	before, _ := db.StateAt(id, 50, tcodm.Now)
+	after, _ := db.StateAt(id, 150, tcodm.Now)
+	fmt.Println(before.Vals["salary"], after.Vals["salary"])
+	// Output: 4200 5000
+}

@@ -3,6 +3,7 @@ package atom
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"tcodm/internal/index"
 	"tcodm/internal/schema"
@@ -86,7 +87,16 @@ type Manager struct {
 	nextID   uint64
 	stats    Stats
 	idxUndo  IndexUndo
+	// maxTrans is the largest transaction-time instant seen by the last
+	// RebuildIndexes scan. After recovery the engine clock must advance
+	// past it, or post-recovery commits would reuse transaction times
+	// already bound to replayed versions.
+	maxTrans temporal.Instant
 }
+
+// MaxTransactionTime returns the largest transaction-time instant observed
+// by the most recent RebuildIndexes scan (zero before any rebuild).
+func (m *Manager) MaxTransactionTime() temporal.Instant { return m.maxTrans }
 
 // IndexUndo receives inverse operations for index mutations so the
 // transaction layer can roll indexes back on abort (indexes are unlogged
@@ -206,11 +216,25 @@ func (m *Manager) idxPut(t *index.BPTree, key []byte, val uint64) error {
 	return t.Insert(key, val)
 }
 
-// Stats returns the physical-work counters.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats returns the physical-work counters. The counters are maintained
+// with atomic adds because read paths bump them under the engine's shared
+// read lock (concurrent readers would otherwise race).
+func (m *Manager) Stats() Stats {
+	return Stats{
+		FastLoads:    atomic.LoadUint64(&m.stats.FastLoads),
+		FullLoads:    atomic.LoadUint64(&m.stats.FullLoads),
+		SegmentReads: atomic.LoadUint64(&m.stats.SegmentReads),
+		SnapshotHops: atomic.LoadUint64(&m.stats.SnapshotHops),
+	}
+}
 
 // ResetStats zeroes the counters (benchmark support).
-func (m *Manager) ResetStats() { m.stats = Stats{} }
+func (m *Manager) ResetStats() {
+	atomic.StoreUint64(&m.stats.FastLoads, 0)
+	atomic.StoreUint64(&m.stats.FullLoads, 0)
+	atomic.StoreUint64(&m.stats.SegmentReads, 0)
+	atomic.StoreUint64(&m.stats.SnapshotHops, 0)
+}
 
 // Strategy returns the active storage strategy.
 func (m *Manager) Strategy() Strategy { return m.opts.Strategy }

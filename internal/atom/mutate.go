@@ -2,6 +2,7 @@ package atom
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"tcodm/internal/schema"
 	"tcodm/internal/storage"
@@ -302,7 +303,7 @@ func (m *Manager) separatedMutate(id value.ID, span temporal.Interval, apply fun
 // separatedMutateFull handles retroactive changes: materialize everything,
 // apply, then rebuild the current record and the whole history chain.
 func (m *Manager) separatedMutateFull(id value.ID, rid storage.RID, apply func(*Atom) ([]Version, error), tt temporal.Instant) error {
-	m.stats.FullLoads++
+	atomic.AddUint64(&m.stats.FullLoads, 1)
 	a, hdr, err := m.loadSeparatedFull(rid)
 	if err != nil {
 		return err
@@ -419,7 +420,7 @@ func (m *Manager) loadSeparatedFull(rid storage.RID) (*Atom, SepHeader, error) {
 	}
 	seg := hdr.Head
 	for seg.IsValid() {
-		m.stats.SegmentReads++
+		atomic.AddUint64(&m.stats.SegmentReads, 1)
 		data, err := m.heap.Fetch(seg)
 		if err != nil {
 			return nil, SepHeader{}, err

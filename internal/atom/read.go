@@ -3,9 +3,9 @@ package atom
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"tcodm/internal/schema"
-
 	"tcodm/internal/storage"
 	"tcodm/internal/temporal"
 	"tcodm/internal/value"
@@ -78,7 +78,7 @@ func (m *Manager) Load(id value.ID) (*Atom, error) {
 	}
 	switch m.opts.Strategy {
 	case StrategyEmbedded:
-		m.stats.FullLoads++
+		atomic.AddUint64(&m.stats.FullLoads, 1)
 		data, err := m.heap.Fetch(rid)
 		if err != nil {
 			return nil, err
@@ -89,7 +89,7 @@ func (m *Manager) Load(id value.ID) (*Atom, error) {
 		}
 		return m.reconcile(a), nil
 	case StrategySeparated:
-		m.stats.FullLoads++
+		atomic.AddUint64(&m.stats.FullLoads, 1)
 		a, _, err := m.loadSeparatedFull(rid)
 		if err != nil {
 			return nil, err
@@ -112,7 +112,7 @@ func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant) (*Atom, error) {
 	}
 	switch m.opts.Strategy {
 	case StrategyEmbedded:
-		m.stats.FastLoads++
+		atomic.AddUint64(&m.stats.FastLoads, 1)
 		data, err := m.heap.Fetch(rid)
 		if err != nil {
 			return nil, err
@@ -137,10 +137,10 @@ func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant) (*Atom, error) {
 		// every current-shaped version already covers: vt at or after the
 		// latest current version start and at or after the watermark.
 		if tt == Now && vt >= hdr.Watermark && coversCurrent(a, vt) {
-			m.stats.FastLoads++
+			atomic.AddUint64(&m.stats.FastLoads, 1)
 			return a, nil
 		}
-		m.stats.FullLoads++
+		atomic.AddUint64(&m.stats.FullLoads, 1)
 		full, _, err := m.loadSeparatedFull(rid)
 		if err != nil {
 			return nil, err
@@ -268,7 +268,7 @@ func (m *Manager) tupleStateAt(id value.ID, vt, tt temporal.Instant) (*State, er
 	ett := effectiveTT(tt)
 	var first *Snapshot
 	for rid.IsValid() {
-		m.stats.SnapshotHops++
+		atomic.AddUint64(&m.stats.SnapshotHops, 1)
 		data, err := m.heap.Fetch(rid)
 		if err != nil {
 			return nil, err
@@ -392,7 +392,7 @@ func (m *Manager) tupleLoad(rid storage.RID) (*Atom, error) {
 func (m *Manager) tupleChain(rid storage.RID) ([]*Snapshot, error) {
 	var chain []*Snapshot
 	for rid.IsValid() {
-		m.stats.SnapshotHops++
+		atomic.AddUint64(&m.stats.SnapshotHops, 1)
 		data, err := m.heap.Fetch(rid)
 		if err != nil {
 			return nil, err

@@ -43,6 +43,31 @@ func (m *Manager) RebuildIndexes(pool *storage.BufferPool) (Roots, error) {
 	snapshotTypes := map[value.ID]string{}
 	var maxID value.ID
 
+	// Transaction times are derived state too: the persisted clock predates
+	// the crash, so the largest transaction instant bound to any recovered
+	// version is the true low-water mark for the engine clock.
+	var maxTrans temporal.Instant
+	noteTrans := func(iv temporal.Interval) {
+		if iv.From > maxTrans {
+			maxTrans = iv.From
+		}
+		if iv.To != temporal.Forever && iv.To > maxTrans {
+			maxTrans = iv.To
+		}
+	}
+	noteAtomTrans := func(a *Atom) {
+		for i := range a.Attrs {
+			for _, v := range a.Attrs[i].Versions {
+				noteTrans(v.Trans)
+			}
+		}
+		for _, vs := range a.BackRefs {
+			for _, v := range vs {
+				noteTrans(v.Trans)
+			}
+		}
+	}
+
 	err = m.heap.Scan(func(rid storage.RID, data []byte) (bool, error) {
 		switch RecordKind(data) {
 		case recFullAtom:
@@ -59,6 +84,7 @@ func (m *Manager) RebuildIndexes(pool *storage.BufferPool) (Roots, error) {
 			if a.ID > maxID {
 				maxID = a.ID
 			}
+			noteAtomTrans(a)
 		case recCurrentAtom:
 			a, _, err := DecodeCurrent(data)
 			if err != nil {
@@ -73,6 +99,7 @@ func (m *Manager) RebuildIndexes(pool *storage.BufferPool) (Roots, error) {
 			if a.ID > maxID {
 				maxID = a.ID
 			}
+			noteAtomTrans(a)
 		case recSnapshot:
 			s, err := DecodeSnapshot(data)
 			if err != nil {
@@ -85,6 +112,9 @@ func (m *Manager) RebuildIndexes(pool *storage.BufferPool) (Roots, error) {
 			}
 			if s.ID > maxID {
 				maxID = s.ID
+			}
+			if s.TransFrom > maxTrans {
+				maxTrans = s.TransFrom
 			}
 		case recHistorySeg:
 			// Reached through current records; nothing to index.
@@ -110,6 +140,7 @@ func (m *Manager) RebuildIndexes(pool *storage.BufferPool) (Roots, error) {
 	if maxID >= value.ID(m.nextID) {
 		m.nextID = uint64(maxID) + 1
 	}
+	m.maxTrans = maxTrans
 	if valueIdx != nil {
 		if err := m.rebuildValueIndex(valueIdx); err != nil {
 			return Roots{}, err

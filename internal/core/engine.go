@@ -8,6 +8,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 
 	"tcodm/internal/atom"
@@ -38,6 +39,12 @@ type Options struct {
 	ValueIndex bool
 	// SegmentCap bounds history segment size (separated strategy).
 	SegmentCap int
+	// OpenDevice, when non-nil, replaces storage.OpenFileDevice for the
+	// data file (fault-injection seam; see internal/fault).
+	OpenDevice func(path string) (storage.Device, error)
+	// OpenWAL, when non-nil, replaces wal.Open for the log file (fault-
+	// injection seam; see internal/fault).
+	OpenWAL func(path string, opts wal.Options) (*wal.WAL, error)
 }
 
 // Engine is one open database.
@@ -79,6 +86,11 @@ type metaPayload struct {
 	Clock      temporal.Instant `json:"clock"`
 	NextLSN    uint64           `json:"next_lsn"`
 	FreePages  []storage.PageID `json:"free_pages,omitempty"`
+	// Pages is the device size when this meta was written — the crash
+	// horizon. Pages allocated at or beyond it carry only data the log can
+	// reproduce, so recovery may quarantine them if a torn write left them
+	// checksum-invalid. 0 in databases written before horizon tracking.
+	Pages storage.PageID `json:"pages,omitempty"`
 }
 
 // Open opens (creating if absent) a database.
@@ -92,11 +104,41 @@ func Open(opts Options) (*Engine, error) {
 	if opts.Path == "" {
 		e.dev = storage.NewMemDevice()
 	} else {
-		e.dev, err = storage.OpenFileDevice(opts.Path)
+		openDev := opts.OpenDevice
+		if openDev == nil {
+			openDev = func(p string) (storage.Device, error) { return storage.OpenFileDevice(p) }
+		}
+		openWAL := wal.Open
+		if opts.OpenWAL != nil {
+			openWAL = opts.OpenWAL
+		}
+		e.dev, err = openDev(opts.Path)
 		if err != nil {
 			return nil, err
 		}
-		e.log, err = wal.Open(opts.Path+".wal", wal.Options{SyncOnCommit: opts.SyncOnCommit})
+		// A database is born when its meta page (with magic) lands; FlushAll
+		// writes page 0 last, so a crash during the very first flush leaves
+		// page 0 all-zero. Such a half-born file holds nothing committed —
+		// wipe it and bootstrap from scratch rather than refusing to open.
+		if e.dev.NumPages() > 0 {
+			buf := make([]byte, storage.PageSize)
+			if err := e.dev.ReadPage(0, buf); err != nil {
+				e.dev.Close()
+				return nil, err
+			}
+			if allZero(buf) {
+				e.dev.Close()
+				if err := os.Remove(opts.Path); err != nil {
+					return nil, fmt.Errorf("core: wiping half-born database: %w", err)
+				}
+				os.Remove(opts.Path + ".wal")
+				e.dev, err = openDev(opts.Path)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		e.log, err = openWAL(opts.Path+".wal", wal.Options{SyncOnCommit: opts.SyncOnCommit})
 		if err != nil {
 			e.dev.Close()
 			return nil, err
@@ -184,6 +226,15 @@ func (e *Engine) recoverOrLoad() error {
 	if e.log != nil {
 		e.log.SetNextLSN(meta.NextLSN)
 	}
+	if !clean {
+		// Sweep for torn writes before anything walks the device: a page
+		// the crash left checksum-invalid would otherwise abort the heap
+		// scan and index rebuild below and brick the database even when the
+		// page held nothing the log cannot reproduce.
+		if err := e.quarantineTornPages(meta.Pages); err != nil {
+			return err
+		}
+	}
 	if err := e.heap.Rebuild(e.dev); err != nil {
 		return err
 	}
@@ -226,8 +277,59 @@ func (e *Engine) recoverOrLoad() error {
 	if err != nil {
 		return err
 	}
-	_, err = e.atoms.RebuildIndexes(e.pool)
-	return err
+	if _, err = e.atoms.RebuildIndexes(e.pool); err != nil {
+		return err
+	}
+	// The persisted clock predates the crash: replayed commits carry
+	// transaction times past it. Left behind, the clock would stamp
+	// post-recovery commits with already-used transaction instants, and
+	// the replayed versions would bitemporally shadow the new ones after
+	// the next recovery. Advance past everything the rebuild scan saw.
+	e.clock.Advance(e.atoms.MaxTransactionTime())
+	return nil
+}
+
+// allZero reports whether every byte of buf is zero.
+func allZero(buf []byte) bool {
+	for _, b := range buf {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// quarantineTornPages scans the raw device for checksum-invalid pages left
+// behind by a torn write at crash time. A bad page at or beyond the crash
+// horizon (the device size recorded by the last durable meta write) holds
+// only data written after that point, which the log replay reconstructs in
+// full — so it is zeroed and left out of circulation. A bad page below the
+// horizon held checkpointed, committed state the log no longer covers;
+// that damage is unrepairable and must be refused, not papered over.
+func (e *Engine) quarantineTornPages(horizon storage.PageID) error {
+	if horizon == 0 {
+		// Database written before horizon tracking: nothing is provably
+		// log-reconstructible, so leave pages alone and let the checksum
+		// verification in the fetch path report any damage.
+		return nil
+	}
+	buf := make([]byte, storage.PageSize)
+	n := e.dev.NumPages()
+	for id := storage.PageID(0); id < n; id++ {
+		if err := e.dev.ReadPage(id, buf); err != nil {
+			return err
+		}
+		if storage.VerifyPageChecksum(id, buf) == nil {
+			continue
+		}
+		if id < horizon {
+			return fmt.Errorf("core: page %d fails its checksum and predates the last checkpoint; committed data is damaged beyond what the log can repair", id)
+		}
+		if err := e.pool.ZapPage(id); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // persistMeta stores the engine state in the meta page.
@@ -246,6 +348,7 @@ func (e *Engine) persistMeta(clean bool) error {
 		NextID:     roots.NextID,
 		Clock:      e.clock.Now(),
 		FreePages:  e.pool.FreePages(),
+		Pages:      e.dev.NumPages(),
 	}
 	if e.log != nil {
 		meta.NextLSN = e.log.NextLSN()
@@ -443,10 +546,16 @@ func (e *Engine) Begin() (*Txn, error) {
 // TT returns the transaction's transaction-time instant.
 func (t *Txn) TT() temporal.Instant { return t.inner.TT }
 
-// Commit makes the transaction durable and visible.
+// Commit makes the transaction durable and visible. If the log append or
+// sync fails, the transaction is rolled back before returning: a failed
+// commit must not leave the writer slot held or half-applied state in
+// memory, or the engine would be wedged for every later transaction.
 func (t *Txn) Commit() error {
 	t.e.atoms.SetIndexUndo(nil)
 	err := t.inner.Commit()
+	if err != nil {
+		_ = t.inner.Abort()
+	}
 	t.e.mu.Unlock()
 	return err
 }

@@ -1,0 +1,64 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse throws arbitrary byte soup at the TMQL parser. The parser's
+// contract for any input is an AST or an error — never a panic, a hang,
+// or an out-of-range slice access in the lexer. The seed corpus covers
+// every clause: projections, WHERE, WHEN predicates, AT/ASOF, DURING,
+// HAVING, aggregates, ORDER BY/LIMIT, and a selection of the malformed
+// shapes the parser's unit tests reject.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Well-formed queries, one per feature.
+		`SELECT ALL FROM Emp`,
+		`SELECT ALL FROM DeptStaff`,
+		`SELECT (Emp.name, Emp.salary) FROM Emp WHERE Emp.salary > 4000`,
+		`SELECT (name) FROM Emp WHEN VALID(salary) OVERLAPS PERIOD [10, 20) AT 15`,
+		`SELECT HISTORY(Emp.salary) FROM Emp DURING [0, 100) ASOF 3`,
+		`SELECT (Dept.name, COUNT(Emp)) FROM DeptStaff AT 100`,
+		`SELECT (name) FROM Emp WHERE (salary > 100 AND salary < 200) OR NOT name = "x"`,
+		`SELECT (name) FROM Emp WHEN LIFESPAN CONTAINS PERIOD [5, 6)`,
+		`SELECT (name, TAVG(salary)) FROM Emp WHERE name = "ada" DURING [0, 100) AT 10`,
+		`SELECT (TMIN(salary), TMAX(salary)) FROM Emp DURING [0, 100) AT 10`,
+		`SELECT (CHANGES(salary)) FROM Emp DURING [0, 100) AT 10`,
+		`SELECT (Dept.name) FROM DeptStaff HAVING Emp.salary > 4000 AT 10`,
+		`SELECT (name) FROM Emp ORDER BY salary DESC LIMIT 3`,
+		`SELECT (name) FROM Emp WHERE salary >= -17 ORDER BY name`,
+		// Malformed shapes the parser must reject gracefully.
+		`SELECT`,
+		`SELECT ALL FROM`,
+		`SELECT (a FROM T`,
+		`SELECT (a) FROM T WHERE`,
+		`SELECT (a) FROM T AT x`,
+		`SELECT (a) FROM T WHEN VALID(a) SOMETIME PERIOD [0, 1)`,
+		`SELECT (a) FROM T WHEN VALID(a) OVERLAPS PERIOD [5, 1)`,
+		`SELECT (a) FROM T LIMIT -1`,
+		`SELECT (a)) FROM T`,
+		`"unterminated`,
+		`PERIOD [`,
+		"SELECT (a) FROM T \x00\xff",
+		strings.Repeat("(", 100),
+		strings.Repeat(`SELECT ALL FROM T `, 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err == nil && q == nil {
+			t.Errorf("Parse(%q) returned neither AST nor error", src)
+		}
+		if err != nil && q != nil {
+			t.Errorf("Parse(%q) returned both AST and error %v", src, err)
+		}
+		// The error path must produce a printable message, not garbage.
+		if err != nil && !utf8.ValidString(err.Error()) {
+			t.Errorf("Parse(%q) error is not valid UTF-8: %q", src, err.Error())
+		}
+	})
+}

@@ -58,11 +58,29 @@ func OpenFileDevice(path string) (*FileDevice, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat device: %w", err)
 	}
-	if info.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("storage: device %s has torn size %d (not a multiple of %d)", path, info.Size(), PageSize)
+	size := info.Size()
+	if rem := size % PageSize; rem != 0 {
+		if size < PageSize {
+			// Not even a complete meta page: this is not a database (or one
+			// whose very first page write tore); nothing to salvage.
+			f.Close()
+			return nil, fmt.Errorf("storage: device %s holds %d bytes, less than one page — not a database", path, size)
+		}
+		// A crash mid-grow left a torn partial page at the tail. The grow
+		// was never acknowledged (its write did not complete), so the
+		// fragment holds no committed data the full pages and log cannot
+		// reproduce: truncate it and proceed instead of refusing to open.
+		size -= rem
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: truncating torn tail page of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: sync after tail truncation of %s: %w", path, err)
+		}
 	}
-	return &FileDevice{f: f, pages: PageID(info.Size() / PageSize)}, nil
+	return &FileDevice{f: f, pages: PageID(size / PageSize)}, nil
 }
 
 // ReadPage implements Device.

@@ -77,6 +77,13 @@ type Heap struct {
 	// freeSpace maps heap pages to their current free byte counts; it is
 	// rebuilt on open and maintained on every mutation.
 	freeSpace map[PageID]int
+
+	// touched accumulates every page the current logged mutation physically
+	// modifies, so its LSN can be stamped on all of them. A record move
+	// dirties the home page (stub) and the target page (copy); stamping
+	// only the home would let the pool flush the target before the log
+	// record covering it is durable, breaking the WAL rule.
+	touched []PageID
 }
 
 // NewHeap creates a heap over the pool. Call Recover or Rebuild before use
@@ -117,13 +124,14 @@ const minUsableFree = 64
 
 // Insert stores data, returning its home RID.
 func (h *Heap) Insert(data []byte) (RID, error) {
+	h.touched = h.touched[:0]
 	rid, err := h.insertPhysical(h.encodePlainOrOverflow(data, NilRID))
 	if err != nil {
 		return NilRID, err
 	}
 	if h.log != nil {
 		lsn := h.log.LogHeapInsert(rid, data)
-		h.stampLSN(rid.Page, lsn)
+		h.stampTouched(rid.Page, lsn)
 	}
 	if h.undo != nil {
 		h.undo.RecordInsert(rid)
@@ -282,6 +290,7 @@ func (h *Heap) insertPhysical(rec []byte) (RID, error) {
 			if err == nil {
 				p.MarkDirty(h.txnActive)
 				h.freeSpace[id] = p.FreeSpace()
+				h.touch(id)
 				h.pool.Unpin(p)
 				return RID{Page: id, Slot: slot}, nil
 			}
@@ -302,6 +311,7 @@ func (h *Heap) insertPhysical(rec []byte) (RID, error) {
 	}
 	p.MarkDirty(h.txnActive)
 	h.freeSpace[p.ID()] = p.FreeSpace()
+	h.touch(p.ID())
 	rid := RID{Page: p.ID(), Slot: slot}
 	h.pool.Unpin(p)
 	return rid, nil
@@ -363,6 +373,7 @@ func (h *Heap) Update(rid RID, data []byte) error {
 			return err
 		}
 	}
+	h.touched = h.touched[:0]
 	if err := h.updatePhysical(rid, data); err != nil {
 		return err
 	}
@@ -371,7 +382,7 @@ func (h *Heap) Update(rid RID, data []byte) error {
 	}
 	if h.log != nil {
 		lsn := h.log.LogHeapUpdate(rid, data)
-		h.stampLSN(rid.Page, lsn)
+		h.stampTouched(rid.Page, lsn)
 	}
 	return nil
 }
@@ -414,6 +425,7 @@ func (h *Heap) updatePhysical(home RID, data []byte) error {
 	if err == nil {
 		p.MarkDirty(h.txnActive)
 		h.freeSpace[home.Page] = p.FreeSpace()
+		h.touch(home.Page)
 		h.pool.Unpin(p)
 		return nil
 	}
@@ -441,6 +453,7 @@ func (h *Heap) updatePhysical(home RID, data []byte) error {
 	}
 	p.MarkDirty(h.txnActive)
 	h.freeSpace[home.Page] = p.FreeSpace()
+	h.touch(home.Page)
 	h.pool.Unpin(p)
 	return nil
 }
@@ -476,6 +489,7 @@ func (h *Heap) updateMoved(home, target RID, data []byte) error {
 	if err == nil {
 		p.MarkDirty(h.txnActive)
 		h.freeSpace[target.Page] = p.FreeSpace()
+		h.touch(target.Page)
 		h.pool.Unpin(p)
 		return nil
 	}
@@ -491,6 +505,7 @@ func (h *Heap) updateMoved(home, target RID, data []byte) error {
 	}
 	p.MarkDirty(h.txnActive)
 	h.freeSpace[target.Page] = p.FreeSpace()
+	h.touch(target.Page)
 	h.pool.Unpin(p)
 	newRID, err := h.insertPhysical(rec)
 	if err != nil {
@@ -509,6 +524,7 @@ func (h *Heap) updateMoved(home, target RID, data []byte) error {
 	}
 	hp.MarkDirty(h.txnActive)
 	h.freeSpace[home.Page] = hp.FreeSpace()
+	h.touch(home.Page)
 	h.pool.Unpin(hp)
 	return nil
 }
@@ -524,6 +540,7 @@ func (h *Heap) Delete(rid RID) error {
 			return err
 		}
 	}
+	h.touched = h.touched[:0]
 	if err := h.deletePhysical(rid); err != nil {
 		return err
 	}
@@ -532,7 +549,7 @@ func (h *Heap) Delete(rid RID) error {
 	}
 	if h.log != nil {
 		lsn := h.log.LogHeapDelete(rid)
-		h.stampLSN(rid.Page, lsn)
+		h.stampTouched(rid.Page, lsn)
 	}
 	return nil
 }
@@ -565,6 +582,7 @@ func (h *Heap) deletePhysical(rid RID) error {
 	}
 	p.MarkDirty(h.txnActive)
 	h.freeSpace[rid.Page] = p.FreeSpace()
+	h.touch(rid.Page)
 	h.pool.Unpin(p)
 	if target.IsValid() {
 		return h.deletePhysical(target)
@@ -586,69 +604,353 @@ func (h *Heap) stampLSN(id PageID, lsn uint64) {
 	h.pool.Unpin(p)
 }
 
-// --- Recovery entry points (unlogged, idempotent via pageLSN guard) -----
+// stampTouched stamps lsn on the home page and on every other page the
+// just-logged mutation physically modified (recorded in h.touched). A page
+// may only be flushed once the log covering its changes is durable; the
+// pool enforces that via the page LSN, so each modified page must carry
+// the mutation's LSN — not just the home page.
+func (h *Heap) stampTouched(home PageID, lsn uint64) {
+	h.stampLSN(home, lsn)
+	for i, id := range h.touched {
+		if id == home {
+			continue
+		}
+		dup := false
+		for _, prev := range h.touched[:i] {
+			if prev == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			h.stampLSN(id, lsn)
+		}
+	}
+}
 
-// RedoInsert re-applies a logged insert if the page has not seen it.
+// touch records a page as physically modified by the current mutation.
+func (h *Heap) touch(id PageID) { h.touched = append(h.touched, id) }
+
+// --- Recovery entry points (unlogged, self-repairing) ---------------------
+//
+// A logical heap mutation can touch several pages: the home page plus a
+// move target, or overflow pages. A crash may flush any subset of them, so
+// no single page LSN can witness whether the op's effects are on disk —
+// the home page can carry a forwarding stub whose target copy never
+// landed. Replay therefore does not skip records based on LSN guards.
+// Each redo entry point inspects the logical state reachable from the home
+// RID and re-establishes the logged post-state, repairing dangling stubs
+// and divergent float placements as it goes. Replay runs strictly in log
+// order, so overwriting a page that already holds a later state is safe:
+// the later log records restore it, and after a full replay every record
+// holds exactly its last logged state.
+//
+// Two rules keep repair from turning stale bytes into corruption:
+//
+//   - Overflow chains referenced by possibly-stale heads are never freed:
+//     a stale head can alias pages that were reused after the checkpoint.
+//     Orphaned chains are leaked — lost space, never lost data.
+//   - A float copy is deleted or relocated only when its embedded home RID
+//     proves ownership; anything else at the expected location is left
+//     alone.
+
+// ownerOf resolves which home RID the physical record raw (stored at
+// position at) belongs to: a moved copy names its home explicitly; any
+// other record is owned by the slot it occupies. ok is false when the
+// record is too short to decode.
+func ownerOf(raw []byte, at RID) (owner RID, ok bool) {
+	if len(raw) == 0 {
+		return NilRID, false
+	}
+	if raw[0]&flagMoved != 0 {
+		if len(raw) < 9 {
+			return NilRID, false
+		}
+		return UnpackRID(binary.LittleEndian.Uint64(raw[1:])), true
+	}
+	return at, true
+}
+
+// RedoInsert re-establishes a logged insert: afterwards rid's home slot
+// holds a record owned by rid — this op's payload, or a later state that
+// was already on disk and that later log records will reconcile.
 func (h *Heap) RedoInsert(rid RID, data []byte, lsn uint64) error {
 	p, err := h.fetchOrFormat(rid.Page)
 	if err != nil {
 		return err
 	}
-	if p.LSN() >= lsn {
+	if raw, rerr := p.ReadRecord(rid.Slot); rerr == nil {
+		owner, ok := ownerOf(raw, rid)
+		if ok && owner == rid {
+			// The slot already belongs to this record: the insert (or a
+			// later op on the same record) reached the device pre-crash.
+			if p.LSN() < lsn {
+				p.SetLSN(lsn)
+			}
+			p.MarkDirty(false)
+			h.pool.Unpin(p)
+			return nil
+		}
+		// Replay floated another record's copy into the slot this insert
+		// needs. Relocate that copy (repointing its home stub), then
+		// reclaim the slot.
+		alien := append([]byte(nil), raw...)
 		h.pool.Unpin(p)
-		return nil
+		if ok {
+			if err := h.relocateMovedCopy(owner, rid, alien); err != nil {
+				return err
+			}
+		}
+		p, err = h.pool.Fetch(rid.Page)
+		if err != nil {
+			return err
+		}
+		if err := p.DeleteRecord(rid.Slot); err != nil {
+			h.pool.Unpin(p)
+			return err
+		}
 	}
-	h.pool.Unpin(p)
-	// Re-encode (may rebuild an overflow chain) and place at the slot.
 	rec := h.encodePlainOrOverflow(data, NilRID)
-	p, err = h.pool.Fetch(rid.Page)
-	if err != nil {
-		return err
-	}
 	if err := p.InsertRecordAt(rid.Slot, rec); err != nil {
+		// The crashed layout left no room at the exact slot; float the
+		// payload and keep only a 9-byte stub at home.
 		h.pool.Unpin(p)
-		return err
+		return h.redoFloat(rid, data, lsn, true)
 	}
-	p.SetLSN(lsn)
+	if p.LSN() < lsn {
+		p.SetLSN(lsn)
+	}
 	p.MarkDirty(false)
 	h.freeSpace[rid.Page] = p.FreeSpace()
 	h.pool.Unpin(p)
 	return nil
 }
 
-// RedoUpdate re-applies a logged update if the page has not seen it.
+// RedoUpdate re-establishes a logged update: afterwards rid resolves to
+// exactly data.
 func (h *Heap) RedoUpdate(rid RID, data []byte, lsn uint64) error {
-	p, err := h.pool.Fetch(rid.Page)
+	p, err := h.fetchOrFormat(rid.Page)
 	if err != nil {
 		return err
 	}
-	stale := p.LSN() < lsn
-	h.pool.Unpin(p)
-	if !stale {
+	raw, rerr := p.ReadRecord(rid.Slot)
+	if rerr != nil {
+		// Home slot absent: the insert's page version never reached the
+		// device (e.g. a quarantined torn page). Recreate the record.
+		h.pool.Unpin(p)
+		return h.RedoInsert(rid, data, lsn)
+	}
+	if owner, ok := ownerOf(raw, rid); ok && owner != rid {
+		// The slot holds another record's float copy, so the disk already
+		// reflects a state past this record's deletion and slot reuse.
+		// This op's effect is unobservable after full replay; leave the
+		// later state alone.
+		h.pool.Unpin(p)
 		return nil
 	}
-	if err := h.updatePhysical(rid, data); err != nil {
-		return err
+	if raw[0]&flagForward != 0 && len(raw) >= 9 {
+		target := UnpackRID(binary.LittleEndian.Uint64(raw[1:]))
+		h.pool.Unpin(p)
+		return h.redoUpdateMoved(rid, target, data, lsn)
 	}
-	h.stampRedoLSN(rid.Page, lsn)
+	// Plain record or overflow head at home. A superseded chain is leaked,
+	// not freed: its head may be stale and alias reused pages.
+	rec := h.encodePlainOrOverflow(data, NilRID)
+	uerr := p.UpdateRecord(rid.Slot, rec)
+	if uerr == errPageFull {
+		h.pool.Unpin(p)
+		return h.redoFloat(rid, data, lsn, false)
+	}
+	if uerr != nil {
+		h.pool.Unpin(p)
+		return uerr
+	}
+	if p.LSN() < lsn {
+		p.SetLSN(lsn)
+	}
+	p.MarkDirty(false)
+	h.freeSpace[rid.Page] = p.FreeSpace()
+	h.pool.Unpin(p)
 	return nil
 }
 
-// RedoDelete re-applies a logged delete if the page has not seen it.
+// redoUpdateMoved rewrites the float copy of home in place when the stub
+// target verifiably holds it; otherwise the stub dangles (the copy never
+// reached the device, or its page was reused) and a fresh copy is floated.
+func (h *Heap) redoUpdateMoved(home, target RID, data []byte, lsn uint64) error {
+	if target.IsValid() && target.Page < h.pool.dev.NumPages() {
+		tp, err := h.pool.Fetch(target.Page)
+		if err != nil {
+			return err
+		}
+		if tp.Type() == PageHeap {
+			raw, rerr := tp.ReadRecord(target.Slot)
+			if rerr == nil && len(raw) >= 9 && raw[0]&flagMoved != 0 &&
+				UnpackRID(binary.LittleEndian.Uint64(raw[1:])) == home {
+				rec := h.encodePlainOrOverflow(data, home)
+				uerr := tp.UpdateRecord(target.Slot, rec)
+				if uerr == nil {
+					if tp.LSN() < lsn {
+						tp.SetLSN(lsn)
+					}
+					tp.MarkDirty(false)
+					h.freeSpace[target.Page] = tp.FreeSpace()
+					h.pool.Unpin(tp)
+					h.stampRedoLSN(home.Page, lsn)
+					return nil
+				}
+				if uerr != errPageFull {
+					h.pool.Unpin(tp)
+					return uerr
+				}
+				// The copy no longer fits where it sits: drop it here and
+				// re-float below.
+				if derr := tp.DeleteRecord(target.Slot); derr != nil {
+					h.pool.Unpin(tp)
+					return derr
+				}
+				tp.MarkDirty(false)
+				h.freeSpace[target.Page] = tp.FreeSpace()
+			}
+		}
+		h.pool.Unpin(tp)
+	}
+	return h.redoFloat(home, data, lsn, false)
+}
+
+// RedoDelete re-establishes a logged delete: afterwards rid's home slot
+// holds nothing owned by rid.
 func (h *Heap) RedoDelete(rid RID, lsn uint64) error {
-	p, err := h.pool.Fetch(rid.Page)
+	p, err := h.fetchOrFormat(rid.Page)
 	if err != nil {
 		return err
 	}
-	stale := p.LSN() < lsn
-	h.pool.Unpin(p)
-	if !stale {
+	raw, rerr := p.ReadRecord(rid.Slot)
+	if rerr != nil {
+		// Already gone.
+		if p.LSN() < lsn {
+			p.SetLSN(lsn)
+		}
+		p.MarkDirty(false)
+		h.pool.Unpin(p)
 		return nil
 	}
-	if err := h.deletePhysical(rid); err != nil {
+	if owner, ok := ownerOf(raw, rid); ok && owner != rid {
+		// The slot was reused by another record's float copy after this
+		// delete took effect on disk; leave the later state alone.
+		h.pool.Unpin(p)
+		return nil
+	}
+	var target RID
+	if raw[0]&flagForward != 0 && len(raw) >= 9 {
+		target = UnpackRID(binary.LittleEndian.Uint64(raw[1:]))
+	}
+	if err := p.DeleteRecord(rid.Slot); err != nil {
+		h.pool.Unpin(p)
 		return err
 	}
-	h.stampRedoLSN(rid.Page, lsn)
+	if p.LSN() < lsn {
+		p.SetLSN(lsn)
+	}
+	p.MarkDirty(false)
+	h.freeSpace[rid.Page] = p.FreeSpace()
+	h.pool.Unpin(p)
+	if target.IsValid() && target.Page < h.pool.dev.NumPages() {
+		tp, err := h.pool.Fetch(target.Page)
+		if err != nil {
+			return err
+		}
+		if tp.Type() == PageHeap {
+			traw, terr := tp.ReadRecord(target.Slot)
+			if terr == nil && len(traw) >= 9 && traw[0]&flagMoved != 0 &&
+				UnpackRID(binary.LittleEndian.Uint64(traw[1:])) == rid {
+				if derr := tp.DeleteRecord(target.Slot); derr != nil {
+					h.pool.Unpin(tp)
+					return derr
+				}
+				if tp.LSN() < lsn {
+					tp.SetLSN(lsn)
+				}
+				tp.MarkDirty(false)
+				h.freeSpace[target.Page] = tp.FreeSpace()
+			}
+		}
+		h.pool.Unpin(tp)
+	}
+	// Any overflow chain the record owned is leaked, not freed.
+	return nil
+}
+
+// redoFloat places data as a float copy of home on any page with room and
+// writes (newSlot) or overwrites the home slot with a forwarding stub.
+func (h *Heap) redoFloat(home RID, data []byte, lsn uint64, newSlot bool) error {
+	moved, err := h.insertPhysical(h.encodePlainOrOverflow(data, home))
+	if err != nil {
+		return err
+	}
+	stub := make([]byte, 9)
+	stub[0] = flagForward
+	binary.LittleEndian.PutUint64(stub[1:], moved.Pack())
+	p, err := h.pool.Fetch(home.Page)
+	if err != nil {
+		return err
+	}
+	if newSlot {
+		err = p.InsertRecordAt(home.Slot, stub)
+	} else {
+		err = p.UpdateRecord(home.Slot, stub)
+	}
+	if err != nil {
+		h.pool.Unpin(p)
+		return fmt.Errorf("storage: redo stub at %v: %w", home, err)
+	}
+	if p.LSN() < lsn {
+		p.SetLSN(lsn)
+	}
+	p.MarkDirty(false)
+	h.freeSpace[home.Page] = p.FreeSpace()
+	h.pool.Unpin(p)
+	h.stampRedoLSN(moved.Page, lsn)
+	return nil
+}
+
+// relocateMovedCopy moves another record's float copy (payload rec,
+// currently occupying slot from) out of a slot that a logged insert needs,
+// repointing the owner's home stub at the new location. A copy whose home
+// no longer points at it is an orphan and is abandoned.
+func (h *Heap) relocateMovedCopy(owner, from RID, rec []byte) error {
+	if !owner.IsValid() || owner.Page >= h.pool.dev.NumPages() {
+		return nil
+	}
+	hp, err := h.pool.Fetch(owner.Page)
+	if err != nil {
+		return err
+	}
+	raw, rerr := hp.ReadRecord(owner.Slot)
+	points := rerr == nil && len(raw) >= 9 && raw[0]&flagForward != 0 &&
+		UnpackRID(binary.LittleEndian.Uint64(raw[1:])) == from
+	h.pool.Unpin(hp)
+	if !points {
+		return nil
+	}
+	moved, err := h.insertPhysical(rec)
+	if err != nil {
+		return err
+	}
+	stub := make([]byte, 9)
+	stub[0] = flagForward
+	binary.LittleEndian.PutUint64(stub[1:], moved.Pack())
+	hp, err = h.pool.Fetch(owner.Page)
+	if err != nil {
+		return err
+	}
+	if err := hp.UpdateRecord(owner.Slot, stub); err != nil {
+		h.pool.Unpin(hp)
+		return err
+	}
+	hp.MarkDirty(false)
+	h.freeSpace[owner.Page] = hp.FreeSpace()
+	h.pool.Unpin(hp)
 	return nil
 }
 

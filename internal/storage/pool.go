@@ -5,6 +5,7 @@ import (
 	"container/list"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"sync"
 )
 
@@ -44,6 +45,14 @@ type BufferPool struct {
 
 	// freeList tracks deallocated device pages available for reuse.
 	freeList []PageID
+	// deferFrees quarantines deallocations made by the active transaction
+	// in pendingFree instead of freeList: their on-device content may still
+	// be referenced by committed records (e.g. the old overflow chain of an
+	// updated record), so handing them back to Allocate before the
+	// transaction's outcome is known would let a force-flushed reuse
+	// clobber committed data that a crash-abort still needs.
+	deferFrees  bool
+	pendingFree []PageID
 }
 
 type frame struct {
@@ -148,7 +157,11 @@ func (bp *BufferPool) Deallocate(id PageID) error {
 		bp.recyclePage(fr.page)
 		delete(bp.frames, id)
 	}
-	bp.freeList = append(bp.freeList, id)
+	if bp.deferFrees {
+		bp.pendingFree = append(bp.pendingFree, id)
+	} else {
+		bp.freeList = append(bp.freeList, id)
+	}
 	return nil
 }
 
@@ -179,11 +192,25 @@ func (bp *BufferPool) FlushPage(id PageID) error {
 
 // FlushAll writes every dirty page to the device and syncs it. Transaction-
 // dirty pages are flushed too — callers must only checkpoint at transaction
-// boundaries.
+// boundaries. Pages are written in ascending ID order so a given workload
+// produces one reproducible I/O sequence (fault injection counts on this).
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	for _, fr := range bp.frames {
+	ids := make([]PageID, 0, len(bp.frames))
+	for id := range bp.frames {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// The meta page goes last: its magic is what marks the database as born,
+	// so on the very first flush every other page must precede it — a crash
+	// mid-flush then leaves a recognizably half-born file (zero page 0)
+	// rather than a meta page pointing at pages that never landed.
+	if len(ids) > 0 && ids[0] == 0 {
+		ids = append(ids[1:], 0)
+	}
+	for _, id := range ids {
+		fr := bp.frames[id]
 		if err := bp.flushFrameLocked(fr.page); err != nil {
 			return err
 		}
@@ -192,14 +219,30 @@ func (bp *BufferPool) FlushAll() error {
 	return bp.dev.Sync()
 }
 
+// BeginTxn enters transaction mode for deallocations: pages freed while it
+// is in effect are quarantined until EndTxn decides their fate.
+func (bp *BufferPool) BeginTxn() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.deferFrees = true
+}
+
 // EndTxn clears the no-steal marks after the active transaction commits or
-// aborts, making its pages evictable again.
-func (bp *BufferPool) EndTxn() {
+// aborts, making its pages evictable again. On commit the transaction's
+// quarantined deallocations join the free list; on abort they are leaked
+// instead — the restored before-images may still reference their on-device
+// content, so they must never be reused.
+func (bp *BufferPool) EndTxn(committed bool) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	for _, fr := range bp.frames {
 		fr.page.txnDirty = false
 	}
+	if committed {
+		bp.freeList = append(bp.freeList, bp.pendingFree...)
+	}
+	bp.pendingFree = nil
+	bp.deferFrees = false
 }
 
 // DirtyPages returns the number of dirty pages currently buffered.
@@ -337,6 +380,45 @@ func isZeroPage(data []byte) bool {
 		}
 	}
 	return true
+}
+
+// VerifyPageChecksum reports whether a raw page image read off the device
+// is intact: checksum-valid or entirely zero (a freshly allocated slot a
+// crash abandoned before its first flush). Recovery uses it to sweep the
+// device for torn writes without routing the damage through the pool.
+func VerifyPageChecksum(id PageID, data []byte) error {
+	if len(data) != PageSize {
+		return fmt.Errorf("storage: verify buffer has %d bytes, want %d", len(data), PageSize)
+	}
+	return verifyChecksum(id, data)
+}
+
+// ZapPage replaces a page with a zeroed free page in the pool, without
+// reading it from the device (it may be torn beyond checksum validity).
+// Recovery quarantines checksum-invalid pages born after the crash horizon
+// this way: their committed content, if any, is reconstructed from the log.
+func (bp *BufferPool) ZapPage(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if id >= bp.dev.NumPages() {
+		return fmt.Errorf("storage: zap of page %d beyond device end %d", id, bp.dev.NumPages())
+	}
+	p := (*Page)(nil)
+	if fr, ok := bp.frames[id]; ok {
+		p = fr.page
+	} else {
+		var err error
+		p, err = bp.allocFrameLocked(id)
+		if err != nil {
+			return err
+		}
+	}
+	for i := range p.data {
+		p.data[i] = 0
+	}
+	p.SetType(PageFree)
+	p.dirty = true
+	return nil
 }
 
 // FreePages returns a copy of the device free list (for persistence).

@@ -66,12 +66,37 @@ func TestFileDeviceRejectsHolesAndTornFiles(t *testing.T) {
 		t.Error("short buffer should fail")
 	}
 	d.Close()
-	// Torn file: size not a multiple of PageSize.
-	if err := os.WriteFile(path, make([]byte, PageSize+100), 0o644); err != nil {
+	// Torn tail: a crash mid-grow leaves a partial page at the end. Opening
+	// must truncate the fragment and keep every full page.
+	full := make([]byte, PageSize)
+	copy(full, "survivor")
+	if err := os.WriteFile(path, append(append([]byte(nil), full...), make([]byte, 100)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if d2.NumPages() != 1 {
+		t.Errorf("NumPages after tail truncation = %d, want 1", d2.NumPages())
+	}
+	got := make([]byte, PageSize)
+	if err := d2.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("survivor")) {
+		t.Error("full page lost during tail truncation")
+	}
+	d2.Close()
+	if info, err := os.Stat(path); err != nil || info.Size() != PageSize {
+		t.Errorf("file not truncated to page boundary: size %d", info.Size())
+	}
+	// A file smaller than one page is not a database at all.
+	if err := os.WriteFile(path, make([]byte, 100), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := OpenFileDevice(path); err == nil {
-		t.Error("torn file accepted")
+		t.Error("sub-page file accepted")
 	}
 }
 
@@ -208,7 +233,7 @@ func TestBufferPoolNoStealTxnDirty(t *testing.T) {
 	if !present {
 		t.Fatal("txn-dirty page was evicted (no-steal violated)")
 	}
-	bp.EndTxn()
+	bp.EndTxn(true)
 	// Now it may be evicted.
 	for i := 0; i < 6; i++ {
 		q, err := bp.Allocate()

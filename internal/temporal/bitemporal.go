@@ -3,6 +3,7 @@ package temporal
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // Stamp is a bitemporal timestamp attached to every stored version: the
@@ -141,27 +142,32 @@ func DecodeElement(src []byte) (Element, int, error) {
 }
 
 // Clock issues strictly monotone transaction-time instants. The zero value
-// starts at instant 1. Clock is not safe for concurrent use; the
-// transaction manager serializes access to it.
+// starts at instant 1. Now may be called concurrently with Tick/Advance;
+// the transaction manager serializes the advancing side.
 type Clock struct {
-	last Instant
+	last int64 // accessed atomically
 }
 
 // NewClock returns a clock whose next tick is strictly after last.
-func NewClock(last Instant) *Clock { return &Clock{last: last} }
+func NewClock(last Instant) *Clock { return &Clock{last: int64(last)} }
 
 // Tick returns the next instant, strictly greater than any previous tick.
 func (c *Clock) Tick() Instant {
-	c.last++
-	return c.last
+	return Instant(atomic.AddInt64(&c.last, 1))
 }
 
 // Now returns the most recently issued instant without advancing the clock.
-func (c *Clock) Now() Instant { return c.last }
+func (c *Clock) Now() Instant { return Instant(atomic.LoadInt64(&c.last)) }
 
 // Advance moves the clock forward to at least t.
 func (c *Clock) Advance(t Instant) {
-	if t > c.last {
-		c.last = t
+	for {
+		cur := atomic.LoadInt64(&c.last)
+		if int64(t) <= cur {
+			return
+		}
+		if atomic.CompareAndSwapInt64(&c.last, cur, int64(t)) {
+			return
+		}
 	}
 }

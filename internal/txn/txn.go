@@ -95,6 +95,7 @@ func (m *Manager) Begin() (*Txn, error) {
 	}
 	m.heap.SetTxnActive(true)
 	m.heap.SetUndoRecorder(t)
+	m.pool.BeginTxn()
 	m.active = t
 	return t, nil
 }
@@ -172,7 +173,7 @@ func (t *Txn) finish(committed bool) {
 	m := t.mgr
 	m.heap.SetUndoRecorder(nil)
 	m.heap.SetTxnActive(false)
-	m.pool.EndTxn()
+	m.pool.EndTxn(committed)
 	m.mu.Lock()
 	m.active = nil
 	if committed {

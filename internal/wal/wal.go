@@ -52,11 +52,22 @@ type Options struct {
 	SyncOnCommit bool
 }
 
+// File is the byte-level handle a WAL runs on. *os.File implements it; the
+// fault package wraps one to inject torn appends and failed syncs, which is
+// why the WAL goes through this seam rather than *os.File directly.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
 // WAL is the write-ahead log over a single file. It implements
 // storage.RedoLogger; install it on the heap so mutations are captured.
 type WAL struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    File
 	path string
 	opts Options
 
@@ -80,7 +91,16 @@ func Open(path string, opts Options) (*WAL, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: stat: %w", err)
 	}
-	return &WAL{f: f, path: path, opts: opts, nextLSN: 1, size: info.Size()}, nil
+	w := OpenFile(f, info.Size(), opts)
+	w.path = path
+	return w, nil
+}
+
+// OpenFile wraps an already-open log file handle of the given current size.
+// It is the injection seam for tests that need to interpose on the log's
+// I/O (see internal/fault); regular callers use Open.
+func OpenFile(f File, size int64, opts Options) *WAL {
+	return &WAL{f: f, opts: opts, nextLSN: 1, size: size}
 }
 
 // SetNextLSN moves the LSN counter past LSNs already used (called after
@@ -279,12 +299,21 @@ func decodeRecord(payload []byte) (Record, error) {
 func (w *WAL) ReadAll() ([]Record, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("wal: seek: %w", err)
-	}
-	data, err := io.ReadAll(w.f)
-	if err != nil {
-		return nil, fmt.Errorf("wal: read: %w", err)
+	records, _, err := w.readAllLocked()
+	return records, err
+}
+
+// readAllLocked decodes the intact record prefix and returns it together
+// with the byte offset where that prefix ends (the start of any torn or
+// corrupt tail).
+func (w *WAL) readAllLocked() ([]Record, int64, error) {
+	data := make([]byte, w.size)
+	if w.size > 0 {
+		n, err := w.f.ReadAt(data, 0)
+		if err != nil && err != io.EOF {
+			return nil, 0, fmt.Errorf("wal: read: %w", err)
+		}
+		data = data[:n]
 	}
 	var out []Record
 	off := 0
@@ -305,7 +334,7 @@ func (w *WAL) ReadAll() ([]Record, error) {
 		out = append(out, r)
 		off += 8 + n
 	}
-	return out, nil
+	return out, int64(off), nil
 }
 
 // RecoveryStats summarizes a replay.
@@ -314,17 +343,39 @@ type RecoveryStats struct {
 	Committed int    // records belonging to committed transactions
 	Replayed  int    // redo operations applied (page-LSN guard may no-op them)
 	MaxLSN    uint64 // highest LSN seen
+	TornBytes int64  // bytes of torn/corrupt tail truncated away
 }
 
 // Replay applies the redo records of committed transactions to the heap,
 // in log order, and returns statistics. Call SetNextLSN(stats.MaxLSN+1)
 // afterwards (Replay does it internally as well).
+//
+// A torn or corrupt tail (the bytes a crash left after the last intact
+// record) is truncated away before replay: leaving it in place would make
+// post-recovery commits append *behind* garbage that a future ReadAll
+// stops at, silently losing them on the next crash.
 func (w *WAL) Replay(h *storage.Heap) (RecoveryStats, error) {
-	records, err := w.ReadAll()
+	w.mu.Lock()
+	records, validEnd, err := w.readAllLocked()
 	if err != nil {
+		w.mu.Unlock()
 		return RecoveryStats{}, err
 	}
-	stats := RecoveryStats{Records: len(records)}
+	var torn int64
+	if validEnd < w.size {
+		torn = w.size - validEnd
+		if err := w.f.Truncate(validEnd); err != nil {
+			w.mu.Unlock()
+			return RecoveryStats{}, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			w.mu.Unlock()
+			return RecoveryStats{}, fmt.Errorf("wal: sync after tail truncation: %w", err)
+		}
+		w.size = validEnd
+	}
+	w.mu.Unlock()
+	stats := RecoveryStats{Records: len(records), TornBytes: torn}
 	committed := map[uint64]bool{}
 	for _, r := range records {
 		if r.Op == OpCommit {

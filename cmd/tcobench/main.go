@@ -5,25 +5,68 @@
 //
 //	tcobench                # everything
 //	tcobench -scale 2 R-T1  # a bigger R-T1 only
+//
+// Alongside the printed tables, the run is written as machine-readable
+// telemetry to BENCH_scale<N>.json in -out (wall time, result rows, and
+// engine counter snapshots per experiment). -debug-addr serves expvar and
+// pprof while the suite runs; -linger keeps the server up afterwards.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"tcodm/internal/experiments"
+	"tcodm/internal/obs"
 )
+
+// benchResult is one experiment in the JSON report.
+type benchResult struct {
+	ID        string            `json:"id"`
+	Title     string            `json:"title"`
+	ElapsedNS int64             `json:"elapsed_ns"`
+	Columns   []string          `json:"columns"`
+	Rows      [][]string        `json:"rows"`
+	Notes     []string          `json:"notes,omitempty"`
+	Counters  map[string]uint64 `json:"counters,omitempty"`
+}
+
+// benchReport is the whole run.
+type benchReport struct {
+	Scale       int           `json:"scale"`
+	StartedAt   time.Time     `json:"started_at"`
+	TotalNS     int64         `json:"total_ns"`
+	Experiments []benchResult `json:"experiments"`
+}
 
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
+	out := flag.String("out", ".", "directory for the BENCH_scale<N>.json report (empty = no report)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address while the suite runs")
+	linger := flag.Duration("linger", 0, "keep the process (and debug server) alive this long after the suite")
 	flag.Parse()
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[strings.ToUpper(a)] = true
 	}
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	report := &benchReport{Scale: *scale, StartedAt: time.Now()}
+	if *debugAddr != "" {
+		// Expose the report as it accumulates: each finished experiment's
+		// counters and timings appear under /debug/vars key "tcodm".
+		obs.SetDebugVars(func() any { return report })
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(debug server on http://%s/debug/vars)\n", addr)
+	}
 
 	dir, err := os.MkdirTemp("", "tcobench")
 	if err != nil {
@@ -49,16 +92,40 @@ func main() {
 		{"R-A1", func() (*experiments.Table, error) { return experiments.RA1SegmentCap(s) }},
 		{"R-F8", func() (*experiments.Table, error) { return experiments.RF8ValueIndex(s) }},
 		{"R-A2", func() (*experiments.Table, error) { return experiments.RA2Vacuum(s) }},
+		{"R-T6", func() (*experiments.Table, error) { return experiments.RT6Overhead(s, dir) }},
 	}
+	suiteStart := time.Now()
 	for _, e := range suite {
 		if !sel(e.id) {
 			continue
 		}
+		start := time.Now()
 		t, err := e.run()
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.id, err))
 		}
 		fmt.Println(t)
+		report.Experiments = append(report.Experiments, benchResult{
+			ID: t.ID, Title: t.Title, ElapsedNS: time.Since(start).Nanoseconds(),
+			Columns: t.Columns, Rows: t.Rows, Notes: t.Notes, Counters: t.Counters,
+		})
+	}
+	report.TotalNS = time.Since(suiteStart).Nanoseconds()
+
+	if *out != "" && len(report.Experiments) > 0 {
+		path := filepath.Join(*out, fmt.Sprintf("BENCH_scale%d.json", *scale))
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", path, len(report.Experiments))
+	}
+	if *linger > 0 {
+		fmt.Printf("lingering %s for debug scraping...\n", *linger)
+		time.Sleep(*linger)
 	}
 }
 

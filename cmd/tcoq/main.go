@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"tcodm/internal/core"
+	"tcodm/internal/obs"
 	"tcodm/internal/schema"
 	"tcodm/internal/workload"
 )
@@ -27,15 +28,28 @@ import (
 func main() {
 	dbPath := flag.String("db", "", "database file (empty = in-memory)")
 	oneShot := flag.String("c", "", "execute one query and exit")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
+	slow := flag.Duration("slow", 0, "log queries at or above this duration (0 = off)")
 	flag.Parse()
 
-	db, err := core.Open(core.Options{Path: *dbPath, TimeIndex: true})
+	db, err := core.Open(core.Options{Path: *dbPath, TimeIndex: true, SlowQueryThreshold: *slow})
 	if err != nil {
 		fatal(err)
 	}
 	defer db.Close()
 	if db.Recovered {
 		fmt.Println("(crash recovery performed)")
+		rs := db.RecoveryStats()
+		fmt.Printf("(replayed %d of %d log records, %d committed, %d torn bytes truncated)\n",
+			rs.Replayed, rs.Records, rs.Committed, rs.TornBytes)
+	}
+	if *debugAddr != "" {
+		db.PublishDebugVars()
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(debug server on http://%s/debug/vars)\n", addr)
 	}
 	if *oneShot != "" {
 		res, err := db.Query(*oneShot)
@@ -67,6 +81,10 @@ func main() {
 			printSchema(db)
 		case line == ".stats":
 			printStats(db)
+		case line == ".slowlog":
+			printSlowLog(db)
+		case strings.HasPrefix(line, ".explain "):
+			explain(db, strings.TrimSpace(strings.TrimPrefix(line, ".explain")))
 		case strings.HasPrefix(line, ".load"):
 			loadWorkload(db, strings.Fields(line))
 		case line == ".vacuum":
@@ -101,9 +119,12 @@ func help() {
   SELECT (T.attr, ..., COUNT(T)) FROM <Type|Molecule> [WHERE ...] [WHEN ...] [AT t] [ASOF t]
   SELECT HISTORY(attr) FROM <Type> [WHERE ...] [DURING [a, b)]
   WHEN VALID(attr) OVERLAPS|CONTAINS|DURING|PRECEDES|MEETS|EQUALS PERIOD [a, b)
+  EXPLAIN [ANALYZE] SELECT ...   show the plan (ANALYZE also runs it, with per-operator rows/times)
 Shell commands:
   .schema            print the catalog
-  .stats             engine statistics
+  .stats             engine statistics (layer counters, latency quantiles, query metrics)
+  .explain <query>   shorthand for EXPLAIN ANALYZE <query>
+  .slowlog           recent slow queries (enable with -slow <dur>)
   .load personnel    load the synthetic personnel workload (defines its schema)
   .load cad          load the synthetic design workload
   .vacuum            purge versions superseded before the current instant
@@ -152,6 +173,39 @@ func printStats(db *core.Engine) {
 		s.Pool.Hits, s.Pool.Misses, s.Pool.HitRatio(), s.Pool.Evictions)
 	fmt.Printf("atom layer: fast loads %d, full loads %d, segment reads %d, snapshot hops %d\n",
 		s.AtomLayer.FastLoads, s.AtomLayer.FullLoads, s.AtomLayer.SegmentReads, s.AtomLayer.SnapshotHops)
+	if reg := db.Metrics(); reg != nil {
+		fmt.Print(reg.String())
+	}
+	if t := db.SlowLog().Threshold(); t > 0 {
+		fmt.Printf("slow queries: %d captured (threshold %s)\n", db.SlowLog().Total(), t)
+	}
+}
+
+func printSlowLog(db *core.Engine) {
+	sl := db.SlowLog()
+	if sl.Threshold() == 0 {
+		fmt.Println("slow-query log disabled; restart with -slow <duration> (e.g. -slow 10ms)")
+		return
+	}
+	entries := sl.Entries()
+	if len(entries) == 0 {
+		fmt.Printf("no queries at or above %s yet\n", sl.Threshold())
+		return
+	}
+	fmt.Print(sl.String())
+}
+
+func explain(db *core.Engine, q string) {
+	if q == "" {
+		fmt.Println("usage: .explain <query>")
+		return
+	}
+	res, err := db.Query("EXPLAIN ANALYZE " + q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(res.Plan)
 }
 
 func loadWorkload(db *core.Engine, args []string) {

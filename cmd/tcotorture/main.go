@@ -18,6 +18,7 @@ import (
 
 	"tcodm/internal/atom"
 	"tcodm/internal/fault"
+	"tcodm/internal/obs"
 )
 
 func main() {
@@ -26,7 +27,19 @@ func main() {
 	batch := flag.Int("batch", 5, "operations per transaction")
 	strategy := flag.String("strategy", "", "run only this storage strategy (embedded, separated, tuple)")
 	verbose := flag.Bool("v", false, "log each scenario's outcome")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address while scenarios run")
 	flag.Parse()
+
+	results := map[string]*fault.Result{}
+	if *debugAddr != "" {
+		obs.SetDebugVars(func() any { return results })
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcotorture: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(debug server on http://%s/debug/vars)\n", addr)
+	}
 
 	if *cuts < 1 {
 		fmt.Fprintf(os.Stderr, "tcotorture: -cuts must be at least 1 (got %d)\n", *cuts)
@@ -70,9 +83,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tcotorture: %s: %v\n", strat, err)
 			os.Exit(1)
 		}
+		results[strat.String()] = res
 		total += res.Scenarios
 		fmt.Printf("%-10s %4d scenarios: %d recovered, %d refused, %d clean, %d violations\n",
 			strat, res.Scenarios, res.Recovered, res.Refused, res.Clean, len(res.Violations))
+		fmt.Printf("%-10s recovery replay: %d records read, %d committed, %d redo ops applied, %d torn bytes truncated\n",
+			"", res.Replay.Records, res.Replay.Committed, res.Replay.Replayed, res.Replay.TornBytes)
 		for _, v := range res.Violations {
 			failed = true
 			fmt.Printf("  VIOLATION: %s\n", v)

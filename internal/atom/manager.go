@@ -3,9 +3,9 @@ package atom
 import (
 	"encoding/binary"
 	"fmt"
-	"sync/atomic"
 
 	"tcodm/internal/index"
+	"tcodm/internal/obs"
 	"tcodm/internal/schema"
 	"tcodm/internal/storage"
 	"tcodm/internal/temporal"
@@ -63,12 +63,40 @@ type Options struct {
 	ValueIndex bool
 }
 
-// Stats counts physical work, letting benchmarks attribute costs.
+// Stats counts physical work, letting benchmarks attribute costs. It is a
+// point-in-time view over the manager's obs metrics (see atomMetrics), kept
+// for callers that predate the observability layer.
 type Stats struct {
 	FastLoads    uint64 // reads satisfied by the current record alone
 	FullLoads    uint64 // reads that materialized the complete history
 	SegmentReads uint64 // history segments fetched
 	SnapshotHops uint64 // tuple-chain records walked
+}
+
+// atomMetrics holds the manager's instrumentation handles. Defaults are
+// standalone obs counters so direct-construction callers (tests, tools)
+// still get Stats(); SetMetrics rebinds to a registry or disables them.
+// The counters sit on hot read paths and stay counter-only; the chain-depth
+// and decode-latency histograms fire once per full materialization, which
+// is already a multi-page operation.
+type atomMetrics struct {
+	fastLoads    *obs.Counter
+	fullLoads    *obs.Counter
+	segmentReads *obs.Counter
+	snapshotHops *obs.Counter
+	chainDepth   *obs.Histogram // segments (or snapshots) walked per full load
+	decodeNS     *obs.Histogram // full-history materialization latency
+}
+
+func standaloneAtomMetrics() atomMetrics {
+	return atomMetrics{
+		fastLoads:    obs.NewCounter(),
+		fullLoads:    obs.NewCounter(),
+		segmentReads: obs.NewCounter(),
+		snapshotHops: obs.NewCounter(),
+		chainDepth:   obs.NewHistogram(),
+		decodeNS:     obs.NewHistogram(),
+	}
 }
 
 // Manager realizes temporal atoms on the heap under one strategy, with a
@@ -85,7 +113,7 @@ type Manager struct {
 	timeIdx  *index.BPTree // nil unless opts.TimeIndex
 	valueIdx *index.BPTree // nil unless opts.ValueIndex
 	nextID   uint64
-	stats    Stats
+	met      atomMetrics
 	idxUndo  IndexUndo
 	// maxTrans is the largest transaction-time instant seen by the last
 	// RebuildIndexes scan. After recovery the engine clock must advance
@@ -128,7 +156,8 @@ func NewManager(heap *storage.Heap, pool *storage.BufferPool, sch *schema.Schema
 	if err != nil {
 		return nil, err
 	}
-	m := &Manager{heap: heap, schema: sch, opts: opts, primary: primary, typeIdx: typeIdx, nextID: 1}
+	m := &Manager{heap: heap, schema: sch, opts: opts, primary: primary, typeIdx: typeIdx, nextID: 1,
+		met: standaloneAtomMetrics()}
 	if opts.TimeIndex {
 		ti, err := index.New(pool)
 		if err != nil {
@@ -159,7 +188,8 @@ func OpenManager(heap *storage.Heap, pool *storage.BufferPool, sch *schema.Schem
 	if err != nil {
 		return nil, err
 	}
-	m := &Manager{heap: heap, schema: sch, opts: opts, primary: primary, typeIdx: typeIdx, nextID: roots.NextID}
+	m := &Manager{heap: heap, schema: sch, opts: opts, primary: primary, typeIdx: typeIdx, nextID: roots.NextID,
+		met: standaloneAtomMetrics()}
 	if opts.TimeIndex {
 		if roots.Time == storage.InvalidPage {
 			return nil, fmt.Errorf("atom: time index requested but no persisted root")
@@ -216,28 +246,50 @@ func (m *Manager) idxPut(t *index.BPTree, key []byte, val uint64) error {
 	return t.Insert(key, val)
 }
 
-// Stats returns the physical-work counters. The counters are maintained
-// with atomic adds because read paths bump them under the engine's shared
-// read lock (concurrent readers would otherwise race).
+// SetMetrics binds the manager's instrumentation to reg under "atom.*"
+// names. A nil registry disables instrumentation entirely. Call before
+// concurrent use: the handles are read without synchronization on read
+// paths that run under the engine's shared lock.
+func (m *Manager) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		m.met = atomMetrics{}
+		return
+	}
+	m.met = atomMetrics{
+		fastLoads:    reg.Counter("atom.fast_loads"),
+		fullLoads:    reg.Counter("atom.full_loads"),
+		segmentReads: reg.Counter("atom.segment_reads"),
+		snapshotHops: reg.Counter("atom.snapshot_hops"),
+		chainDepth:   reg.Histogram("atom.chain_depth"),
+		decodeNS:     reg.Histogram("atom.decode_ns"),
+	}
+}
+
+// Stats returns the physical-work counters. The counters are atomic
+// because read paths bump them under the engine's shared read lock
+// (concurrent readers would otherwise race).
 func (m *Manager) Stats() Stats {
 	return Stats{
-		FastLoads:    atomic.LoadUint64(&m.stats.FastLoads),
-		FullLoads:    atomic.LoadUint64(&m.stats.FullLoads),
-		SegmentReads: atomic.LoadUint64(&m.stats.SegmentReads),
-		SnapshotHops: atomic.LoadUint64(&m.stats.SnapshotHops),
+		FastLoads:    m.met.fastLoads.Value(),
+		FullLoads:    m.met.fullLoads.Value(),
+		SegmentReads: m.met.segmentReads.Value(),
+		SnapshotHops: m.met.snapshotHops.Value(),
 	}
 }
 
 // ResetStats zeroes the counters (benchmark support).
 func (m *Manager) ResetStats() {
-	atomic.StoreUint64(&m.stats.FastLoads, 0)
-	atomic.StoreUint64(&m.stats.FullLoads, 0)
-	atomic.StoreUint64(&m.stats.SegmentReads, 0)
-	atomic.StoreUint64(&m.stats.SnapshotHops, 0)
+	m.met.fastLoads.Reset()
+	m.met.fullLoads.Reset()
+	m.met.segmentReads.Reset()
+	m.met.snapshotHops.Reset()
 }
 
 // Strategy returns the active storage strategy.
 func (m *Manager) Strategy() Strategy { return m.opts.Strategy }
+
+// HasTimeIndex reports whether the version time index is maintained.
+func (m *Manager) HasTimeIndex() bool { return m.timeIdx != nil }
 
 // Schema returns the schema the manager validates against.
 func (m *Manager) Schema() *schema.Schema { return m.schema }

@@ -2,7 +2,7 @@ package atom
 
 import (
 	"fmt"
-	"sync/atomic"
+	"time"
 
 	"tcodm/internal/schema"
 	"tcodm/internal/storage"
@@ -303,7 +303,7 @@ func (m *Manager) separatedMutate(id value.ID, span temporal.Interval, apply fun
 // separatedMutateFull handles retroactive changes: materialize everything,
 // apply, then rebuild the current record and the whole history chain.
 func (m *Manager) separatedMutateFull(id value.ID, rid storage.RID, apply func(*Atom) ([]Version, error), tt temporal.Instant) error {
-	atomic.AddUint64(&m.stats.FullLoads, 1)
+	m.met.fullLoads.Inc()
 	a, hdr, err := m.loadSeparatedFull(rid)
 	if err != nil {
 		return err
@@ -410,6 +410,10 @@ func (m *Manager) appendHistory(hdr SepHeader, entries []HistoryEntry) (SepHeade
 // loadSeparatedFull materializes the complete atom: current record plus the
 // whole history chain.
 func (m *Manager) loadSeparatedFull(rid storage.RID) (*Atom, SepHeader, error) {
+	start := time.Time{}
+	if m.met.decodeNS != nil {
+		start = time.Now()
+	}
 	data, err := m.heap.Fetch(rid)
 	if err != nil {
 		return nil, SepHeader{}, err
@@ -418,9 +422,11 @@ func (m *Manager) loadSeparatedFull(rid storage.RID) (*Atom, SepHeader, error) {
 	if err != nil {
 		return nil, SepHeader{}, err
 	}
+	depth := uint64(0)
 	seg := hdr.Head
 	for seg.IsValid() {
-		atomic.AddUint64(&m.stats.SegmentReads, 1)
+		m.met.segmentReads.Inc()
+		depth++
 		data, err := m.heap.Fetch(seg)
 		if err != nil {
 			return nil, SepHeader{}, err
@@ -441,6 +447,10 @@ func (m *Manager) loadSeparatedFull(rid storage.RID) (*Atom, SepHeader, error) {
 			ad.Versions = append(ad.Versions, e.Ver)
 		}
 		seg = prev
+	}
+	m.met.chainDepth.Record(depth)
+	if !start.IsZero() {
+		m.met.decodeNS.Observe(time.Since(start))
 	}
 	return a, hdr, nil
 }

@@ -3,7 +3,7 @@ package atom
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
+	"time"
 
 	"tcodm/internal/schema"
 	"tcodm/internal/storage"
@@ -78,7 +78,7 @@ func (m *Manager) Load(id value.ID) (*Atom, error) {
 	}
 	switch m.opts.Strategy {
 	case StrategyEmbedded:
-		atomic.AddUint64(&m.stats.FullLoads, 1)
+		m.met.fullLoads.Inc()
 		data, err := m.heap.Fetch(rid)
 		if err != nil {
 			return nil, err
@@ -89,7 +89,7 @@ func (m *Manager) Load(id value.ID) (*Atom, error) {
 		}
 		return m.reconcile(a), nil
 	case StrategySeparated:
-		atomic.AddUint64(&m.stats.FullLoads, 1)
+		m.met.fullLoads.Inc()
 		a, _, err := m.loadSeparatedFull(rid)
 		if err != nil {
 			return nil, err
@@ -112,7 +112,7 @@ func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant) (*Atom, error) {
 	}
 	switch m.opts.Strategy {
 	case StrategyEmbedded:
-		atomic.AddUint64(&m.stats.FastLoads, 1)
+		m.met.fastLoads.Inc()
 		data, err := m.heap.Fetch(rid)
 		if err != nil {
 			return nil, err
@@ -137,10 +137,10 @@ func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant) (*Atom, error) {
 		// every current-shaped version already covers: vt at or after the
 		// latest current version start and at or after the watermark.
 		if tt == Now && vt >= hdr.Watermark && coversCurrent(a, vt) {
-			atomic.AddUint64(&m.stats.FastLoads, 1)
+			m.met.fastLoads.Inc()
 			return a, nil
 		}
-		atomic.AddUint64(&m.stats.FullLoads, 1)
+		m.met.fullLoads.Inc()
 		full, _, err := m.loadSeparatedFull(rid)
 		if err != nil {
 			return nil, err
@@ -268,7 +268,7 @@ func (m *Manager) tupleStateAt(id value.ID, vt, tt temporal.Instant) (*State, er
 	ett := effectiveTT(tt)
 	var first *Snapshot
 	for rid.IsValid() {
-		atomic.AddUint64(&m.stats.SnapshotHops, 1)
+		m.met.snapshotHops.Inc()
 		data, err := m.heap.Fetch(rid)
 		if err != nil {
 			return nil, err
@@ -390,9 +390,13 @@ func (m *Manager) tupleLoad(rid storage.RID) (*Atom, error) {
 
 // tupleChain returns the snapshot chain oldest-first.
 func (m *Manager) tupleChain(rid storage.RID) ([]*Snapshot, error) {
+	start := time.Time{}
+	if m.met.decodeNS != nil {
+		start = time.Now()
+	}
 	var chain []*Snapshot
 	for rid.IsValid() {
-		atomic.AddUint64(&m.stats.SnapshotHops, 1)
+		m.met.snapshotHops.Inc()
 		data, err := m.heap.Fetch(rid)
 		if err != nil {
 			return nil, err
@@ -407,6 +411,10 @@ func (m *Manager) tupleChain(rid storage.RID) ([]*Snapshot, error) {
 	// Reverse to oldest-first.
 	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
 		chain[i], chain[j] = chain[j], chain[i]
+	}
+	m.met.chainDepth.Record(uint64(len(chain)))
+	if !start.IsZero() {
+		m.met.decodeNS.Observe(time.Since(start))
 	}
 	return chain, nil
 }

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"tcodm/internal/atom"
 	"tcodm/internal/molecule"
+	"tcodm/internal/obs"
 	"tcodm/internal/query"
 	"tcodm/internal/schema"
 	"tcodm/internal/storage"
@@ -45,6 +47,14 @@ type Options struct {
 	// OpenWAL, when non-nil, replaces wal.Open for the log file (fault-
 	// injection seam; see internal/fault).
 	OpenWAL func(path string, opts wal.Options) (*wal.WAL, error)
+	// DisableMetrics turns the observability layer off: no registry is
+	// created and every instrumented component gets nil metric handles
+	// (true no-ops on the hot paths).
+	DisableMetrics bool
+	// SlowQueryThreshold enables the slow-query log for queries at or
+	// above the given duration (0 = disabled; adjustable at runtime via
+	// SlowLog().SetThreshold).
+	SlowQueryThreshold time.Duration
 }
 
 // Engine is one open database.
@@ -69,6 +79,18 @@ type Engine struct {
 
 	// Recovered reports whether opening required crash recovery.
 	Recovered bool
+
+	// metrics is the engine-wide registry (nil when DisableMetrics).
+	metrics *obs.Registry
+	// slow is the slow-query log (always non-nil; threshold 0 disables).
+	slow *obs.SlowLog
+	// tracer records recent engine events in a bounded ring.
+	tracer *obs.Tracer
+	// recovery holds the WAL replay statistics from the last unclean open.
+	recovery wal.RecoveryStats
+
+	queryNS   *obs.Histogram // query latency (ns); nil when metrics off
+	queryRuns *obs.Counter
 }
 
 // metaPayload is the engine state persisted in the meta page.
@@ -99,6 +121,13 @@ func Open(opts Options) (*Engine, error) {
 		opts.PoolPages = 1024
 	}
 	e := &Engine{opts: opts, clock: temporal.NewClock(0)}
+	e.slow = obs.NewSlowLog(64, opts.SlowQueryThreshold)
+	if !opts.DisableMetrics {
+		e.metrics = obs.New()
+		e.tracer = obs.NewTracer(256)
+		e.queryNS = e.metrics.Histogram("query.ns")
+		e.queryRuns = e.metrics.Counter("query.runs")
+	}
 
 	var err error
 	if opts.Path == "" {
@@ -149,6 +178,14 @@ func Open(opts Options) (*Engine, error) {
 		e.pool.SetFlushHook(e.log.EnsureDurable)
 	}
 	e.heap = storage.NewHeap(e.pool, nil)
+	// Bind (or, with DisableMetrics, sever) component instrumentation.
+	// e.metrics is nil when metrics are off, which SetMetrics maps to nil
+	// no-op handles throughout.
+	e.pool.SetMetrics(e.metrics)
+	e.heap.SetMetrics(e.metrics)
+	if e.log != nil {
+		e.log.SetMetrics(e.metrics)
+	}
 
 	if e.dev.NumPages() == 0 {
 		err = e.bootstrap()
@@ -162,9 +199,22 @@ func Open(opts Options) (*Engine, error) {
 	if e.log != nil {
 		e.heap.SetLogger(e.log)
 	}
+	e.atoms.SetMetrics(e.metrics)
 	e.txns = txn.NewManager(e.clock, e.log, e.heap, e.pool)
+	e.txns.SetMetrics(e.metrics)
 	e.builder = molecule.NewBuilder(e.atoms)
 	e.queries = query.NewEngine(e.atoms)
+	if e.metrics != nil {
+		// Record how the database came up; after a clean open all recovery
+		// gauges read zero.
+		e.metrics.Gauge("recovery.records").Set(int64(e.recovery.Records))
+		e.metrics.Gauge("recovery.committed").Set(int64(e.recovery.Committed))
+		e.metrics.Gauge("recovery.replayed").Set(int64(e.recovery.Replayed))
+		e.metrics.Gauge("recovery.torn_bytes").Set(e.recovery.TornBytes)
+		if e.Recovered {
+			e.metrics.Gauge("recovery.unclean_opens").Set(1)
+		}
+	}
 
 	// Mark the database dirty on disk so a crash triggers recovery.
 	if opts.Path != "" {
@@ -248,9 +298,11 @@ func (e *Engine) recoverOrLoad() error {
 		// the replayed transactions reused; drop it (leaking the pages is
 		// safe, reusing them is not).
 		e.pool.SetFreePages(nil)
-		if _, err := e.log.Replay(e.heap); err != nil {
+		rstats, err := e.log.Replay(e.heap)
+		if err != nil {
 			return err
 		}
+		e.recovery = rstats
 	}
 
 	e.catalogRID = storage.UnpackRID(meta.CatalogRID)
@@ -666,11 +718,25 @@ func (e *Engine) Vacuum(beforeTT temporal.Instant) (int, error) {
 }
 
 // Query runs a TMQL statement. Queries without an AT clause slice at the
-// engine clock's current instant.
+// engine clock's current instant. Each run is timed into the query.ns
+// histogram and offered to the slow-query log.
 func (e *Engine) Query(src string) (*query.Result, error) {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.queries.Run(src, e.clock.Now())
+	start := time.Now()
+	res, err := e.queries.Run(src, e.clock.Now())
+	dur := time.Since(start)
+	e.mu.RUnlock()
+
+	e.queryRuns.Inc()
+	e.queryNS.Observe(dur)
+	if err == nil {
+		rows := len(res.Rows) + len(res.Molecules)
+		if e.slow.Observe(src, dur, rows, res.Plan) && e.tracer != nil {
+			e.tracer.Point(e.tracer.NextTraceID(), "slow-query",
+				fmt.Sprintf("dur=%s rows=%d", dur, rows))
+		}
+	}
+	return res, err
 }
 
 // IDs lists the atoms of a type.
@@ -703,6 +769,50 @@ func (e *Engine) Stats() Stats {
 		s.LogBytes = e.log.Size()
 	}
 	return s
+}
+
+// Metrics exposes the engine-wide metric registry (nil when metrics are
+// disabled).
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// SlowLog exposes the slow-query log (never nil; threshold 0 = disabled).
+func (e *Engine) SlowLog() *obs.SlowLog { return e.slow }
+
+// Tracer exposes the engine event ring (nil when metrics are disabled).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// RecoveryStats returns the WAL replay statistics from this open. All
+// zeros when the previous shutdown was clean (check Recovered).
+func (e *Engine) RecoveryStats() wal.RecoveryStats { return e.recovery }
+
+// CounterSnapshot returns every registered counter by name — the
+// machine-readable form used by tcobench's BENCH_*.json and the debug
+// endpoint. Nil when metrics are disabled.
+func (e *Engine) CounterSnapshot() map[string]uint64 {
+	if e.metrics == nil {
+		return nil
+	}
+	return e.metrics.Counters()
+}
+
+// PublishDebugVars exposes this engine's metric snapshot through the
+// expvar endpoint (`/debug/vars`, key "tcodm"). Only one engine per
+// process can be published at a time; pass through obs.SetDebugVars(nil)
+// semantics by calling with a closed engine is not needed — the snapshot
+// function only touches the registry, which outlives Close.
+func (e *Engine) PublishDebugVars() {
+	if e.metrics == nil {
+		return
+	}
+	obs.SetDebugVars(func() any {
+		snap := e.metrics.Snapshot()
+		snap["slowlog"] = map[string]any{
+			"total":     e.slow.Total(),
+			"threshold": e.slow.Threshold().String(),
+		}
+		snap["recovery"] = e.recovery
+		return snap
+	})
 }
 
 // interface assertions

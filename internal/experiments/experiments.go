@@ -34,6 +34,23 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Counters carries engine counter snapshots captured during the run
+	// (machine-readable telemetry for BENCH_*.json); keys are prefixed
+	// with the capture point, e.g. "separated/pool.misses".
+	Counters map[string]uint64
+}
+
+// AddCounters merges a counter snapshot into the table under prefix.
+func (t *Table) AddCounters(prefix string, counters map[string]uint64) {
+	if len(counters) == 0 {
+		return
+	}
+	if t.Counters == nil {
+		t.Counters = make(map[string]uint64, len(counters))
+	}
+	for k, v := range counters {
+		t.Counters[prefix+"/"+k] = v
+	}
 }
 
 // String renders the table.

@@ -42,6 +42,8 @@ func RT1StorageCost(scale Scale) (*Table, error) {
 				return nil, err
 			}
 			sizes[s] = int64(db.Stats().DevicePags) * 8192
+			// Keep the last (largest-volume) build's telemetry per strategy.
+			t.AddCounters(s.String(), db.CounterSnapshot())
 			db.Close()
 		}
 		// Snapshot-copy baseline.
@@ -431,6 +433,7 @@ func RT3Txn(scale Scale, dir string) (*Table, error) {
 		elapsed := time.Since(start)
 		t.Rows = append(t.Rows, []string{name, fmt.Sprint(n), dur(elapsed),
 			fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds())})
+		t.AddCounters(name, db.CounterSnapshot())
 		return nil
 	}
 	if err := run("in-memory (no log)", core.Options{}, 1); err != nil {
@@ -481,6 +484,11 @@ func RT3Txn(scale Scale, dir string) (*Table, error) {
 	}
 	elapsed := time.Since(start)
 	recovered := db2.Stats().Atoms
+	t.AddCounters("recovery", db2.CounterSnapshot())
+	rs := db2.RecoveryStats()
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"recovery replayed %d of %d log records (%d committed, %d torn bytes)",
+		rs.Replayed, rs.Records, rs.Committed, rs.TornBytes))
 	db2.Close()
 	t.Rows = append(t.Rows, []string{
 		fmt.Sprintf("recovery (%.1f MiB log, %d atoms)", float64(logBytes)/(1<<20), recovered),

@@ -43,6 +43,24 @@ type Result struct {
 	Clean      int      // scenarios whose fault never fired
 	ProbeOps   int      // I/O operations counted in the fault-free probe
 	Violations []string // invariant violations, "<scenario>: <detail>"
+	// Replay aggregates the WAL replay statistics across every recovered
+	// scenario's first reopen (the recovery the crash forced).
+	Replay ReplaySummary
+}
+
+// ReplaySummary totals WAL replay work over many recoveries.
+type ReplaySummary struct {
+	Records   int   // log records read
+	Committed int   // records of committed transactions
+	Replayed  int   // redo operations applied
+	TornBytes int64 // torn log tail bytes truncated
+}
+
+func (s *ReplaySummary) add(rs wal.RecoveryStats) {
+	s.Records += rs.Records
+	s.Committed += rs.Committed
+	s.Replayed += rs.Replayed
+	s.TornBytes += rs.TornBytes
 }
 
 // fact is one acknowledged (committed) attribute assignment: after recovery,
@@ -134,7 +152,14 @@ func Run(cfg Config) (*Result, error) {
 		case outcomeClean:
 			res.Clean++
 		}
-		logf("[%s] %s: %s", cfg.Strategy, sc.name, out.outcome)
+		res.Replay.add(out.recovery)
+		if out.outcome == outcomeRecovered {
+			logf("[%s] %s: %s (replayed %d/%d records, %d committed, %d torn bytes)",
+				cfg.Strategy, sc.name, out.outcome,
+				out.recovery.Replayed, out.recovery.Records, out.recovery.Committed, out.recovery.TornBytes)
+		} else {
+			logf("[%s] %s: %s", cfg.Strategy, sc.name, out.outcome)
+		}
 		res.Violations = append(res.Violations, out.violations...)
 		if len(out.violations) > 0 {
 			logf("[%s] %s: %d violation(s): %s", cfg.Strategy, sc.name, len(out.violations), out.violations[0])
@@ -155,6 +180,9 @@ type scenarioResult struct {
 	outcome    string
 	violations []string
 	report     Report
+	// recovery holds the first reopen's WAL replay statistics (zero when
+	// the scenario never crashed or the open was refused).
+	recovery wal.RecoveryStats
 }
 
 // runScenario drives the workload against a fresh database with the
@@ -229,6 +257,7 @@ func runScenario(cfg Config, ops []workload.Op, sc scenario) (out scenarioResult
 		bad("reopen failed: %v", err)
 		return out
 	}
+	out.recovery = e2.RecoveryStats()
 	verify(e2, ids, acked, ackedTypes, schemaOK, bad)
 
 	// Second recovery must be idempotent: crash the recovered engine before

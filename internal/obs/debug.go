@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	"sync"
+	"sync/atomic"
+)
+
+// debugVars holds the process-wide callback that produces the engine metric
+// snapshot published under /debug/vars as "tcodm". Commands that open several
+// engines in sequence (tcobench) re-point it at each engine; the last opened
+// engine wins, which is what a live debugger wants to look at.
+var debugVars atomic.Pointer[func() any]
+
+// publishOnce guards expvar.Publish, which panics on duplicate names.
+var publishOnce sync.Once
+
+// SetDebugVars installs fn as the producer of the "tcodm" expvar. Passing
+// nil detaches the current producer (the var then reports null).
+func SetDebugVars(fn func() any) {
+	if fn == nil {
+		debugVars.Store(nil)
+		return
+	}
+	debugVars.Store(&fn)
+	publishOnce.Do(func() {
+		expvar.Publish("tcodm", expvar.Func(func() any {
+			p := debugVars.Load()
+			if p == nil {
+				return nil
+			}
+			return (*p)()
+		}))
+	})
+}
+
+// StartDebugServer listens on addr and serves expvar (/debug/vars) and pprof
+// (/debug/pprof/*) from http.DefaultServeMux in a background goroutine. It
+// returns the bound address (useful with ":0") or an error if the listen
+// fails. The server runs until the process exits.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

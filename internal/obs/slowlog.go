@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one slow-query record.
+type SlowEntry struct {
+	When  time.Time
+	Dur   time.Duration
+	Query string // the query text (possibly truncated)
+	Rows  int    // rows returned
+	Plan  string // one-line access-path description, may be empty
+}
+
+// SlowLog keeps the most recent slow queries — those whose execution time
+// met or exceeded the threshold — in a bounded ring. A nil *SlowLog is a
+// valid no-op; a zero threshold disables logging.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	ring      []SlowEntry
+	next      uint64
+	total     uint64
+}
+
+// maxSlowQueryText bounds stored query text so the log's memory stays fixed.
+const maxSlowQueryText = 512
+
+// NewSlowLog creates a slow log holding capacity entries with the given
+// threshold. capacity < 1 is clamped to 1.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowEntry, capacity)}
+}
+
+// SetThreshold updates the slow threshold; 0 disables logging.
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.threshold = d
+	l.mu.Unlock()
+}
+
+// Threshold returns the current threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.threshold
+}
+
+// Observe records the query if it was slow. Returns true when recorded.
+func (l *SlowLog) Observe(query string, dur time.Duration, rows int, plan string) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.threshold <= 0 || dur < l.threshold {
+		return false
+	}
+	if len(query) > maxSlowQueryText {
+		query = query[:maxSlowQueryText] + "…"
+	}
+	l.ring[l.next%uint64(len(l.ring))] = SlowEntry{
+		When: time.Now(), Dur: dur, Query: query, Rows: rows, Plan: plan,
+	}
+	l.next++
+	l.total++
+	return true
+}
+
+// Entries returns the buffered slow queries oldest-first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := uint64(len(l.ring))
+	count := l.next
+	if count > n {
+		count = n
+	}
+	out := make([]SlowEntry, 0, count)
+	start := l.next - count
+	for i := uint64(0); i < count; i++ {
+		out = append(out, l.ring[(start+i)%n])
+	}
+	return out
+}
+
+// Total returns how many slow queries have been observed overall.
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// String renders the log for human consumption.
+func (l *SlowLog) String() string {
+	entries := l.Entries()
+	if len(entries) == 0 {
+		return "(no slow queries)\n"
+	}
+	var sb strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&sb, "%s  %8s  rows=%-6d %s\n",
+			e.When.Format("15:04:05.000"), e.Dur.Round(time.Microsecond), e.Rows, e.Query)
+		if e.Plan != "" {
+			fmt.Fprintf(&sb, "    plan: %s\n", e.Plan)
+		}
+	}
+	return sb.String()
+}

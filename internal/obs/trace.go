@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one recorded trace event: a completed span or a point annotation.
+type Event struct {
+	Seq   uint64        // global sequence number (monotonic per tracer)
+	Trace uint64        // trace (query/txn) id, 0 = unattributed
+	Name  string        // span or event name, e.g. "wal.fsync"
+	Start time.Time     // span start (or event time for point events)
+	Dur   time.Duration // span duration, 0 for point events
+	Attrs string        // free-form "k=v k=v" detail, may be empty
+}
+
+// Tracer records completed spans into a bounded ring buffer. When the ring
+// is full the oldest events are overwritten; Events() returns the surviving
+// window in order. A nil *Tracer is a valid no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  uint64 // total events ever recorded; ring index = next % len(ring)
+	seq   atomic.Uint64
+	trace atomic.Uint64 // trace id allocator
+}
+
+// NewTracer creates a tracer whose ring holds capacity events.
+// capacity < 1 is clamped to 1.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// NextTraceID allocates a fresh nonzero trace id.
+func (t *Tracer) NextTraceID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.trace.Add(1)
+}
+
+// record appends an event to the ring, overwriting the oldest when full.
+func (t *Tracer) record(ev Event) {
+	if t == nil {
+		return
+	}
+	ev.Seq = t.seq.Add(1)
+	t.mu.Lock()
+	t.ring[t.next%uint64(len(t.ring))] = ev
+	t.next++
+	t.mu.Unlock()
+}
+
+// Point records an instantaneous event.
+func (t *Tracer) Point(trace uint64, name, attrs string) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Trace: trace, Name: name, Start: time.Now(), Attrs: attrs})
+}
+
+// Span is an in-flight traced operation. End records it. A zero Span
+// (from a nil Tracer) is a valid no-op.
+type Span struct {
+	t     *Tracer
+	trace uint64
+	name  string
+	start time.Time
+}
+
+// Start opens a span attributed to the given trace id.
+func (t *Tracer) Start(trace uint64, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, trace: trace, name: name, start: time.Now()}
+}
+
+// End completes the span with optional attrs.
+func (s Span) End(attrs string) {
+	if s.t == nil {
+		return
+	}
+	s.t.record(Event{
+		Trace: s.trace,
+		Name:  s.name,
+		Start: s.start,
+		Dur:   time.Since(s.start),
+		Attrs: attrs,
+	})
+}
+
+// Events returns the buffered events oldest-first. Limit <= 0 returns all.
+func (t *Tracer) Events(limit int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.ring))
+	count := t.next
+	if count > n {
+		count = n
+	}
+	if limit > 0 && uint64(limit) < count {
+		count = uint64(limit)
+	}
+	out := make([]Event, 0, count)
+	// Oldest surviving event is at index next-min(next,len); we return the
+	// newest `count` of those, oldest-first.
+	start := t.next - count
+	for i := uint64(0); i < count; i++ {
+		out = append(out, t.ring[(start+i)%n])
+	}
+	return out
+}
+
+// Recorded returns the total number of events ever recorded (including
+// overwritten ones).
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// String renders the buffered events for human consumption.
+func (t *Tracer) String() string {
+	evs := t.Events(0)
+	var sb strings.Builder
+	for _, ev := range evs {
+		if ev.Dur > 0 {
+			fmt.Fprintf(&sb, "#%d trace=%d %-20s %s", ev.Seq, ev.Trace, ev.Name, ev.Dur)
+		} else {
+			fmt.Fprintf(&sb, "#%d trace=%d %-20s point", ev.Seq, ev.Trace, ev.Name)
+		}
+		if ev.Attrs != "" {
+			sb.WriteString(" " + ev.Attrs)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -10,6 +10,11 @@ import (
 
 // Query is the parsed form of a TMQL statement.
 type Query struct {
+	// Explain requests the query plan instead of the result; with Analyze
+	// the query also runs and the plan carries actual row counts and times.
+	Explain bool
+	Analyze bool
+
 	// Select is exactly one of: SelectAll, History != nil, or Projs.
 	SelectAll bool
 	History   *AttrRef // SELECT HISTORY(T.attr)
@@ -163,6 +168,12 @@ func (e *Expr) String() string {
 // String renders the query back to (normalized) TMQL.
 func (q *Query) String() string {
 	var sb strings.Builder
+	if q.Explain {
+		sb.WriteString("EXPLAIN ")
+		if q.Analyze {
+			sb.WriteString("ANALYZE ")
+		}
+	}
 	sb.WriteString("SELECT ")
 	switch {
 	case q.SelectAll:

@@ -22,6 +22,9 @@ type Result struct {
 	Molecules []*molecule.Molecule
 	// Plan describes the chosen access path (diagnostics / experiments).
 	Plan string
+	// ExplainTree is the operator tree for EXPLAIN [ANALYZE] queries (nil
+	// otherwise); Rows then carry its rendered lines.
+	ExplainTree *PlanNode
 }
 
 // Table renders the rows as an aligned text table.
@@ -84,6 +87,9 @@ func (e *Engine) Run(src string, defaultVT temporal.Instant) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if q.Explain {
+		return e.explain(a, defaultVT)
+	}
 	return e.Execute(a, defaultVT)
 }
 
@@ -98,23 +104,27 @@ func (e *Engine) Execute(a *Analyzed, defaultVT temporal.Instant) (*Result, erro
 	if q.AsOf != nil {
 		tt = *q.AsOf
 	}
-	var res *Result
-	var err error
-	switch a.Class {
-	case ClassAtom:
-		res, err = e.execAtom(a, vt, tt)
-	case ClassHistory:
-		res, err = e.execHistory(a, vt, tt)
-	case ClassMolecule:
-		res, err = e.execMolecule(a, vt, tt)
-	default:
-		return nil, fmt.Errorf("query: unknown query class %d", a.Class)
-	}
+	res, err := e.executeClass(a, vt, tt, &execCtx{})
 	if err != nil {
 		return nil, err
 	}
 	applyOrderLimit(a, res)
 	return res, nil
+}
+
+// executeClass dispatches on the query class, accumulating operator counts
+// (and, when ctx.analyze is set, per-stage wall time) into ctx.
+func (e *Engine) executeClass(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx) (*Result, error) {
+	switch a.Class {
+	case ClassAtom:
+		return e.execAtom(a, vt, tt, ctx)
+	case ClassHistory:
+		return e.execHistory(a, vt, tt, ctx)
+	case ClassMolecule:
+		return e.execMolecule(a, vt, tt, ctx)
+	default:
+		return nil, fmt.Errorf("query: unknown query class %d", a.Class)
+	}
 }
 
 // applyOrderLimit sorts and truncates the result per ORDER BY / LIMIT.
@@ -259,7 +269,7 @@ func (e *Engine) whenHolds(id value.ID, w *WhenClause, tt temporal.Instant) (boo
 	return false, nil
 }
 
-func (e *Engine) execAtom(a *Analyzed, vt, tt temporal.Instant) (*Result, error) {
+func (e *Engine) execAtom(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx) (*Result, error) {
 	q := a.Query
 	res := &Result{}
 	for _, p := range q.Projs {
@@ -270,7 +280,7 @@ func (e *Engine) execAtom(a *Analyzed, vt, tt temporal.Instant) (*Result, error)
 		window = *q.During
 	}
 	seen := map[value.ID]bool{}
-	plan, err := e.forEachCandidate(a, vt, tt, seen, func(st *atom.State) error {
+	plan, err := e.forEachCandidate(a, vt, tt, seen, ctx, func(st *atom.State) error {
 		row := make([]value.V, 0, len(q.Projs))
 		for _, p := range q.Projs {
 			if p.Agg != "" {
@@ -284,6 +294,7 @@ func (e *Engine) execAtom(a *Analyzed, vt, tt temporal.Instant) (*Result, error)
 			row = append(row, projectValue(st, p))
 		}
 		res.Rows = append(res.Rows, row)
+		ctx.emitOut++
 		return nil
 	})
 	if err != nil {
@@ -322,8 +333,8 @@ func (e *Engine) evalAggregate(id value.ID, p Projection, window temporal.Interv
 }
 
 // forEachCandidate applies the WHEN and WHERE filters and calls emit for
-// every qualifying atom's state.
-func (e *Engine) forEachCandidate(a *Analyzed, vt, tt temporal.Instant, seen map[value.ID]bool, emit func(*atom.State) error) (string, error) {
+// every qualifying atom's state, accumulating per-stage counts into ctx.
+func (e *Engine) forEachCandidate(a *Analyzed, vt, tt temporal.Instant, seen map[value.ID]bool, ctx *execCtx, emit func(*atom.State) error) (string, error) {
 	q := a.Query
 	typeName := a.AtomType.Name
 	var innerErr error
@@ -332,8 +343,11 @@ func (e *Engine) forEachCandidate(a *Analyzed, vt, tt temporal.Instant, seen map
 			return true, nil
 		}
 		seen[id] = true
+		ctx.scanned++
 		if q.When != nil {
+			start := ctx.now()
 			ok, err := e.whenHolds(id, q.When, tt)
+			ctx.whenDur += since(start)
 			if err != nil {
 				innerErr = err
 				return false, nil
@@ -341,8 +355,11 @@ func (e *Engine) forEachCandidate(a *Analyzed, vt, tt temporal.Instant, seen map
 			if !ok {
 				return true, nil
 			}
+			ctx.whenOut++
 		}
+		start := ctx.now()
 		st, err := e.Mgr.StateAt(id, vt, tt)
+		ctx.sliceDur += since(start)
 		if err != nil {
 			innerErr = err
 			return false, nil
@@ -352,8 +369,11 @@ func (e *Engine) forEachCandidate(a *Analyzed, vt, tt temporal.Instant, seen map
 		if q.When == nil && !st.Alive {
 			return true, nil
 		}
+		ctx.sliceOut++
 		if q.Where != nil {
+			start := ctx.now()
 			ok, err := evalBool(q.Where, st)
+			ctx.whereDur += since(start)
 			if err != nil {
 				innerErr = err
 				return false, nil
@@ -361,13 +381,18 @@ func (e *Engine) forEachCandidate(a *Analyzed, vt, tt temporal.Instant, seen map
 			if !ok {
 				return true, nil
 			}
+			ctx.whereOut++
 		}
-		if err := emit(st); err != nil {
+		start = ctx.now()
+		err = emit(st)
+		ctx.emitDur += since(start)
+		if err != nil {
 			innerErr = err
 			return false, nil
 		}
 		return true, nil
 	})
+	ctx.scanDesc = plan
 	if innerErr != nil {
 		return plan, innerErr
 	}
@@ -388,7 +413,7 @@ func projectValue(st *atom.State, p Projection) value.V {
 	return value.Null
 }
 
-func (e *Engine) execHistory(a *Analyzed, vt, tt temporal.Instant) (*Result, error) {
+func (e *Engine) execHistory(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx) (*Result, error) {
 	q := a.Query
 	window := temporal.All()
 	if q.During != nil {
@@ -402,8 +427,11 @@ func (e *Engine) execHistory(a *Analyzed, vt, tt temporal.Instant) (*Result, err
 			return true, nil
 		}
 		seen[id] = true
+		ctx.scanned++
 		if q.When != nil {
+			start := ctx.now()
 			ok, err := e.whenHolds(id, q.When, tt)
+			ctx.whenDur += since(start)
 			if err != nil {
 				innerErr = err
 				return false, nil
@@ -411,21 +439,32 @@ func (e *Engine) execHistory(a *Analyzed, vt, tt temporal.Instant) (*Result, err
 			if !ok {
 				return true, nil
 			}
+			ctx.whenOut++
 		}
 		if q.Where != nil {
+			start := ctx.now()
 			st, err := e.Mgr.StateAt(id, vt, tt)
+			ctx.sliceDur += since(start)
 			if err != nil {
 				innerErr = err
 				return false, nil
 			}
+			ctx.sliceOut++
+			start = ctx.now()
 			ok, err := evalBool(q.Where, st)
+			ctx.whereDur += since(start)
 			if err != nil || !ok {
 				innerErr = err
 				return err == nil, nil
 			}
+			ctx.whereOut++
+		} else {
+			ctx.sliceOut++
 		}
+		start := ctx.now()
 		hist, err := e.Mgr.History(id, q.History.Attr, tt)
 		if err != nil {
+			ctx.emitDur += since(start)
 			innerErr = err
 			return false, nil
 		}
@@ -437,9 +476,12 @@ func (e *Engine) execHistory(a *Analyzed, vt, tt temporal.Instant) (*Result, err
 			res.Rows = append(res.Rows, []value.V{
 				value.Ref(id), v.Val, value.Instant(iv.From), value.Instant(iv.To),
 			})
+			ctx.emitOut++
 		}
+		ctx.emitDur += since(start)
 		return true, nil
 	})
+	ctx.scanDesc = plan
 	if innerErr != nil {
 		return nil, innerErr
 	}
@@ -450,7 +492,7 @@ func (e *Engine) execHistory(a *Analyzed, vt, tt temporal.Instant) (*Result, err
 	return res, nil
 }
 
-func (e *Engine) execMolecule(a *Analyzed, vt, tt temporal.Instant) (*Result, error) {
+func (e *Engine) execMolecule(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx) (*Result, error) {
 	q := a.Query
 	res := &Result{}
 	if !q.SelectAll {
@@ -460,11 +502,12 @@ func (e *Engine) execMolecule(a *Analyzed, vt, tt temporal.Instant) (*Result, er
 	}
 	seen := map[value.ID]bool{}
 	sub := &Analyzed{Query: q, Class: ClassAtom, AtomType: a.RootType}
-	plan, err := e.forEachCandidate(sub, vt, tt, seen, func(st *atom.State) error {
+	plan, err := e.forEachCandidate(sub, vt, tt, seen, ctx, func(st *atom.State) error {
 		mol, err := e.Builder.Materialize(a.MolType, st.ID, vt, tt)
 		if err != nil {
 			return err
 		}
+		ctx.matCount++
 		if q.Having != nil {
 			ok, err := evalHaving(q.Having, mol)
 			if err != nil {
@@ -474,11 +517,15 @@ func (e *Engine) execMolecule(a *Analyzed, vt, tt temporal.Instant) (*Result, er
 				return nil
 			}
 		}
+		ctx.havingOut++
 		if q.SelectAll {
 			res.Molecules = append(res.Molecules, mol)
+			ctx.emitOut++
 			return nil
 		}
-		res.Rows = append(res.Rows, moleculeRows(q, a, st, mol)...)
+		rows := moleculeRows(q, a, st, mol)
+		res.Rows = append(res.Rows, rows...)
+		ctx.emitOut += int64(len(rows))
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,294 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+// PlanNode is one operator in an execution plan tree. Children are the
+// operator's inputs (the leaf is the access path). When Analyzed is set the
+// node carries actual row counts and accumulated wall time from a real
+// execution (EXPLAIN ANALYZE); otherwise the node only describes the plan.
+type PlanNode struct {
+	Name     string        // operator, e.g. "scan", "filter: WHERE", "materialize"
+	Detail   string        // operator argument, e.g. the access path or predicate
+	Rows     int64         // rows/items produced (valid when Analyzed)
+	Dur      time.Duration // wall time attributed to this operator (valid when Analyzed)
+	Analyzed bool
+	Children []*PlanNode
+}
+
+// String renders the tree in the conventional indented form.
+func (n *PlanNode) String() string {
+	var sb strings.Builder
+	n.render(&sb, 0)
+	return sb.String()
+}
+
+func (n *PlanNode) render(sb *strings.Builder, depth int) {
+	if depth > 0 {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString("-> ")
+	}
+	sb.WriteString(n.Name)
+	if n.Detail != "" {
+		sb.WriteString(" (" + n.Detail + ")")
+	}
+	if n.Analyzed {
+		fmt.Fprintf(sb, "  [rows=%d time=%s]", n.Rows, n.Dur.Round(time.Microsecond))
+	}
+	sb.WriteByte('\n')
+	for _, c := range n.Children {
+		c.render(sb, depth+1)
+	}
+}
+
+// execCtx accumulates per-operator row counts and (when analyze is set)
+// wall-time while a query executes. Counters are plain int64: one query
+// runs on one goroutine. The zero value (analyze=false) costs a handful of
+// increments per candidate — cheap enough to keep on unconditionally.
+type execCtx struct {
+	analyze bool
+
+	scanDesc string // access-path description from candidates()
+	scanned  int64  // candidate ids produced by the access path
+
+	whenOut int64 // candidates surviving the WHEN filter
+	whenDur time.Duration
+
+	sliceOut int64 // states alive at the slice point (or loaded, with WHEN)
+	sliceDur time.Duration
+
+	whereOut int64 // states surviving the WHERE filter
+	whereDur time.Duration
+
+	emitOut int64 // rows/molecules produced by the class-specific stage
+	emitDur time.Duration
+
+	havingOut int64 // molecules surviving HAVING (molecule class only)
+	matCount  int64 // molecules materialized (molecule class only)
+
+	totalDur time.Duration
+}
+
+// now returns the current time only when profiling; the zero Time means
+// "don't measure" and makes the paired since() a no-op.
+func (c *execCtx) now() time.Time {
+	if c == nil || !c.analyze {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func since(start time.Time) time.Duration {
+	if start.IsZero() {
+		return 0
+	}
+	return time.Since(start)
+}
+
+// describeScan predicts the access path candidates() would choose, without
+// executing anything. It must mirror candidates() branch for branch.
+func (e *Engine) describeScan(a *Analyzed, typeName string) string {
+	q := a.Query
+	if q.When != nil && !q.When.Lifespan && e.Mgr.HasTimeIndex() {
+		if bound, ok := whenStartBound(q.When); ok {
+			return fmt.Sprintf("time-index scan on %s below %v", q.When.Attr, bound)
+		}
+	}
+	if q.When == nil && e.Mgr.HasValueIndex() {
+		if pred := sargable(q.Where, baseType(a)); pred != nil {
+			return fmt.Sprintf("value-index scan on %s.%s %s %s", typeName, pred.attr, pred.op, pred.lit)
+		}
+	}
+	return "full type scan on " + typeName
+}
+
+// buildPlanTree assembles the operator tree for an analyzed query. With a
+// populated ctx (post-execution) the nodes carry actual counts and times;
+// with ctx.analyze unset they only describe the plan shape.
+func buildPlanTree(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx, res *Result) *PlanNode {
+	q := a.Query
+	analyzed := ctx.analyze
+
+	// Leaf: the access path.
+	node := &PlanNode{
+		Name: "scan", Detail: ctx.scanDesc,
+		Rows: ctx.scanned, Analyzed: analyzed,
+	}
+
+	if q.When != nil {
+		w := q.When
+		detail := ""
+		if w.Lifespan {
+			detail = fmt.Sprintf("WHEN LIFESPAN %s PERIOD %s", w.Pred, w.Period)
+		} else {
+			detail = fmt.Sprintf("WHEN VALID(%s) %s PERIOD %s", w.Attr, w.Pred, w.Period)
+		}
+		node = &PlanNode{
+			Name: "filter", Detail: detail,
+			Rows: ctx.whenOut, Dur: ctx.whenDur, Analyzed: analyzed,
+			Children: []*PlanNode{node},
+		}
+	}
+
+	ttDesc := "now"
+	if q.AsOf != nil {
+		ttDesc = fmt.Sprint(tt)
+	}
+	node = &PlanNode{
+		Name: "time-slice", Detail: fmt.Sprintf("vt=%v tt=%s", vt, ttDesc),
+		Rows: ctx.sliceOut, Dur: ctx.sliceDur, Analyzed: analyzed,
+		Children: []*PlanNode{node},
+	}
+
+	if q.Where != nil {
+		node = &PlanNode{
+			Name: "filter", Detail: "WHERE " + q.Where.String(),
+			Rows: ctx.whereOut, Dur: ctx.whereDur, Analyzed: analyzed,
+			Children: []*PlanNode{node},
+		}
+	}
+
+	switch a.Class {
+	case ClassMolecule:
+		node = &PlanNode{
+			Name: "materialize", Detail: "molecule " + a.MolType.Name,
+			Rows: ctx.matCount, Dur: ctx.emitDur, Analyzed: analyzed,
+			Children: []*PlanNode{node},
+		}
+		if q.Having != nil {
+			node = &PlanNode{
+				Name: "filter", Detail: "HAVING " + q.Having.String(),
+				Rows: ctx.havingOut, Analyzed: analyzed,
+				Children: []*PlanNode{node},
+			}
+		}
+		if q.SelectAll {
+			node = &PlanNode{
+				Name: "collect", Detail: "ALL molecules",
+				Rows: ctx.emitOut, Analyzed: analyzed,
+				Children: []*PlanNode{node},
+			}
+		} else {
+			node = &PlanNode{
+				Name: "project", Detail: projListDetail(q),
+				Rows: ctx.emitOut, Analyzed: analyzed,
+				Children: []*PlanNode{node},
+			}
+		}
+	case ClassHistory:
+		detail := "HISTORY(" + q.History.String() + ")"
+		if q.During != nil {
+			detail += fmt.Sprintf(" DURING %s", *q.During)
+		}
+		node = &PlanNode{
+			Name: "history-expand", Detail: detail,
+			Rows: ctx.emitOut, Dur: ctx.emitDur, Analyzed: analyzed,
+			Children: []*PlanNode{node},
+		}
+	default: // ClassAtom
+		node = &PlanNode{
+			Name: "project", Detail: projListDetail(q),
+			Rows: ctx.emitOut, Dur: ctx.emitDur, Analyzed: analyzed,
+			Children: []*PlanNode{node},
+		}
+	}
+
+	if q.OrderBy != "" || q.Limit > 0 {
+		detail := ""
+		if q.OrderBy != "" {
+			detail = "ORDER BY " + q.OrderBy
+			if q.OrderDesc {
+				detail += " DESC"
+			}
+		}
+		if q.Limit > 0 {
+			if detail != "" {
+				detail += " "
+			}
+			detail += fmt.Sprintf("LIMIT %d", q.Limit)
+		}
+		rows := int64(0)
+		if res != nil {
+			rows = int64(len(res.Rows) + len(res.Molecules))
+		}
+		node = &PlanNode{
+			Name: "order/limit", Detail: detail,
+			Rows: rows, Analyzed: analyzed,
+			Children: []*PlanNode{node},
+		}
+	}
+
+	root := &PlanNode{
+		Name: "query", Detail: className(a.Class),
+		Dur:  ctx.totalDur, Analyzed: analyzed,
+		Children: []*PlanNode{node},
+	}
+	if res != nil {
+		root.Rows = int64(len(res.Rows) + len(res.Molecules))
+	}
+	return root
+}
+
+func projListDetail(q *Query) string {
+	parts := make([]string, len(q.Projs))
+	for i, p := range q.Projs {
+		parts[i] = p.Label()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func className(c QueryClass) string {
+	switch c {
+	case ClassAtom:
+		return "atom"
+	case ClassHistory:
+		return "history"
+	case ClassMolecule:
+		return "molecule"
+	default:
+		return "?"
+	}
+}
+
+// planResult wraps a plan tree as a one-column result, one row per line.
+func planResult(tree *PlanNode) *Result {
+	res := &Result{Columns: []string{"QUERY PLAN"}, ExplainTree: tree, Plan: tree.String()}
+	for _, line := range strings.Split(strings.TrimRight(tree.String(), "\n"), "\n") {
+		res.Rows = append(res.Rows, []value.V{value.String_(line)})
+	}
+	return res
+}
+
+// explain handles EXPLAIN and EXPLAIN ANALYZE for an analyzed query.
+func (e *Engine) explain(a *Analyzed, defaultVT temporal.Instant) (*Result, error) {
+	q := a.Query
+	vt := defaultVT
+	if q.At != nil {
+		vt = *q.At
+	}
+	tt := atom.Now
+	if q.AsOf != nil {
+		tt = *q.AsOf
+	}
+	if !q.Analyze {
+		// Describe only — nothing executes.
+		ctx := &execCtx{scanDesc: e.describeScan(a, baseType(a).Name)}
+		return planResult(buildPlanTree(a, vt, tt, ctx, nil)), nil
+	}
+	ctx := &execCtx{analyze: true}
+	start := time.Now()
+	res, err := e.executeClass(a, vt, tt, ctx)
+	if err != nil {
+		return nil, err
+	}
+	applyOrderLimit(a, res)
+	ctx.totalDur = time.Since(start)
+	return planResult(buildPlanTree(a, vt, tt, ctx, res)), nil
+}

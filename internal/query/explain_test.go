@@ -1,0 +1,133 @@
+package query
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// stripTimings removes the volatile time= component of analyzed plan lines
+// so golden comparisons pin only the structure and row counts.
+var timingRe = regexp.MustCompile(` time=[^\]]+\]`)
+
+func planText(t *testing.T, e *Engine, src string) string {
+	t.Helper()
+	res, err := e.Run(src, 100)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	if res.ExplainTree == nil {
+		t.Fatalf("Run(%q): no ExplainTree", src)
+	}
+	return timingRe.ReplaceAllString(res.ExplainTree.String(), "]")
+}
+
+// TestExplainAnalyzeAtomGolden pins the operator tree and row counts for a
+// filtered atom scan on the fixed fixture dataset: 5 employees, salaries
+// 1000..5000 (ada raised to 9000 at vt=50), eve deleted at vt=80.
+func TestExplainAnalyzeAtomGolden(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	got := planText(t, e, `EXPLAIN ANALYZE SELECT (name, salary) FROM Emp WHERE salary > 2500 AT 100`)
+	// At vt=100: eve is deleted (4 alive of 5 scanned); salaries are
+	// ada=9000, bob=2000, cay=3000, dan=4000, so salary > 2500 keeps 3.
+	want := strings.Join([]string{
+		`query (atom)  [rows=3]`,
+		`  -> project (Emp.name, Emp.salary)  [rows=3]`,
+		`    -> filter (WHERE (Emp.salary > 2500))  [rows=3]`,
+		`      -> time-slice (vt=100 tt=now)  [rows=4]`,
+		`        -> scan (full type scan on Emp)  [rows=5]`,
+		``,
+	}, "\n")
+	if got != want {
+		t.Errorf("plan mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeMoleculeGolden pins the tree for a molecule time-slice
+// query (the acceptance-criteria shape): per-operator rows through scan,
+// time-slice, materialization, and projection.
+func TestExplainAnalyzeMoleculeGolden(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	got := planText(t, e, `EXPLAIN ANALYZE SELECT (Dept.name, COUNT(Emp)) FROM DeptStaff AT 100`)
+	want := strings.Join([]string{
+		`query (molecule)  [rows=2]`,
+		`  -> project (Dept.name, count(Emp))  [rows=2]`,
+		`    -> materialize (molecule DeptStaff)  [rows=2]`,
+		`      -> time-slice (vt=100 tt=now)  [rows=2]`,
+		`        -> scan (full type scan on Dept)  [rows=2]`,
+		``,
+	}, "\n")
+	if got != want {
+		t.Errorf("plan mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeHistory covers the history-expand operator: ada's
+// salary history has 2 versions (1000 then 9000 from vt=50).
+func TestExplainAnalyzeHistory(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	got := planText(t, e, `EXPLAIN ANALYZE SELECT HISTORY(Emp.salary) FROM Emp WHERE name = "ada" DURING [0, 100)`)
+	if !strings.Contains(got, "history-expand (HISTORY(Emp.salary) DURING [0, 100))  [rows=2]") {
+		t.Errorf("missing history-expand with 2 rows:\n%s", got)
+	}
+	if !strings.Contains(got, `filter (WHERE (Emp.name = "ada"))  [rows=1]`) {
+		t.Errorf("missing WHERE filter with 1 row:\n%s", got)
+	}
+}
+
+// TestExplainDescribeOnly checks that plain EXPLAIN does not execute and
+// predicts the same access path candidates() would pick.
+func TestExplainDescribeOnly(t *testing.T) {
+	e, _, _ := fixture(t, true) // time index on
+	res, err := e.Run(`EXPLAIN SELECT (name) FROM Emp WHEN VALID(salary) OVERLAPS PERIOD [10, 20)`, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.ExplainTree.String()
+	if !strings.Contains(text, "time-index scan") {
+		t.Errorf("EXPLAIN should predict the time-index scan:\n%s", text)
+	}
+	if strings.Contains(text, "[rows=") {
+		t.Errorf("plain EXPLAIN must not carry analyzed counts:\n%s", text)
+	}
+	// The describe-only path and the real execution must agree.
+	ran, err := e.Run(`SELECT (name) FROM Emp WHEN VALID(salary) OVERLAPS PERIOD [10, 20)`, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ran.Plan, "time-index scan") {
+		t.Errorf("execution chose %q, EXPLAIN said time-index scan", ran.Plan)
+	}
+}
+
+// TestExplainAnalyzeOrderLimit covers the order/limit operator node.
+func TestExplainAnalyzeOrderLimit(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	got := planText(t, e, `EXPLAIN ANALYZE SELECT (name, salary) FROM Emp ORDER BY salary DESC LIMIT 2 AT 100`)
+	if !strings.Contains(got, "order/limit (ORDER BY salary DESC LIMIT 2)  [rows=2]") {
+		t.Errorf("missing order/limit node with 2 rows:\n%s", got)
+	}
+}
+
+// TestExplainRoundTrip ensures EXPLAIN queries re-parse from String().
+func TestExplainRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`EXPLAIN SELECT ALL FROM DeptStaff`,
+		`EXPLAIN ANALYZE SELECT (Emp.name) FROM Emp WHERE Emp.salary > 4000`,
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if !q.Explain {
+			t.Fatalf("Parse(%q): Explain not set", src)
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", q.String(), err)
+		}
+		if q2.Explain != q.Explain || q2.Analyze != q.Analyze {
+			t.Fatalf("round trip lost explain flags: %q", q.String())
+		}
+	}
+}

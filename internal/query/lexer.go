@@ -54,7 +54,7 @@ var keywords = map[string]bool{
 	"EQUALS": true, "TRUE": true, "FALSE": true, "NULL": true, "FOREVER": true,
 	"LIFESPAN": true, "TAVG": true, "TMIN": true, "TMAX": true, "CHANGES": true,
 	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
-	"HAVING": true,
+	"HAVING": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 type lexer struct {

@@ -68,10 +68,14 @@ func (p *parser) expect(kind tokenKind, text string) (token, error) {
 }
 
 func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if p.accept(tokKeyword, "EXPLAIN") {
+		q.Explain = true
+		q.Analyze = p.accept(tokKeyword, "ANALYZE")
+	}
 	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
 		return nil, err
 	}
-	q := &Query{}
 	switch {
 	case p.accept(tokKeyword, "ALL"):
 		q.SelectAll = true

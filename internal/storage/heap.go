@@ -3,6 +3,8 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+
+	"tcodm/internal/obs"
 )
 
 // RID identifies a record in the heap: a page number and a slot within it.
@@ -84,6 +86,34 @@ type Heap struct {
 	// only the home would let the pool flush the target before the log
 	// record covering it is durable, breaking the WAL rule.
 	touched []PageID
+
+	met heapMetrics
+}
+
+// heapMetrics holds the heap's instrumentation handles (nil = no-op).
+// Page-level I/O cost is already covered by the pool; the heap layer adds
+// record-level access shape: fetches, forwarding hops, and overflow-chain
+// walks with their length distribution.
+type heapMetrics struct {
+	fetches       *obs.Counter
+	forwardHops   *obs.Counter
+	overflowWalks *obs.Counter
+	overflowLen   *obs.Histogram // pages per overflow-chain walk
+}
+
+// SetMetrics binds the heap's instrumentation to reg under "heap.*" names.
+// A nil registry disables instrumentation (the default).
+func (h *Heap) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		h.met = heapMetrics{}
+		return
+	}
+	h.met = heapMetrics{
+		fetches:       reg.Counter("heap.fetches"),
+		forwardHops:   reg.Counter("heap.forward_hops"),
+		overflowWalks: reg.Counter("heap.overflow_walks"),
+		overflowLen:   reg.Histogram("heap.overflow_chain"),
+	}
 }
 
 // NewHeap creates a heap over the pool. Call Recover or Rebuild before use
@@ -237,9 +267,12 @@ func (h *Heap) forceFlush(p *Page) error {
 
 // readOverflowChain reassembles an overflow record.
 func (h *Heap) readOverflowChain(first PageID, total uint32) ([]byte, error) {
+	h.met.overflowWalks.Inc()
+	pages := uint64(0)
 	out := make([]byte, 0, total)
 	id := first
 	for id != InvalidPage {
+		pages++
 		p, err := h.pool.Fetch(id)
 		if err != nil {
 			return nil, err
@@ -257,6 +290,7 @@ func (h *Heap) readOverflowChain(first PageID, total uint32) ([]byte, error) {
 	if uint32(len(out)) != total {
 		return nil, fmt.Errorf("storage: overflow chain yielded %d bytes, header says %d", len(out), total)
 	}
+	h.met.overflowLen.Record(pages)
 	return out, nil
 }
 
@@ -320,6 +354,7 @@ func (h *Heap) insertPhysical(rec []byte) (RID, error) {
 // Fetch returns the record payload stored at rid (following forwarding and
 // reassembling overflow chains). The returned slice is always a copy.
 func (h *Heap) Fetch(rid RID) ([]byte, error) {
+	h.met.fetches.Inc()
 	data, _, err := h.fetchResolved(rid)
 	return data, err
 }
@@ -344,6 +379,7 @@ func (h *Heap) fetchResolved(rid RID) ([]byte, RID, error) {
 	if flag&flagForward != 0 {
 		target := UnpackRID(binary.LittleEndian.Uint64(raw[1:]))
 		h.pool.Unpin(p)
+		h.met.forwardHops.Inc()
 		return h.fetchResolved(target)
 	}
 	body := raw[1:]

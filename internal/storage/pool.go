@@ -7,6 +7,9 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync"
+	"time"
+
+	"tcodm/internal/obs"
 )
 
 // FlushHook is invoked before a dirty page with the given LSN is written to
@@ -14,7 +17,9 @@ import (
 // records up to the page's LSN must be durable before the page is).
 type FlushHook func(pageLSN uint64) error
 
-// PoolStats reports buffer pool activity counters.
+// PoolStats reports buffer pool activity counters. It is a point-in-time
+// view over the pool's obs metrics (see poolMetrics), kept for callers that
+// predate the observability layer.
 type PoolStats struct {
 	Hits      uint64
 	Misses    uint64
@@ -41,7 +46,7 @@ type BufferPool struct {
 	lru      *list.List // front = most recently used; holds *frame
 	free     []*Page    // recycled page buffers
 	onFlush  FlushHook
-	stats    PoolStats
+	met      poolMetrics
 
 	// freeList tracks deallocated device pages available for reuse.
 	freeList []PageID
@@ -60,6 +65,54 @@ type frame struct {
 	elem *list.Element
 }
 
+// poolMetrics holds the pool's instrumentation handles. By default they are
+// standalone obs counters (counting, but exported nowhere); SetMetrics
+// rebinds them to a registry, or to nil handles for true no-op mode. The
+// hot path (cache hit) touches only one counter; latency histograms sit on
+// the slow paths (device read, flush, evict) where a time.Now() pair is
+// noise relative to the I/O.
+type poolMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	flushes   *obs.Counter
+	readNS    *obs.Histogram // device read latency on a miss
+	flushNS   *obs.Histogram // page write-out latency (incl. WAL-rule sync)
+	evictNS   *obs.Histogram // victim selection + flush on eviction
+}
+
+func standalonePoolMetrics() poolMetrics {
+	return poolMetrics{
+		hits:      obs.NewCounter(),
+		misses:    obs.NewCounter(),
+		evictions: obs.NewCounter(),
+		flushes:   obs.NewCounter(),
+		readNS:    obs.NewHistogram(),
+		flushNS:   obs.NewHistogram(),
+		evictNS:   obs.NewHistogram(),
+	}
+}
+
+// SetMetrics binds the pool's instrumentation to reg under "pool.*" names.
+// A nil registry disables instrumentation entirely (nil no-op handles).
+func (bp *BufferPool) SetMetrics(reg *obs.Registry) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if reg == nil {
+		bp.met = poolMetrics{}
+		return
+	}
+	bp.met = poolMetrics{
+		hits:      reg.Counter("pool.hits"),
+		misses:    reg.Counter("pool.misses"),
+		evictions: reg.Counter("pool.evictions"),
+		flushes:   reg.Counter("pool.flushes"),
+		readNS:    reg.Histogram("pool.read_ns"),
+		flushNS:   reg.Histogram("pool.flush_ns"),
+		evictNS:   reg.Histogram("pool.evict_ns"),
+	}
+}
+
 // NewBufferPool creates a pool of the given capacity (in pages) over dev.
 func NewBufferPool(dev Device, capacity int) *BufferPool {
 	if capacity < 4 {
@@ -70,6 +123,7 @@ func NewBufferPool(dev Device, capacity int) *BufferPool {
 		capacity: capacity,
 		frames:   make(map[PageID]*frame, capacity),
 		lru:      list.New(),
+		met:      standalonePoolMetrics(),
 	}
 }
 
@@ -80,7 +134,12 @@ func (bp *BufferPool) SetFlushHook(h FlushHook) { bp.onFlush = h }
 func (bp *BufferPool) Stats() PoolStats {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	return bp.stats
+	return PoolStats{
+		Hits:      bp.met.hits.Value(),
+		Misses:    bp.met.misses.Value(),
+		Evictions: bp.met.evictions.Value(),
+		Flushes:   bp.met.flushes.Value(),
+	}
 }
 
 // Capacity returns the pool capacity in pages.
@@ -91,19 +150,26 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	if fr, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
+		bp.met.hits.Inc()
 		fr.page.pin++
 		bp.lru.MoveToFront(fr.elem)
 		return fr.page, nil
 	}
-	bp.stats.Misses++
+	bp.met.misses.Inc()
 	p, err := bp.allocFrameLocked(id)
 	if err != nil {
 		return nil, err
 	}
+	readStart := time.Time{}
+	if bp.met.readNS != nil {
+		readStart = time.Now()
+	}
 	if err := bp.dev.ReadPage(id, p.data[:]); err != nil {
 		bp.releaseFrameLocked(id)
 		return nil, err
+	}
+	if !readStart.IsZero() {
+		bp.met.readNS.Observe(time.Since(readStart))
 	}
 	if err := verifyChecksum(id, p.data[:]); err != nil {
 		bp.releaseFrameLocked(id)
@@ -298,6 +364,10 @@ func (bp *BufferPool) recyclePage(p *Page) {
 
 // evictLocked removes the least recently used unpinned, non-txn-dirty page.
 func (bp *BufferPool) evictLocked() error {
+	start := time.Time{}
+	if bp.met.evictNS != nil {
+		start = time.Now()
+	}
 	for e := bp.lru.Back(); e != nil; e = e.Prev() {
 		fr := e.Value.(*frame)
 		if fr.page.pin > 0 || fr.page.txnDirty {
@@ -309,7 +379,10 @@ func (bp *BufferPool) evictLocked() error {
 		bp.lru.Remove(e)
 		delete(bp.frames, fr.page.id)
 		bp.recyclePage(fr.page)
-		bp.stats.Evictions++
+		bp.met.evictions.Inc()
+		if !start.IsZero() {
+			bp.met.evictNS.Observe(time.Since(start))
+		}
 		return nil
 	}
 	return fmt.Errorf("storage: buffer pool exhausted: all %d pages pinned or transaction-dirty", bp.capacity)
@@ -318,6 +391,10 @@ func (bp *BufferPool) evictLocked() error {
 func (bp *BufferPool) flushFrameLocked(p *Page) error {
 	if !p.dirty {
 		return nil
+	}
+	start := time.Time{}
+	if bp.met.flushNS != nil {
+		start = time.Now()
 	}
 	if bp.onFlush != nil {
 		if err := bp.onFlush(p.LSN()); err != nil {
@@ -329,7 +406,10 @@ func (bp *BufferPool) flushFrameLocked(p *Page) error {
 		return err
 	}
 	p.dirty = false
-	bp.stats.Flushes++
+	bp.met.flushes.Inc()
+	if !start.IsZero() {
+		bp.met.flushNS.Observe(time.Since(start))
+	}
 	return nil
 }
 

@@ -7,7 +7,9 @@ package txn
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"tcodm/internal/obs"
 	"tcodm/internal/storage"
 	"tcodm/internal/temporal"
 	"tcodm/internal/wal"
@@ -27,6 +29,38 @@ type Manager struct {
 	active  *Txn
 	commits uint64
 	aborts  uint64
+
+	met txnMetrics
+}
+
+// txnMetrics holds the transaction layer's instrumentation (nil = no-op).
+// beginNS records only contended Begins (time spent queued for the writer
+// slot); commitNS covers the WAL append + optional fsync on logged
+// databases. Uncontended unlogged transactions touch no clock at all.
+type txnMetrics struct {
+	commits  *obs.Counter
+	aborts   *obs.Counter
+	beginNS  *obs.Histogram
+	commitNS *obs.Histogram
+	abortNS  *obs.Histogram
+}
+
+// SetMetrics binds the layer's instrumentation to reg under "txn.*" names.
+// A nil registry disables instrumentation (the default).
+func (m *Manager) SetMetrics(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if reg == nil {
+		m.met = txnMetrics{}
+		return
+	}
+	m.met = txnMetrics{
+		commits:  reg.Counter("txn.commits"),
+		aborts:   reg.Counter("txn.aborts"),
+		beginNS:  reg.Histogram("txn.begin_ns"),
+		commitNS: reg.Histogram("txn.commit_ns"),
+		abortNS:  reg.Histogram("txn.abort_ns"),
+	}
 }
 
 // NewManager wires the transaction layer. log may be nil for unlogged
@@ -81,7 +115,19 @@ type undoOp struct {
 // finishes. The returned transaction's TT is a fresh clock tick, strictly
 // greater than every previously assigned instant.
 func (m *Manager) Begin() (*Txn, error) {
-	m.writeMu.Lock()
+	// Time the writer-slot wait only when there is one: the uncontended
+	// path takes zero clock reads, and beginNS becomes a pure
+	// lock-contention signal (how long writers queue behind each other).
+	if !m.writeMu.TryLock() {
+		start := time.Time{}
+		if m.met.beginNS != nil {
+			start = time.Now()
+		}
+		m.writeMu.Lock()
+		if !start.IsZero() {
+			m.met.beginNS.Observe(time.Since(start))
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	t := &Txn{ID: m.nextTxn, mgr: m}
@@ -122,12 +168,21 @@ func (t *Txn) Commit() error {
 		return fmt.Errorf("txn: transaction %d already finished", t.ID)
 	}
 	m := t.mgr
+	// commitNS covers the durability work (WAL append + optional fsync);
+	// an unlogged commit has no I/O worth timing, so it stays clock-free.
+	start := time.Time{}
+	if m.log != nil && m.met.commitNS != nil {
+		start = time.Now()
+	}
 	if m.log != nil {
 		if err := m.log.Commit(); err != nil {
 			return err
 		}
 	}
 	t.finish(true)
+	if !start.IsZero() {
+		m.met.commitNS.Observe(time.Since(start))
+	}
 	return nil
 }
 
@@ -139,6 +194,10 @@ func (t *Txn) Abort() error {
 		return fmt.Errorf("txn: transaction %d already finished", t.ID)
 	}
 	m := t.mgr
+	start := time.Time{}
+	if m.met.abortNS != nil {
+		start = time.Now()
+	}
 	// Detach the recorder first so undo operations are not re-captured.
 	m.heap.SetUndoRecorder(nil)
 	var firstErr error
@@ -166,6 +225,9 @@ func (t *Txn) Abort() error {
 		m.log.Abort()
 	}
 	t.finish(false)
+	if !start.IsZero() {
+		m.met.abortNS.Observe(time.Since(start))
+	}
 	return firstErr
 }
 
@@ -178,8 +240,10 @@ func (t *Txn) finish(committed bool) {
 	m.active = nil
 	if committed {
 		m.commits++
+		m.met.commits.Inc()
 	} else {
 		m.aborts++
+		m.met.aborts.Inc()
 	}
 	m.mu.Unlock()
 	t.done = true

@@ -16,7 +16,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
+	"tcodm/internal/obs"
 	"tcodm/internal/storage"
 )
 
@@ -78,6 +80,55 @@ type WAL struct {
 	txn     uint64   // active transaction (0 = none)
 	pending []Record // buffered records of the active transaction
 	size    int64    // current file size
+
+	met walMetrics
+}
+
+// walMetrics holds the log's instrumentation handles (nil = no-op).
+// Latency histograms sit only where actual file I/O happens — commit
+// appends and fsyncs — never on the per-record buffering path.
+type walMetrics struct {
+	appends     *obs.Counter   // commit-time append writes
+	fsyncs      *obs.Counter   // fsync calls (commit + WAL-rule + checkpoint)
+	appendBytes *obs.Counter   // total bytes appended
+	appendNS    *obs.Histogram // append write latency
+	fsyncNS     *obs.Histogram // fsync latency
+	groupSize   *obs.Histogram // records per commit batch (group size)
+}
+
+// SetMetrics binds the log's instrumentation to reg under "wal.*" names.
+// A nil registry disables instrumentation (the default).
+func (w *WAL) SetMetrics(reg *obs.Registry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if reg == nil {
+		w.met = walMetrics{}
+		return
+	}
+	w.met = walMetrics{
+		appends:     reg.Counter("wal.appends"),
+		fsyncs:      reg.Counter("wal.fsyncs"),
+		appendBytes: reg.Counter("wal.append_bytes"),
+		appendNS:    reg.Histogram("wal.append_ns"),
+		fsyncNS:     reg.Histogram("wal.fsync_ns"),
+		groupSize:   reg.Histogram("wal.commit_group"),
+	}
+}
+
+// syncLocked runs one instrumented fsync.
+func (w *WAL) syncLocked() error {
+	start := time.Time{}
+	if w.met.fsyncNS != nil {
+		start = time.Now()
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.met.fsyncs.Inc()
+	if !start.IsZero() {
+		w.met.fsyncNS.Observe(time.Since(start))
+	}
+	return nil
 }
 
 // Open opens (creating if absent) the log file at path.
@@ -188,13 +239,23 @@ func (w *WAL) Commit() error {
 	for _, r := range records {
 		buf = appendRecord(buf, r)
 	}
+	appendStart := time.Time{}
+	if w.met.appendNS != nil {
+		appendStart = time.Now()
+	}
 	if _, err := w.f.WriteAt(buf, w.size); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	if !appendStart.IsZero() {
+		w.met.appendNS.Observe(time.Since(appendStart))
+	}
+	w.met.appends.Inc()
+	w.met.appendBytes.Add(uint64(len(buf)))
+	w.met.groupSize.Record(uint64(len(records)))
 	w.size += int64(len(buf))
 	w.appended = commit.LSN
 	if w.opts.SyncOnCommit {
-		if err := w.f.Sync(); err != nil {
+		if err := w.syncLocked(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 		w.durable = w.appended
@@ -223,7 +284,7 @@ func (w *WAL) EnsureDurable(lsn uint64) error {
 		return nil
 	}
 	if lsn <= w.appended {
-		if err := w.f.Sync(); err != nil {
+		if err := w.syncLocked(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 		w.durable = w.appended
@@ -243,7 +304,7 @@ func (w *WAL) Checkpoint() error {
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.syncLocked(); err != nil {
 		return fmt.Errorf("wal: sync after truncate: %w", err)
 	}
 	w.size = 0

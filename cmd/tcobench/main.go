@@ -49,6 +49,7 @@ func main() {
 	out := flag.String("out", ".", "directory for the BENCH_scale<N>.json report (empty = no report)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address while the suite runs")
 	linger := flag.Duration("linger", 0, "keep the process (and debug server) alive this long after the suite")
+	remote := flag.String("remote", "", "run R-T7 against this tcoserve address instead of an in-process loopback server")
 	flag.Parse()
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
@@ -93,6 +94,7 @@ func main() {
 		{"R-F8", func() (*experiments.Table, error) { return experiments.RF8ValueIndex(s) }},
 		{"R-A2", func() (*experiments.Table, error) { return experiments.RA2Vacuum(s) }},
 		{"R-T6", func() (*experiments.Table, error) { return experiments.RT6Overhead(s, dir) }},
+		{"R-T7", func() (*experiments.Table, error) { return experiments.RT7WireOverhead(s, *remote) }},
 	}
 	suiteStart := time.Now()
 	for _, e := range suite {

@@ -14,23 +14,33 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"tcodm/internal/core"
 	"tcodm/internal/obs"
+	"tcodm/internal/query"
 	"tcodm/internal/schema"
 	"tcodm/internal/workload"
+	"tcodm/pkg/client"
 )
 
 func main() {
 	dbPath := flag.String("db", "", "database file (empty = in-memory)")
 	oneShot := flag.String("c", "", "execute one query and exit")
+	remote := flag.String("remote", "", "connect to a tcoserve instance at this address instead of opening a database")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
 	slow := flag.Duration("slow", 0, "log queries at or above this duration (0 = off)")
 	flag.Parse()
+
+	if *remote != "" {
+		remoteShell(*remote, *oneShot)
+		return
+	}
 
 	db, err := core.Open(core.Options{Path: *dbPath, TimeIndex: true, SlowQueryThreshold: *slow})
 	if err != nil {
@@ -52,7 +62,7 @@ func main() {
 		fmt.Printf("(debug server on http://%s/debug/vars)\n", addr)
 	}
 	if *oneShot != "" {
-		res, err := db.Query(*oneShot)
+		res, err := runQuery(db, *oneShot)
 		if err != nil {
 			fatal(err)
 		}
@@ -97,7 +107,7 @@ func main() {
 		case strings.HasPrefix(line, "."):
 			fmt.Println("unknown command; try .help")
 		default:
-			res, err := db.Query(line)
+			res, err := runQuery(db, line)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -256,6 +266,121 @@ func loadWorkload(db *core.Engine, args []string) {
 		return
 	}
 	fmt.Printf("loaded %d atoms (%d operations)\n", len(ids), len(ops))
+}
+
+// runQuery executes one local query, cancellable with ctrl-C: a long
+// scan aborts and returns to the prompt instead of requiring a kill.
+func runQuery(db *core.Engine, q string) (*query.Result, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return db.QueryCtx(ctx, q)
+}
+
+// remoteShell is the shell against a tcoserve instance: TMQL travels over
+// the wire, session options via dot-commands.
+func remoteShell(addr, oneShot string) {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	sess, err := cl.Session()
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+
+	run := func(q string) (*client.Result, error) {
+		// ctrl-C during a long remote query drops the prompt's wait; the
+		// server-side timeout (".option timeout <dur>") bounds the query.
+		return sess.Query(q)
+	}
+	if oneShot != "" {
+		res, err := run(oneShot)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Table())
+		return
+	}
+
+	fmt.Printf("tcoq — connected to %s (session %d). Type .help for commands.\n", addr, sess.ID())
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			remoteHelp()
+		case line == ".ping":
+			if err := sess.Ping(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("pong")
+			}
+		case line == ".begin":
+			tt, err := sess.Begin()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("read view pinned at tt=%s\n", tt)
+			}
+		case line == ".end":
+			if err := sess.End(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("read view released")
+			}
+		case strings.HasPrefix(line, ".option"):
+			fields := strings.Fields(line)
+			if len(fields) < 2 || len(fields) > 3 {
+				fmt.Println("usage: .option <key> [value]")
+				continue
+			}
+			val := ""
+			if len(fields) == 3 {
+				val = fields[2]
+			}
+			ack, err := sess.Option(fields[1], val)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("%s = %s\n", fields[1], ack)
+			}
+		case strings.HasPrefix(line, "."):
+			fmt.Println("unknown command; try .help")
+		default:
+			res, err := run(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(res.Table())
+			fmt.Printf("(%d rows in %s; plan: %s)\n", len(res.Rows), res.Elapsed, res.Plan)
+		}
+	}
+}
+
+func remoteHelp() {
+	fmt.Print(`Remote session commands (TMQL queries run server-side; see .help in local mode for syntax):
+  .option vt <t>|default       default valid-time slice for queries without AT
+  .option tt <t>|default       default transaction-time slice (ASOF)
+  .option timeout <dur>        per-query timeout (e.g. 250ms; 0 = off)
+  .option slow <dur>           per-session slow-query threshold
+  .option batch <n>            result rows per frame
+  .begin / .end                pin / release a repeatable-read view
+  .ping                        liveness probe
+  .quit
+`)
 }
 
 func fatal(err error) {

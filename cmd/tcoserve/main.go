@@ -1,0 +1,157 @@
+// Command tcoserve serves a tcodm database over TCP using the wire
+// protocol (see internal/wire and DESIGN.md §9). Clients connect with
+// pkg/client or the tcoq shell's -remote flag.
+//
+//	tcoserve -db design.tdb -addr :7483
+//	tcoserve -load personnel -addr :7483 -debug-addr localhost:6060
+//
+// SIGTERM or SIGINT starts a graceful drain: the listener closes, busy
+// sessions finish their current statement, and the process exits once
+// every session is gone (or -drain-timeout forces the issue).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tcodm/internal/core"
+	"tcodm/internal/obs"
+	"tcodm/internal/schema"
+	"tcodm/internal/server"
+	"tcodm/internal/workload"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file (empty = in-memory)")
+	addr := flag.String("addr", ":7483", "listen address")
+	load := flag.String("load", "", "seed an in-memory database with a synthetic workload: personnel|cad")
+	maxConns := flag.Int("max-conns", 64, "concurrent session limit")
+	queryTimeout := flag.Duration("query-timeout", 0, "server-wide per-query cap (0 = unlimited)")
+	slow := flag.Duration("slow", 0, "log queries at or above this duration (0 = off)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
+	flag.Parse()
+
+	db, err := core.Open(core.Options{Path: *dbPath, TimeIndex: true, SlowQueryThreshold: *slow})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	if db.Recovered {
+		rs := db.RecoveryStats()
+		fmt.Printf("(crash recovery: replayed %d of %d log records, %d committed, %d torn bytes truncated)\n",
+			rs.Replayed, rs.Records, rs.Committed, rs.TornBytes)
+	}
+	if *load != "" {
+		n, err := seed(db, *load)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(seeded %s workload: %d atoms)\n", *load, n)
+	}
+	if *debugAddr != "" {
+		db.PublishDebugVars()
+		dbg, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(debug server on http://%s/debug/vars)\n", dbg)
+	}
+
+	srv, err := server.New(server.Config{
+		Engine:       db,
+		Addr:         *addr,
+		MaxConns:     *maxConns,
+		QueryTimeout: *queryTimeout,
+		Logf:         func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	served := make(chan error, 1)
+	go func() { served <- srv.ListenAndServe() }()
+
+	// ListenAndServe binds asynchronously; report the address once up.
+	for i := 0; i < 100 && srv.Addr() == ""; i++ {
+		select {
+		case err := <-served:
+			fatal(err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	fmt.Printf("tcoserve listening on %s\n", srv.Addr())
+
+	select {
+	case err := <-served:
+		if err != nil {
+			fatal(err)
+		}
+		return
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	fmt.Println("draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tcoserve: drain incomplete:", err)
+	}
+	if err := <-served; err != nil {
+		fatal(err)
+	}
+	fmt.Println("drained cleanly")
+}
+
+// seed loads a synthetic workload, schema included.
+func seed(db *core.Engine, name string) (int, error) {
+	var sch *schema.Schema
+	var ops []workload.Op
+	var err error
+	switch name {
+	case "personnel":
+		sch, err = workload.PersonnelSchema()
+		ops = workload.Personnel(workload.DefaultPersonnel())
+	case "cad":
+		sch, err = workload.CADSchema()
+		ops = workload.CAD(workload.DefaultCAD())
+	default:
+		return 0, fmt.Errorf("unknown workload %q (want personnel or cad)", name)
+	}
+	if err != nil {
+		return 0, err
+	}
+	for _, n := range sch.AtomTypeNames() {
+		at, _ := sch.AtomType(n)
+		if err := db.DefineAtomType(*at); err != nil {
+			return 0, err
+		}
+	}
+	for _, n := range sch.MoleculeTypeNames() {
+		mt, _ := sch.MoleculeType(n)
+		if err := db.DefineMoleculeType(*mt); err != nil {
+			return 0, err
+		}
+	}
+	app := workload.NewEngineApplier(db, 256)
+	ids, err := workload.Apply(ops, app)
+	if err != nil {
+		return 0, err
+	}
+	if err := app.Flush(); err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcoserve:", err)
+	os.Exit(1)
+}

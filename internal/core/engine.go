@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -721,9 +722,46 @@ func (e *Engine) Vacuum(beforeTT temporal.Instant) (int, error) {
 // engine clock's current instant. Each run is timed into the query.ns
 // histogram and offered to the slow-query log.
 func (e *Engine) Query(src string) (*query.Result, error) {
+	return e.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx runs a TMQL statement under ctx: cancellation or deadline
+// expiry stops execution at the next operator-loop boundary and returns
+// the context's error.
+func (e *Engine) QueryCtx(ctx context.Context, src string) (*query.Result, error) {
+	return e.QueryWith(ctx, src, QueryOptions{})
+}
+
+// QueryOptions carry per-call session state for QueryWith. The zero value
+// reproduces Query's behaviour exactly.
+type QueryOptions struct {
+	// VT overrides the default valid-time slice point for queries without
+	// an AT clause (nil = the engine clock's now).
+	VT *temporal.Instant
+	// TT overrides the default transaction time for queries without an
+	// ASOF clause (nil = the latest recorded state). A server session
+	// pins this to realize repeatable reads across a conversation.
+	TT *temporal.Instant
+	// SlowThreshold force-records the query into the slow log when its
+	// duration meets it, independent of the engine-wide threshold
+	// (0 = engine threshold only). Per-session knob of the query server.
+	SlowThreshold time.Duration
+}
+
+// QueryWith runs a TMQL statement under ctx with explicit session
+// defaults. Each run is timed into the query.ns histogram and offered to
+// the slow-query log.
+func (e *Engine) QueryWith(ctx context.Context, src string, opts QueryOptions) (*query.Result, error) {
 	e.mu.RLock()
+	def := query.Defaults{VT: e.clock.Now()}
+	if opts.VT != nil {
+		def.VT = *opts.VT
+	}
+	if opts.TT != nil {
+		def.TT = *opts.TT
+	}
 	start := time.Now()
-	res, err := e.queries.Run(src, e.clock.Now())
+	res, err := e.queries.RunCtx(ctx, src, def)
 	dur := time.Since(start)
 	e.mu.RUnlock()
 
@@ -731,7 +769,12 @@ func (e *Engine) Query(src string) (*query.Result, error) {
 	e.queryNS.Observe(dur)
 	if err == nil {
 		rows := len(res.Rows) + len(res.Molecules)
-		if e.slow.Observe(src, dur, rows, res.Plan) && e.tracer != nil {
+		recorded := e.slow.Observe(src, dur, rows, res.Plan)
+		if !recorded && opts.SlowThreshold > 0 && dur >= opts.SlowThreshold {
+			e.slow.Record(src, dur, rows, res.Plan)
+			recorded = true
+		}
+		if recorded && e.tracer != nil {
 			e.tracer.Point(e.tracer.NextTraceID(), "slow-query",
 				fmt.Sprintf("dur=%s rows=%d", dur, rows))
 		}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/server"
+	"tcodm/internal/workload"
+	"tcodm/pkg/client"
+)
+
+// RT7WireOverhead measures the network service tax: the same TMQL run
+// through the in-process API and through pkg/client over TCP. With
+// remoteAddr empty the server is spawned in-process on loopback, so both
+// sides see the identical database and results are checked for equality;
+// a non-empty remoteAddr points at an external tcoserve (whose data this
+// experiment cannot verify — rows are reported, not compared).
+func RT7WireOverhead(scale Scale, remoteAddr string) (*Table, error) {
+	t := &Table{
+		ID:      "R-T7",
+		Title:   "Wire overhead: remote (TCP) vs in-process query latency",
+		Claim:   "framing + loopback TCP adds a fixed per-query tax, amortized on larger results",
+		Columns: []string{"query", "rows", "in-process", "remote", "overhead"},
+	}
+	p := workload.PersonnelParams{
+		Depts: 4, Emps: 150 * int(scale), UpdatesPerEmp: 8, MovesPerEmp: 1,
+		TimeStep: 10, Seed: 42,
+	}
+	db, _, err := BuildPersonnelDB(atom.StrategySeparated, p, false)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	addr := remoteAddr
+	if addr == "" {
+		srv, err := server.New(server.Config{Engine: db, Banner: "tcobench/rt7"})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		served := make(chan error, 1)
+		go func() { served <- srv.Serve(ln) }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			<-served
+		}()
+		addr = ln.Addr().String()
+	}
+
+	cl, err := client.New(client.Config{Addr: addr, PoolSize: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		return nil, fmt.Errorf("rt7: ping %s: %w", addr, err)
+	}
+
+	queries := []struct {
+		label string
+		tmql  string
+	}{
+		{"point select", `SELECT (name, salary) FROM Emp WHERE name = "emp-0001" LIMIT 1`},
+		{"filtered scan", `SELECT (name, salary) FROM Emp WHERE salary > 3000`},
+		{"full scan", `SELECT (name, salary, bio) FROM Emp`},
+		{"history", `SELECT HISTORY(Emp.salary) FROM Emp DURING [0, 10000)`},
+	}
+	for _, q := range queries {
+		localRows := -1
+		local := measure(40*time.Millisecond, func() {
+			res, err := db.Query(q.tmql)
+			if err != nil {
+				panic(err)
+			}
+			localRows = len(res.Rows)
+		})
+		remoteRows := -1
+		remote := measure(40*time.Millisecond, func() {
+			res, err := cl.Query(q.tmql)
+			if err != nil {
+				panic(err)
+			}
+			remoteRows = len(res.Rows)
+		})
+		if remoteAddr == "" && localRows != remoteRows {
+			return nil, fmt.Errorf("rt7: %s: remote returned %d rows, in-process %d", q.label, remoteRows, localRows)
+		}
+		t.Rows = append(t.Rows, []string{
+			q.label, fmt.Sprint(remoteRows), dur(local), dur(remote), ratioDur(remote, local),
+		})
+	}
+	transport := "in-process loopback server (same data both sides, results verified equal)"
+	if remoteAddr != "" {
+		transport = fmt.Sprintf("external server at %s (remote data not verified against local build)", remoteAddr)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d employees, %d salary versions each; pooled pkg/client, batched row streaming", p.Emps, p.UpdatesPerEmp+1),
+		transport,
+	)
+	return t, nil
+}

@@ -80,6 +80,24 @@ func (l *SlowLog) Observe(query string, dur time.Duration, rows int, plan string
 	return true
 }
 
+// Record stores the query unconditionally, bypassing the threshold. Used
+// for per-session slow thresholds tighter than the engine-wide one.
+func (l *SlowLog) Record(query string, dur time.Duration, rows int, plan string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(query) > maxSlowQueryText {
+		query = query[:maxSlowQueryText] + "…"
+	}
+	l.ring[l.next%uint64(len(l.ring))] = SlowEntry{
+		When: time.Now(), Dur: dur, Query: query, Rows: rows, Plan: plan,
+	}
+	l.next++
+	l.total++
+}
+
 // Entries returns the buffered slow queries oldest-first.
 func (l *SlowLog) Entries() []SlowEntry {
 	if l == nil {

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -76,9 +77,32 @@ func NewEngine(mgr *atom.Manager) *Engine {
 	return &Engine{Mgr: mgr, Builder: molecule.NewBuilder(mgr)}
 }
 
+// Defaults are the session-supplied slice coordinates used when the query
+// text has no AT / ASOF clause. The zero TT means "the latest recorded
+// state" (atom.Now), so Defaults{VT: vt} does the expected thing.
+type Defaults struct {
+	VT temporal.Instant
+	TT temporal.Instant
+}
+
+// tt returns the effective default transaction time.
+func (d Defaults) tt() temporal.Instant {
+	if d.TT == 0 {
+		return atom.Now
+	}
+	return d.TT
+}
+
 // Run parses, analyzes, and executes src. defaultVT is the valid time used
 // when the query has no AT clause (the engine passes its clock's now).
 func (e *Engine) Run(src string, defaultVT temporal.Instant) (*Result, error) {
+	return e.RunCtx(context.Background(), src, Defaults{VT: defaultVT})
+}
+
+// RunCtx parses, analyzes, and executes src under ctx. Cancellation or
+// deadline expiry stops execution at the next operator-loop boundary and
+// surfaces the context's error.
+func (e *Engine) RunCtx(ctx context.Context, src string, def Defaults) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
@@ -88,23 +112,31 @@ func (e *Engine) Run(src string, defaultVT temporal.Instant) (*Result, error) {
 		return nil, err
 	}
 	if q.Explain {
-		return e.explain(a, defaultVT)
+		return e.explain(ctx, a, def)
 	}
-	return e.Execute(a, defaultVT)
+	return e.ExecuteCtx(ctx, a, def)
 }
 
 // Execute runs an analyzed query.
 func (e *Engine) Execute(a *Analyzed, defaultVT temporal.Instant) (*Result, error) {
+	return e.ExecuteCtx(context.Background(), a, Defaults{VT: defaultVT})
+}
+
+// ExecuteCtx runs an analyzed query under ctx.
+func (e *Engine) ExecuteCtx(ctx context.Context, a *Analyzed, def Defaults) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	q := a.Query
-	vt := defaultVT
+	vt := def.VT
 	if q.At != nil {
 		vt = *q.At
 	}
-	tt := atom.Now
+	tt := def.tt()
 	if q.AsOf != nil {
 		tt = *q.AsOf
 	}
-	res, err := e.executeClass(a, vt, tt, &execCtx{})
+	res, err := e.executeClass(a, vt, tt, &execCtx{ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -339,6 +371,10 @@ func (e *Engine) forEachCandidate(a *Analyzed, vt, tt temporal.Instant, seen map
 	typeName := a.AtomType.Name
 	var innerErr error
 	plan, err := e.candidates(a, typeName, func(id value.ID) (bool, error) {
+		if err := ctx.checkCancel(); err != nil {
+			innerErr = err
+			return false, nil
+		}
 		if seen[id] {
 			return true, nil
 		}
@@ -423,6 +459,10 @@ func (e *Engine) execHistory(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx)
 	seen := map[value.ID]bool{}
 	var innerErr error
 	plan, err := e.candidates(a, a.AtomType.Name, func(id value.ID) (bool, error) {
+		if err := ctx.checkCancel(); err != nil {
+			innerErr = err
+			return false, nil
+		}
 		if seen[id] {
 			return true, nil
 		}
@@ -503,6 +543,12 @@ func (e *Engine) execMolecule(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx
 	seen := map[value.ID]bool{}
 	sub := &Analyzed{Query: q, Class: ClassAtom, AtomType: a.RootType}
 	plan, err := e.forEachCandidate(sub, vt, tt, seen, ctx, func(st *atom.State) error {
+		// Materialization is the expensive per-candidate stage (it can touch
+		// thousands of atoms per molecule), so poll cancellation on every
+		// molecule rather than at the sampled scan cadence.
+		if err := ctx.cancelErr(); err != nil {
+			return err
+		}
 		mol, err := e.Builder.Materialize(a.MolType, st.ID, vt, tt)
 		if err != nil {
 			return err

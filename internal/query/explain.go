@@ -1,11 +1,11 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
-	"tcodm/internal/atom"
 	"tcodm/internal/temporal"
 	"tcodm/internal/value"
 )
@@ -55,6 +55,10 @@ func (n *PlanNode) render(sb *strings.Builder, depth int) {
 type execCtx struct {
 	analyze bool
 
+	// ctx carries the caller's cancellation; nil means "never cancelled".
+	ctx        context.Context
+	cancelTick uint32
+
 	scanDesc string // access-path description from candidates()
 	scanned  int64  // candidate ids produced by the access path
 
@@ -74,6 +78,30 @@ type execCtx struct {
 	matCount  int64 // molecules materialized (molecule class only)
 
 	totalDur time.Duration
+}
+
+// checkCancel polls the caller's context at operator-loop boundaries.
+// Polling every candidate would put a lock acquisition (ctx.Err) on the
+// per-row path, so it samples every 64 candidates — bounded staleness at
+// negligible cost.
+func (c *execCtx) checkCancel() error {
+	if c.ctx == nil {
+		return nil
+	}
+	c.cancelTick++
+	if c.cancelTick&63 != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+// cancelErr reports the context's error unconditionally (used before
+// expensive per-candidate stages like molecule materialization).
+func (c *execCtx) cancelErr() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
 }
 
 // now returns the current time only when profiling; the zero Time means
@@ -267,13 +295,13 @@ func planResult(tree *PlanNode) *Result {
 }
 
 // explain handles EXPLAIN and EXPLAIN ANALYZE for an analyzed query.
-func (e *Engine) explain(a *Analyzed, defaultVT temporal.Instant) (*Result, error) {
+func (e *Engine) explain(cctx context.Context, a *Analyzed, def Defaults) (*Result, error) {
 	q := a.Query
-	vt := defaultVT
+	vt := def.VT
 	if q.At != nil {
 		vt = *q.At
 	}
-	tt := atom.Now
+	tt := def.tt()
 	if q.AsOf != nil {
 		tt = *q.AsOf
 	}
@@ -282,7 +310,7 @@ func (e *Engine) explain(a *Analyzed, defaultVT temporal.Instant) (*Result, erro
 		ctx := &execCtx{scanDesc: e.describeScan(a, baseType(a).Name)}
 		return planResult(buildPlanTree(a, vt, tt, ctx, nil)), nil
 	}
-	ctx := &execCtx{analyze: true}
+	ctx := &execCtx{analyze: true, ctx: cctx}
 	start := time.Now()
 	res, err := e.executeClass(a, vt, tt, ctx)
 	if err != nil {

@@ -1,0 +1,129 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"tcodm/internal/value"
+)
+
+// Bind substitutes $1..$n placeholders in src with the TMQL literal
+// rendering of params (1-based). Placeholders inside string literals are
+// left untouched. Every parameter must be referenced at least once and
+// every reference must have a parameter; violations are errors, as are
+// values with no literal syntax (surrogate IDs, NaN/Inf floats). Binding
+// is purely textual — the result lexes exactly as if the literal had been
+// typed — so the parse and analysis paths need no placeholder awareness.
+func Bind(src string, params []value.V) (string, error) {
+	var sb strings.Builder
+	sb.Grow(len(src) + 16*len(params))
+	used := make([]bool, len(params))
+	inString := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inString {
+			sb.WriteByte(c)
+			switch c {
+			case '\\':
+				// Copy the escaped byte verbatim so an escaped quote does
+				// not end the literal.
+				if i+1 < len(src) {
+					i++
+					sb.WriteByte(src[i])
+				}
+			case '"':
+				inString = false
+			}
+			continue
+		}
+		switch {
+		case c == '"':
+			inString = true
+			sb.WriteByte(c)
+		case c == '$':
+			j := i + 1
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			if j == i+1 {
+				return "", fmt.Errorf("query: stray '$' at position %d (placeholders are $1..$%d)", i, len(params))
+			}
+			n, err := strconv.Atoi(src[i+1 : j])
+			if err != nil || n < 1 || n > len(params) {
+				return "", fmt.Errorf("query: placeholder %s out of range (have %d parameters)", src[i:j], len(params))
+			}
+			lit, err := renderLiteral(params[n-1])
+			if err != nil {
+				return "", fmt.Errorf("query: parameter $%d: %w", n, err)
+			}
+			used[n-1] = true
+			sb.WriteString(lit)
+			i = j - 1
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	for i, u := range used {
+		if !u {
+			return "", fmt.Errorf("query: parameter $%d is never referenced", i+1)
+		}
+	}
+	return sb.String(), nil
+}
+
+// renderLiteral writes v in TMQL literal syntax.
+func renderLiteral(v value.V) (string, error) {
+	switch v.Kind() {
+	case value.KindNull:
+		return "NULL", nil
+	case value.KindBool:
+		if v.AsBool() {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	case value.KindInt:
+		return strconv.FormatInt(v.AsInt(), 10), nil
+	case value.KindInstant:
+		return strconv.FormatInt(int64(v.AsInstant()), 10), nil
+	case value.KindFloat:
+		f := v.AsFloat()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return "", fmt.Errorf("float %v has no TMQL literal syntax", f)
+		}
+		// 'f' (never 'e'): the TMQL lexer has no exponent syntax.
+		s := strconv.FormatFloat(f, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0" // keep the token a float so value kinds survive the round trip
+		}
+		return s, nil
+	case value.KindString:
+		return quoteTMQL(v.AsString()), nil
+	default:
+		return "", fmt.Errorf("%s values have no TMQL literal syntax", v.Kind())
+	}
+}
+
+// quoteTMQL quotes s using the lexer's escape set.
+func quoteTMQL(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s) + 2)
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

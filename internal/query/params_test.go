@@ -1,0 +1,127 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"tcodm/internal/value"
+)
+
+func TestBindSubstitutes(t *testing.T) {
+	cases := []struct {
+		src    string
+		params []value.V
+		want   string
+	}{
+		{
+			"SELECT e.name FROM emp e WHERE e.sal > $1",
+			[]value.V{value.Int(5000)},
+			"SELECT e.name FROM emp e WHERE e.sal > 5000",
+		},
+		{
+			"WHERE e.name = $1 AND e.rate = $2",
+			[]value.V{value.String_("alice"), value.Float(2.5)},
+			`WHERE e.name = "alice" AND e.rate = 2.5`,
+		},
+		{
+			"WHERE e.f = $1", // integral float keeps a decimal point
+			[]value.V{value.Float(3)},
+			"WHERE e.f = 3.0",
+		},
+		{
+			"WHERE e.ok = $1 AND e.gone = $2",
+			[]value.V{value.Bool(true), value.Null},
+			"WHERE e.ok = TRUE AND e.gone = NULL",
+		},
+		{
+			"WHERE e.a = $2 AND e.b = $1 AND e.c = $1", // reorder + reuse
+			[]value.V{value.Int(1), value.Int(2)},
+			"WHERE e.a = 2 AND e.b = 1 AND e.c = 1",
+		},
+		{
+			`WHERE e.name = "$1" AND e.id = $1`, // $ inside string untouched
+			[]value.V{value.Int(9)},
+			`WHERE e.name = "$1" AND e.id = 9`,
+		},
+		{
+			`WHERE e.name = "a\"$1" AND e.id = $1`, // escaped quote does not end the literal
+			[]value.V{value.Int(9)},
+			`WHERE e.name = "a\"$1" AND e.id = 9`,
+		},
+	}
+	for _, c := range cases {
+		got, err := Bind(c.src, c.params)
+		if err != nil {
+			t.Errorf("Bind(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Bind(%q)\n got  %q\n want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBindStringEscaping(t *testing.T) {
+	src := "WHERE e.name = $1"
+	bound, err := Bind(src, []value.V{value.String_("line1\nline2\t\"q\" \\end")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `WHERE e.name = "line1\nline2\t\"q\" \\end"`
+	if bound != want {
+		t.Fatalf("got %q want %q", bound, want)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		params []value.V
+		msg    string
+	}{
+		{"out of range", "WHERE e.id = $2", []value.V{value.Int(1)}, "out of range"},
+		{"stray dollar", "WHERE e.id = $x", []value.V{value.Int(1)}, "stray"},
+		{"unused param", "WHERE e.id = $1", []value.V{value.Int(1), value.Int(2)}, "never referenced"},
+		{"nan float", "WHERE e.f = $1", []value.V{value.Float(nan())}, "no TMQL literal"},
+	}
+	for _, c := range cases {
+		_, err := Bind(c.src, c.params)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.msg) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.msg)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// TestBindExecutes proves bound text parses and runs identically to the
+// hand-written literal form.
+func TestBindExecutes(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	bound, err := Bind(
+		"SELECT (name, salary) FROM Emp WHERE salary >= $1 AND NOT name = $2 AT 10",
+		[]value.V{value.Int(2000), value.String_("bob")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundRes, err := e.Run(bound, 10)
+	if err != nil {
+		t.Fatalf("bound query: %v", err)
+	}
+	litRes, err := e.Run(`SELECT (name, salary) FROM Emp WHERE salary >= 2000 AND NOT name = "bob" AT 10`, 10)
+	if err != nil {
+		t.Fatalf("literal query: %v", err)
+	}
+	if len(boundRes.Rows) != len(litRes.Rows) || len(boundRes.Rows) == 0 {
+		t.Fatalf("bound %d rows, literal %d rows", len(boundRes.Rows), len(litRes.Rows))
+	}
+}

@@ -1,0 +1,242 @@
+// Package server exposes a tcodm engine over TCP using the wire protocol.
+//
+// Each accepted connection becomes a session with its own state: default
+// valid/transaction-time slice, a per-query timeout, a per-session slow
+// threshold, and an optional pinned read view ("begin"/"end" options) that
+// fixes transaction time at the moment the pin was taken, giving
+// repeatable reads across statements. TMQL is read-only, so the network
+// surface carries no DML — writes stay in-process where the engine's
+// single-writer lock cannot be held hostage to a stalled client.
+//
+// The server drains gracefully on Shutdown: the listener closes first
+// (new dials are refused), sessions finish the frame they are executing,
+// idle sessions are disconnected, and Shutdown returns when every session
+// has exited or its context expires (then connections are hard-closed).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tcodm/internal/core"
+	"tcodm/internal/obs"
+	"tcodm/internal/wire"
+)
+
+// Config parameterizes a Server. Engine is required; everything else has
+// a usable default.
+type Config struct {
+	Engine *core.Engine
+	Addr   string // listen address, e.g. ":7483"; used by ListenAndServe
+	Banner string // served in the Welcome frame
+
+	MaxConns     int           // concurrent session cap (default 64)
+	ReadTimeout  time.Duration // max idle time between client frames (default 5m)
+	WriteTimeout time.Duration // per-frame write deadline (default 30s)
+	QueryTimeout time.Duration // hard per-query cap; 0 = unlimited
+	BatchRows    int           // rows per ResultRows frame (default 256)
+
+	Logf func(format string, args ...any) // optional diagnostics sink
+}
+
+func (c Config) withDefaults() Config {
+	if c.Banner == "" {
+		c.Banner = "tcoserve/1"
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.BatchRows <= 0 {
+		c.BatchRows = 256
+	}
+	return c
+}
+
+// Server serves wire-protocol sessions against one engine.
+type Server struct {
+	cfg      Config
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	nextID   uint64
+	draining bool
+
+	// Metrics live in the engine's registry so they surface through the
+	// same /debug/vars and snapshot paths as engine-side telemetry.
+	conns    *obs.Gauge
+	accepted *obs.Counter
+	refused  *obs.Counter
+	frames   *obs.Counter
+	queries  *obs.Counter
+	qErrors  *obs.Counter
+	queryNS  *obs.Histogram
+}
+
+// New creates a server for cfg.Engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := cfg.Engine.Metrics()
+	return &Server{
+		cfg:      cfg,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		sessions: map[uint64]*session{},
+		conns:    reg.Gauge("server.conns"),
+		accepted: reg.Counter("server.conns_accepted"),
+		refused:  reg.Counter("server.conns_refused"),
+		frames:   reg.Counter("server.frames_in"),
+		queries:  reg.Counter("server.queries"),
+		qErrors:  reg.Counter("server.query_errors"),
+		queryNS:  reg.Histogram("server.query_ns"),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound listener address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts sessions on ln until Shutdown closes it. It returns nil
+// after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.accepted.Inc()
+
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			s.refuse(conn, wire.CodeDraining, "server draining")
+			continue
+		}
+		if len(s.sessions) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.refused.Inc()
+			s.refuse(conn, wire.CodeBusy, fmt.Sprintf("connection limit %d reached", s.cfg.MaxConns))
+			continue
+		}
+		s.nextID++
+		sess := newSession(s, s.nextID, conn)
+		s.sessions[sess.id] = sess
+		s.mu.Unlock()
+
+		s.conns.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.conns.Add(-1)
+			defer s.forget(sess.id)
+			sess.serve(s.baseCtx)
+		}()
+	}
+}
+
+// refuse reports an error frame on a connection we will not serve.
+func (s *Server) refuse(conn net.Conn, code uint16, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	wire.WriteFrame(conn, wire.FrameError, wire.EncodeError(code, msg, ""))
+	conn.Close()
+}
+
+func (s *Server) forget(id uint64) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+}
+
+// Shutdown drains the server: the listener closes immediately (new dials
+// are refused by the OS), idle sessions are disconnected, and busy
+// sessions finish the frame they are executing. When ctx expires before
+// the drain completes, remaining queries are cancelled and connections
+// hard-closed. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	for _, sess := range s.sessions {
+		sess.drain()
+	}
+	s.mu.Unlock()
+	if ln != nil && !already {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel() // cancel in-flight queries
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

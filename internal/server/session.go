@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+
+	"tcodm/internal/core"
+	"tcodm/internal/query"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+	"tcodm/internal/wire"
+)
+
+// session is one client connection. All session state is owned by the
+// serve goroutine; only busy/drainAfter are shared with the drain path.
+type session struct {
+	s    *Server
+	id   uint64
+	conn net.Conn
+	br   *bufio.Reader
+
+	// Time-slice defaults applied when a query names no AT/ASOF point.
+	vt *temporal.Instant
+	tt *temporal.Instant
+	// pinned is the "begin" read view: transaction time frozen at the
+	// pin, overriding tt until "end". Queries repeat exactly.
+	pinned *temporal.Instant
+
+	timeout time.Duration // per-query cap (intersected with cfg.QueryTimeout)
+	slow    time.Duration // per-session slow-log threshold
+	batch   int           // rows per ResultRows frame
+
+	muState    chan struct{} // 1-token mutex; select-free hand-rolled to keep drain lock tiny
+	busy       bool
+	drainAfter bool
+}
+
+func newSession(s *Server, id uint64, conn net.Conn) *session {
+	ss := &session{s: s, id: id, conn: conn, br: bufio.NewReader(conn), batch: s.cfg.BatchRows, muState: make(chan struct{}, 1)}
+	ss.muState <- struct{}{}
+	return ss
+}
+
+func (ss *session) lock()   { <-ss.muState }
+func (ss *session) unlock() { ss.muState <- struct{}{} }
+
+// drain stops the session: an idle session is disconnected immediately, a
+// busy one finishes the frame it is executing and then exits.
+func (ss *session) drain() {
+	ss.lock()
+	ss.drainAfter = true
+	idle := !ss.busy
+	ss.unlock()
+	if idle {
+		ss.conn.Close()
+	}
+}
+
+func (ss *session) beginFrame() {
+	ss.lock()
+	ss.busy = true
+	ss.unlock()
+}
+
+// endFrame reports whether the session should stop reading further frames.
+func (ss *session) endFrame() bool {
+	ss.lock()
+	ss.busy = false
+	stop := ss.drainAfter
+	ss.unlock()
+	return stop
+}
+
+// serve runs the session loop until the client closes, a protocol error
+// occurs, or the server drains.
+func (ss *session) serve(ctx context.Context) {
+	defer ss.conn.Close()
+
+	// Handshake: Hello in, Welcome out.
+	f, err := ss.readFrame()
+	if err != nil {
+		return
+	}
+	if f.Type != wire.FrameHello {
+		ss.writeError(wire.CodeProtocol, "expected Hello frame", fmt.Sprintf("got frame type 0x%02x", f.Type))
+		return
+	}
+	if _, err := wire.DecodeHello(f.Payload); err != nil {
+		ss.writeError(wire.CodeProtocol, "malformed Hello", err.Error())
+		return
+	}
+	if err := ss.writeFrame(wire.FrameWelcome, wire.EncodeWelcome(ss.s.cfg.Banner, ss.id)); err != nil {
+		return
+	}
+
+	for {
+		f, err := ss.readFrame()
+		if err != nil {
+			// Version mismatches deserve a reply; everything else is a
+			// dead or misbehaving transport.
+			if f.Version != 0 && f.Version != wire.Version {
+				ss.writeError(wire.CodeVersion, "unsupported protocol version", err.Error())
+			}
+			return
+		}
+		ss.s.frames.Inc()
+		ss.beginFrame()
+		stop := ss.handle(ctx, f)
+		if ss.endFrame() || stop {
+			return
+		}
+	}
+}
+
+// handle processes one frame, returning true when the session must end.
+func (ss *session) handle(ctx context.Context, f wire.Frame) bool {
+	switch f.Type {
+	case wire.FrameQuery:
+		text, err := wire.DecodeQuery(f.Payload)
+		if err != nil {
+			ss.writeError(wire.CodeProtocol, "malformed Query", err.Error())
+			return true
+		}
+		return ss.runQuery(ctx, text)
+	case wire.FrameExec:
+		text, params, err := wire.DecodeExec(f.Payload)
+		if err != nil {
+			ss.writeError(wire.CodeProtocol, "malformed Exec", err.Error())
+			return true
+		}
+		bound, err := query.Bind(text, params)
+		if err != nil {
+			// A bad binding is a query error, not a protocol violation:
+			// the session stays usable.
+			ss.writeError(wire.CodeQuery, err.Error(), "")
+			return false
+		}
+		return ss.runQuery(ctx, bound)
+	case wire.FrameOption:
+		key, val, err := wire.DecodeOption(f.Payload)
+		if err != nil {
+			ss.writeError(wire.CodeProtocol, "malformed Option", err.Error())
+			return true
+		}
+		ack, err := ss.setOption(key, val)
+		if err != nil {
+			ss.writeError(wire.CodeQuery, err.Error(), "")
+			return false
+		}
+		return ss.writeFrame(wire.FrameAck, wire.EncodeAck(ack)) != nil
+	case wire.FramePing:
+		return ss.writeFrame(wire.FramePong, f.Payload) != nil
+	case wire.FrameClose:
+		return true
+	default:
+		ss.writeError(wire.CodeProtocol, "unexpected frame", fmt.Sprintf("type 0x%02x", f.Type))
+		return true
+	}
+}
+
+// setOption applies one session option and returns the effective value.
+func (ss *session) setOption(key, val string) (string, error) {
+	switch key {
+	case "vt":
+		return setInstant(&ss.vt, val)
+	case "tt", "asof":
+		return setInstant(&ss.tt, val)
+	case "timeout":
+		if val == "" || val == "0" {
+			ss.timeout = 0
+			return "0s", nil
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return "", fmt.Errorf("option timeout: want a duration like 250ms, got %q", val)
+		}
+		ss.timeout = d
+		return d.String(), nil
+	case "slow":
+		if val == "" || val == "0" {
+			ss.slow = 0
+			return "0s", nil
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return "", fmt.Errorf("option slow: want a duration like 10ms, got %q", val)
+		}
+		ss.slow = d
+		return d.String(), nil
+	case "batch":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 || n > 1<<16 {
+			return "", fmt.Errorf("option batch: want 1..65536, got %q", val)
+		}
+		ss.batch = n
+		return strconv.Itoa(n), nil
+	case "begin":
+		// Pin the read view at the engine's current transaction time.
+		// Until "end", every statement sees this exact snapshot.
+		now := ss.s.cfg.Engine.Now()
+		ss.pinned = &now
+		return strconv.FormatInt(int64(now), 10), nil
+	case "end":
+		ss.pinned = nil
+		return "ok", nil
+	default:
+		return "", fmt.Errorf("unknown session option %q", key)
+	}
+}
+
+// setInstant parses val into *dst; empty clears the default.
+func setInstant(dst **temporal.Instant, val string) (string, error) {
+	if val == "" || val == "default" {
+		*dst = nil
+		return "default", nil
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("want an instant (integer) or \"default\", got %q", val)
+	}
+	t := temporal.Instant(n)
+	*dst = &t
+	return strconv.FormatInt(n, 10), nil
+}
+
+// queryTimeout intersects the session timeout with the server-wide cap.
+func (ss *session) queryTimeout() time.Duration {
+	d := ss.timeout
+	if cap := ss.s.cfg.QueryTimeout; cap > 0 && (d == 0 || d > cap) {
+		d = cap
+	}
+	return d
+}
+
+// runQuery executes text and streams the result, returning true when the
+// session must end (transport failure).
+func (ss *session) runQuery(ctx context.Context, text string) bool {
+	ss.s.queries.Inc()
+	opts := ss.queryOptions()
+	if d := ss.queryTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := ss.s.cfg.Engine.QueryWith(ctx, text, opts)
+	ss.s.queryNS.Observe(time.Since(start))
+	if err != nil {
+		ss.s.qErrors.Inc()
+		code := wire.CodeQuery
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			code = wire.CodeTimeout
+		}
+		ss.writeError(code, err.Error(), "")
+		return false
+	}
+
+	cols, rows := res.Columns, res.Rows
+	if len(res.Molecules) > 0 && len(rows) == 0 {
+		cols, rows = moleculeSummary(res)
+	}
+	if err := ss.writeFrame(wire.FrameResultHeader, wire.EncodeResultHeader(cols)); err != nil {
+		return true
+	}
+	for off := 0; off < len(rows); off += ss.batch {
+		end := off + ss.batch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if err := ss.writeFrame(wire.FrameResultRows, wire.EncodeResultRows(rows[off:end])); err != nil {
+			return true
+		}
+	}
+	done := wire.ResultDone{
+		Plan:      res.Plan,
+		Rows:      uint64(len(rows)),
+		Molecules: uint64(len(res.Molecules)),
+		Elapsed:   time.Since(start),
+	}
+	return ss.writeFrame(wire.FrameResultDone, wire.EncodeResultDone(done)) != nil
+}
+
+// queryOptions assembles the engine-level options from session state.
+func (ss *session) queryOptions() core.QueryOptions {
+	opts := core.QueryOptions{VT: ss.vt, TT: ss.tt, SlowThreshold: ss.slow}
+	if ss.pinned != nil {
+		opts.TT = ss.pinned
+	}
+	return opts
+}
+
+// moleculeSummary flattens SELECT ALL results into one row per molecule:
+// the full object graph does not cross the wire, its shape does.
+func moleculeSummary(res *query.Result) ([]string, [][]value.V) {
+	cols := []string{"molecule", "root", "atoms"}
+	rows := make([][]value.V, 0, len(res.Molecules))
+	for _, m := range res.Molecules {
+		rows = append(rows, []value.V{
+			value.String_(m.Type.Name),
+			value.Ref(m.Root),
+			value.Int(int64(m.Size())),
+		})
+	}
+	return cols, rows
+}
+
+// readFrame reads one frame under the idle deadline.
+func (ss *session) readFrame() (wire.Frame, error) {
+	ss.conn.SetReadDeadline(time.Now().Add(ss.s.cfg.ReadTimeout))
+	return wire.ReadFrame(ss.br)
+}
+
+// writeFrame writes one frame under the write deadline.
+func (ss *session) writeFrame(typ byte, payload []byte) error {
+	ss.conn.SetWriteDeadline(time.Now().Add(ss.s.cfg.WriteTimeout))
+	return wire.WriteFrame(ss.conn, typ, payload)
+}
+
+func (ss *session) writeError(code uint16, msg, detail string) {
+	ss.writeFrame(wire.FrameError, wire.EncodeError(code, msg, detail))
+}

@@ -1,0 +1,160 @@
+// Package wire defines the binary protocol the tcodm query service speaks:
+// length-prefixed, versioned frames over a byte stream. Every frame is
+//
+//	uint32  length   big-endian; bytes following the prefix = 2 + len(payload)
+//	byte    version  protocol version (currently 1)
+//	byte    type     frame type
+//	[]byte  payload  type-specific encoding
+//
+// Values travel in the engine's compact record encoding
+// (value.AppendRecord); strings and counts are uvarint-length-prefixed.
+// Decoding is defensive end to end: malformed lengths, truncated frames,
+// and hostile counts error out without panicking and without allocating
+// more than the bytes actually received (fuzzed in fuzz_test.go).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version this package encodes.
+const Version = 1
+
+// MaxPayload bounds a single frame's payload: large results are streamed
+// as many bounded row batches, so no legitimate frame approaches this.
+const MaxPayload = 8 << 20
+
+// headerLen is the fixed frame overhead past the length prefix.
+const headerLen = 2
+
+// Frame types. Client-to-server frames sit below 0x20, server-to-client
+// frames at or above it.
+const (
+	// FrameHello opens a session: client banner string.
+	FrameHello byte = 0x01
+	// FrameQuery runs a TMQL statement: query text.
+	FrameQuery byte = 0x02
+	// FrameExec runs parameterized TMQL: text + bound parameter values.
+	FrameExec byte = 0x03
+	// FrameOption sets one session option: key and value strings.
+	FrameOption byte = 0x04
+	// FramePing probes liveness; the payload is echoed back in the Pong.
+	FramePing byte = 0x05
+	// FrameClose announces an orderly client shutdown (empty payload).
+	FrameClose byte = 0x06
+
+	// FrameWelcome acknowledges Hello: server banner + session id.
+	FrameWelcome byte = 0x20
+	// FrameResultHeader starts a result: column names.
+	FrameResultHeader byte = 0x21
+	// FrameResultRows carries one bounded batch of result rows.
+	FrameResultRows byte = 0x22
+	// FrameResultDone ends a result: plan, row/molecule totals, elapsed.
+	FrameResultDone byte = 0x23
+	// FrameError reports a failure: code, message, detail.
+	FrameError byte = 0x24
+	// FramePong answers a Ping, echoing its payload.
+	FramePong byte = 0x25
+	// FrameAck acknowledges an Option, echoing the effective value.
+	FrameAck byte = 0x26
+)
+
+// Error codes carried by FrameError.
+const (
+	// CodeQuery: the query failed (parse, analysis, or execution); the
+	// session remains usable.
+	CodeQuery uint16 = 1
+	// CodeProtocol: the peer sent a malformed or unexpected frame; the
+	// connection is closed.
+	CodeProtocol uint16 = 2
+	// CodeTimeout: the query exceeded its deadline or was cancelled.
+	CodeTimeout uint16 = 3
+	// CodeDraining: the server is shutting down and accepts no new work.
+	CodeDraining uint16 = 4
+	// CodeVersion: the client's protocol version is unsupported.
+	CodeVersion uint16 = 5
+	// CodeBusy: the server's connection limit is reached; dial again later.
+	CodeBusy uint16 = 6
+)
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Version byte
+	Type    byte
+	Payload []byte
+}
+
+// ErrFrameTooLarge reports a length prefix beyond MaxPayload.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// AppendFrame appends the encoded frame to dst and returns it.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(headerLen+len(payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, Version, typ)
+	return append(dst, payload...)
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return ErrFrameTooLarge
+	}
+	_, err := w.Write(AppendFrame(make([]byte, 0, 4+headerLen+len(payload)), typ, payload))
+	return err
+}
+
+// ReadFrame reads one frame from r. The allocation for the payload is
+// bounded by the declared length, which is itself bounded by MaxPayload —
+// a hostile length prefix cannot force a large allocation beyond that cap.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < headerLen {
+		return Frame{}, fmt.Errorf("wire: frame length %d below header size", n)
+	}
+	if n > headerLen+MaxPayload {
+		return Frame{}, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	f := Frame{Version: buf[0], Type: buf[1], Payload: buf[2:]}
+	if f.Version != Version {
+		return f, fmt.Errorf("wire: unsupported protocol version %d", f.Version)
+	}
+	return f, nil
+}
+
+// DecodeFrame decodes one frame from the front of buf, returning the
+// frame and the bytes consumed. It is ReadFrame over a byte slice — the
+// fuzzing entry point — and never allocates: the payload aliases buf.
+func DecodeFrame(buf []byte) (Frame, int, error) {
+	if len(buf) < 4 {
+		return Frame{}, 0, fmt.Errorf("wire: short frame prefix (%d bytes)", len(buf))
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if n < headerLen {
+		return Frame{}, 0, fmt.Errorf("wire: frame length %d below header size", n)
+	}
+	if n > headerLen+MaxPayload {
+		return Frame{}, 0, ErrFrameTooLarge
+	}
+	end := 4 + int(n)
+	if end > len(buf) {
+		return Frame{}, 0, fmt.Errorf("wire: truncated frame (need %d bytes, have %d)", end, len(buf))
+	}
+	f := Frame{Version: buf[4], Type: buf[5], Payload: buf[6:end]}
+	if f.Version != Version {
+		return f, end, fmt.Errorf("wire: unsupported protocol version %d", f.Version)
+	}
+	return f, end, nil
+}

@@ -1,0 +1,290 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"tcodm/internal/value"
+)
+
+// --- primitives ------------------------------------------------------------
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// ReadString decodes a length-prefixed string from src, returning the
+// string and the bytes consumed.
+func ReadString(src []byte) (string, int, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return "", 0, fmt.Errorf("wire: corrupt string length")
+	}
+	end := sz + int(n)
+	if n > uint64(len(src)) || end > len(src) || end < sz {
+		return "", 0, fmt.Errorf("wire: string truncated (need %d bytes, have %d)", n, len(src)-sz)
+	}
+	return string(src[sz:end]), end, nil
+}
+
+// readCount decodes a uvarint element count and validates it against the
+// remaining payload, given a per-element lower bound in bytes. A hostile
+// count therefore cannot force an allocation beyond the bytes received.
+func readCount(src []byte, minElem int) (int, int, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return 0, 0, fmt.Errorf("wire: corrupt count")
+	}
+	if n > uint64((len(src)-sz)/minElem) {
+		return 0, 0, fmt.Errorf("wire: count %d exceeds payload", n)
+	}
+	return int(n), sz, nil
+}
+
+// --- handshake -------------------------------------------------------------
+
+// EncodeHello builds a Hello payload: the client banner.
+func EncodeHello(banner string) []byte {
+	return AppendString(nil, banner)
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(p []byte) (banner string, err error) {
+	banner, _, err = ReadString(p)
+	return banner, err
+}
+
+// EncodeWelcome builds a Welcome payload: server banner and session id.
+func EncodeWelcome(banner string, session uint64) []byte {
+	dst := AppendString(nil, banner)
+	return binary.AppendUvarint(dst, session)
+}
+
+// DecodeWelcome parses a Welcome payload.
+func DecodeWelcome(p []byte) (banner string, session uint64, err error) {
+	banner, n, err := ReadString(p)
+	if err != nil {
+		return "", 0, err
+	}
+	session, sz := binary.Uvarint(p[n:])
+	if sz <= 0 {
+		return "", 0, fmt.Errorf("wire: corrupt session id")
+	}
+	return banner, session, nil
+}
+
+// --- queries ---------------------------------------------------------------
+
+// EncodeQuery builds a Query payload: the statement text.
+func EncodeQuery(text string) []byte {
+	return AppendString(nil, text)
+}
+
+// DecodeQuery parses a Query payload.
+func DecodeQuery(p []byte) (string, error) {
+	text, _, err := ReadString(p)
+	return text, err
+}
+
+// EncodeExec builds an Exec payload: statement text plus bound parameters
+// in record encoding.
+func EncodeExec(text string, params []value.V) []byte {
+	dst := AppendString(nil, text)
+	dst = binary.AppendUvarint(dst, uint64(len(params)))
+	for _, v := range params {
+		dst = value.AppendRecord(dst, v)
+	}
+	return dst
+}
+
+// DecodeExec parses an Exec payload.
+func DecodeExec(p []byte) (string, []value.V, error) {
+	text, n, err := ReadString(p)
+	if err != nil {
+		return "", nil, err
+	}
+	p = p[n:]
+	count, sz, err := readCount(p, 1)
+	if err != nil {
+		return "", nil, err
+	}
+	p = p[sz:]
+	params := make([]value.V, 0, count)
+	for i := 0; i < count; i++ {
+		v, used, err := value.DecodeRecord(p)
+		if err != nil {
+			return "", nil, fmt.Errorf("wire: parameter %d: %w", i+1, err)
+		}
+		p = p[used:]
+		params = append(params, v)
+	}
+	return text, params, nil
+}
+
+// EncodeOption builds an Option payload: key and value strings.
+func EncodeOption(key, val string) []byte {
+	return AppendString(AppendString(nil, key), val)
+}
+
+// DecodeOption parses an Option payload.
+func DecodeOption(p []byte) (key, val string, err error) {
+	key, n, err := ReadString(p)
+	if err != nil {
+		return "", "", err
+	}
+	val, _, err = ReadString(p[n:])
+	return key, val, err
+}
+
+// EncodeAck builds an Ack payload: the effective option value.
+func EncodeAck(val string) []byte {
+	return AppendString(nil, val)
+}
+
+// DecodeAck parses an Ack payload.
+func DecodeAck(p []byte) (string, error) {
+	val, _, err := ReadString(p)
+	return val, err
+}
+
+// --- results ---------------------------------------------------------------
+
+// EncodeResultHeader builds a ResultHeader payload: the column names.
+func EncodeResultHeader(cols []string) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(cols)))
+	for _, c := range cols {
+		dst = AppendString(dst, c)
+	}
+	return dst
+}
+
+// DecodeResultHeader parses a ResultHeader payload.
+func DecodeResultHeader(p []byte) ([]string, error) {
+	count, sz, err := readCount(p, 1)
+	if err != nil {
+		return nil, err
+	}
+	p = p[sz:]
+	cols := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		c, n, err := ReadString(p)
+		if err != nil {
+			return nil, fmt.Errorf("wire: column %d: %w", i, err)
+		}
+		p = p[n:]
+		cols = append(cols, c)
+	}
+	return cols, nil
+}
+
+// EncodeResultRows builds a ResultRows payload: one batch of rows, each a
+// count-prefixed sequence of record-encoded values.
+func EncodeResultRows(rows [][]value.V) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(rows)))
+	for _, row := range rows {
+		dst = binary.AppendUvarint(dst, uint64(len(row)))
+		for _, v := range row {
+			dst = value.AppendRecord(dst, v)
+		}
+	}
+	return dst
+}
+
+// DecodeResultRows parses a ResultRows payload.
+func DecodeResultRows(p []byte) ([][]value.V, error) {
+	count, sz, err := readCount(p, 1)
+	if err != nil {
+		return nil, err
+	}
+	p = p[sz:]
+	rows := make([][]value.V, 0, count)
+	for i := 0; i < count; i++ {
+		nvals, sz, err := readCount(p, 1)
+		if err != nil {
+			return nil, fmt.Errorf("wire: row %d: %w", i, err)
+		}
+		p = p[sz:]
+		row := make([]value.V, 0, nvals)
+		for j := 0; j < nvals; j++ {
+			v, used, err := value.DecodeRecord(p)
+			if err != nil {
+				return nil, fmt.Errorf("wire: row %d value %d: %w", i, j, err)
+			}
+			p = p[used:]
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ResultDone summarizes a completed result stream.
+type ResultDone struct {
+	Plan      string
+	Rows      uint64 // total rows streamed
+	Molecules uint64 // molecules summarized (SELECT ALL)
+	Elapsed   time.Duration
+}
+
+// EncodeResultDone builds a ResultDone payload.
+func EncodeResultDone(d ResultDone) []byte {
+	dst := AppendString(nil, d.Plan)
+	dst = binary.AppendUvarint(dst, d.Rows)
+	dst = binary.AppendUvarint(dst, d.Molecules)
+	return binary.AppendUvarint(dst, uint64(d.Elapsed.Nanoseconds()))
+}
+
+// DecodeResultDone parses a ResultDone payload.
+func DecodeResultDone(p []byte) (ResultDone, error) {
+	var d ResultDone
+	plan, n, err := ReadString(p)
+	if err != nil {
+		return d, err
+	}
+	d.Plan = plan
+	p = p[n:]
+	for _, field := range []*uint64{&d.Rows, &d.Molecules} {
+		v, sz := binary.Uvarint(p)
+		if sz <= 0 {
+			return d, fmt.Errorf("wire: corrupt result summary")
+		}
+		*field = v
+		p = p[sz:]
+	}
+	ns, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return d, fmt.Errorf("wire: corrupt result summary")
+	}
+	d.Elapsed = time.Duration(ns)
+	return d, nil
+}
+
+// --- errors ----------------------------------------------------------------
+
+// EncodeError builds an Error payload: code, message, and detail.
+func EncodeError(code uint16, msg, detail string) []byte {
+	dst := binary.AppendUvarint(nil, uint64(code))
+	dst = AppendString(dst, msg)
+	return AppendString(dst, detail)
+}
+
+// DecodeError parses an Error payload.
+func DecodeError(p []byte) (code uint16, msg, detail string, err error) {
+	c, sz := binary.Uvarint(p)
+	if sz <= 0 || c > 0xFFFF {
+		return 0, "", "", fmt.Errorf("wire: corrupt error code")
+	}
+	p = p[sz:]
+	msg, n, err := ReadString(p)
+	if err != nil {
+		return 0, "", "", err
+	}
+	detail, _, err = ReadString(p[n:])
+	if err != nil {
+		return 0, "", "", err
+	}
+	return uint16(c), msg, detail, nil
+}

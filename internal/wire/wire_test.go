@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"tcodm/internal/value"
+)
+
+func TestFrameRoundTripStream(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i, p := range payloads {
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if f.Version != Version || f.Type != byte(i+1) || !bytes.Equal(f.Payload, p) {
+			t.Fatalf("frame %d mismatch: %+v", i, f)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected EOF after last frame, got %v", err)
+	}
+}
+
+func TestDecodeFrameConsumed(t *testing.T) {
+	buf := AppendFrame(nil, FrameQuery, []byte("abc"))
+	buf = AppendFrame(buf, FramePing, nil)
+	f, n, err := DecodeFrame(buf)
+	if err != nil || f.Type != FrameQuery || string(f.Payload) != "abc" {
+		t.Fatalf("first frame: %+v, %v", f, err)
+	}
+	f, m, err := DecodeFrame(buf[n:])
+	if err != nil || f.Type != FramePing || len(f.Payload) != 0 {
+		t.Fatalf("second frame: %+v, %v", f, err)
+	}
+	if n+m != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n+m, len(buf))
+	}
+}
+
+func TestReadFrameRejectsHostileLengths(t *testing.T) {
+	cases := map[string][]byte{
+		"below header": {0, 0, 0, 1, Version},
+		"oversized":    {0xFF, 0xFF, 0xFF, 0xFF},
+		"truncated":    {0, 0, 0, 10, Version, FramePing, 'x'},
+	}
+	for name, raw := range cases {
+		if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Oversized must fail before any payload-sized allocation: feed only
+	// the prefix so a (wrong) attempt to read the body would block on EOF
+	// rather than allocate.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestReadFrameRejectsBadVersion(t *testing.T) {
+	raw := []byte{0, 0, 0, 2, 99, FramePing}
+	_, err := ReadFrame(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("expected version error, got %v", err)
+	}
+}
+
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	err := WriteFrame(io.Discard, FrameQuery, make([]byte, MaxPayload+1))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestHelloWelcomeRoundTrip(t *testing.T) {
+	banner, err := DecodeHello(EncodeHello("tcoq/1"))
+	if err != nil || banner != "tcoq/1" {
+		t.Fatalf("hello: %q, %v", banner, err)
+	}
+	b, sid, err := DecodeWelcome(EncodeWelcome("tcoserve/1", 42))
+	if err != nil || b != "tcoserve/1" || sid != 42 {
+		t.Fatalf("welcome: %q, %d, %v", b, sid, err)
+	}
+}
+
+func TestExecRoundTrip(t *testing.T) {
+	params := []value.V{
+		value.Null,
+		value.Bool(true),
+		value.Int(-7),
+		value.Float(3.5),
+		value.String_("O'Brien \"quoted\"\n"),
+		value.Instant(12345),
+	}
+	text, got, err := DecodeExec(EncodeExec("SELECT e FROM emp e WHERE e.id = $1", params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "SELECT e FROM emp e WHERE e.id = $1" {
+		t.Fatalf("text = %q", text)
+	}
+	if len(got) != len(params) {
+		t.Fatalf("got %d params, want %d", len(got), len(params))
+	}
+	for i := range params {
+		if got[i] != params[i] {
+			t.Fatalf("param %d: got %v want %v", i, got[i], params[i])
+		}
+	}
+}
+
+func TestExecRejectsHostileParamCount(t *testing.T) {
+	p := AppendString(nil, "q")
+	p = binary.AppendUvarint(p, 1<<40) // claims a trillion params
+	if _, _, err := DecodeExec(p); err == nil {
+		t.Fatal("expected error for hostile count")
+	}
+}
+
+func TestResultFramesRoundTrip(t *testing.T) {
+	cols, err := DecodeResultHeader(EncodeResultHeader([]string{"name", "sal"}))
+	if err != nil || len(cols) != 2 || cols[0] != "name" || cols[1] != "sal" {
+		t.Fatalf("header: %v, %v", cols, err)
+	}
+
+	rows := [][]value.V{
+		{value.String_("alice"), value.Int(100)},
+		{value.String_("bob"), value.Null},
+		{}, // empty row survives
+	}
+	got, err := DecodeResultRows(EncodeResultRows(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if len(got[i]) != len(rows[i]) {
+			t.Fatalf("row %d: got %d values, want %d", i, len(got[i]), len(rows[i]))
+		}
+		for j := range rows[i] {
+			if got[i][j] != rows[i][j] {
+				t.Fatalf("row %d value %d: got %v want %v", i, j, got[i][j], rows[i][j])
+			}
+		}
+	}
+
+	done := ResultDone{Plan: "scan emp", Rows: 3, Molecules: 1, Elapsed: 42 * time.Microsecond}
+	gd, err := DecodeResultDone(EncodeResultDone(done))
+	if err != nil || gd != done {
+		t.Fatalf("done: %+v, %v", gd, err)
+	}
+}
+
+func TestOptionAckErrorRoundTrip(t *testing.T) {
+	k, v, err := DecodeOption(EncodeOption("timeout", "5s"))
+	if err != nil || k != "timeout" || v != "5s" {
+		t.Fatalf("option: %q=%q, %v", k, v, err)
+	}
+	ack, err := DecodeAck(EncodeAck("5s"))
+	if err != nil || ack != "5s" {
+		t.Fatalf("ack: %q, %v", ack, err)
+	}
+	code, msg, detail, err := DecodeError(EncodeError(CodeQuery, "parse error", "line 3"))
+	if err != nil || code != CodeQuery || msg != "parse error" || detail != "line 3" {
+		t.Fatalf("error frame: %d %q %q, %v", code, msg, detail, err)
+	}
+}
+
+func TestTruncatedPayloadsError(t *testing.T) {
+	full := map[string][]byte{
+		"welcome": EncodeWelcome("srv", 9),
+		"exec":    EncodeExec("q", []value.V{value.Int(1)}),
+		"header":  EncodeResultHeader([]string{"a", "b"}),
+		"rows":    EncodeResultRows([][]value.V{{value.Int(1)}}),
+		"done":    EncodeResultDone(ResultDone{Plan: "p", Rows: 1}),
+		"error":   EncodeError(CodeQuery, "m", "d"),
+	}
+	decode := map[string]func([]byte) error{
+		"welcome": func(p []byte) error { _, _, err := DecodeWelcome(p); return err },
+		"exec":    func(p []byte) error { _, _, err := DecodeExec(p); return err },
+		"header":  func(p []byte) error { _, err := DecodeResultHeader(p); return err },
+		"rows":    func(p []byte) error { _, err := DecodeResultRows(p); return err },
+		"done":    func(p []byte) error { _, err := DecodeResultDone(p); return err },
+		"error":   func(p []byte) error { _, _, _, err := DecodeError(p); return err },
+	}
+	for name, payload := range full {
+		for cut := 0; cut < len(payload); cut++ {
+			if err := decode[name](payload[:cut]); err == nil {
+				t.Errorf("%s truncated at %d: expected error", name, cut)
+			}
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package client is the Go client for the tcodm query service. It speaks
+// the wire protocol, pools connections for stateless queries, and retries
+// transient dial failures (refused, timed out, or server-busy) with
+// exponential backoff.
+//
+// Stateless queries go through Client.Query/Exec, which borrow a pooled
+// connection per call. Stateful workflows — time-slice defaults, pinned
+// read views ("begin"/"end") — need a dedicated connection: use
+// Client.Session, whose connection never returns to the pool.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"tcodm/internal/value"
+	"tcodm/internal/wire"
+)
+
+// Config parameterizes a Client. Addr is required.
+type Config struct {
+	Addr         string
+	Banner       string        // sent in the Hello frame
+	DialTimeout  time.Duration // per-attempt dial timeout (default 5s)
+	DialRetries  int           // extra attempts after a transient failure (default 3)
+	RetryBackoff time.Duration // first backoff, doubling per retry (default 50ms)
+	PoolSize     int           // max idle pooled connections (default 4)
+	ReadTimeout  time.Duration // per-response deadline; 0 = wait indefinitely
+	WriteTimeout time.Duration // per-request deadline (default 30s)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Banner == "" {
+		c.Banner = "tcodm-client/1"
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.DialRetries < 0 {
+		c.DialRetries = 0
+	} else if c.DialRetries == 0 {
+		c.DialRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// ServerError is a failure reported by the server in an Error frame.
+type ServerError struct {
+	Code   uint16
+	Msg    string
+	Detail string
+}
+
+func (e *ServerError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("server error %d: %s (%s)", e.Code, e.Msg, e.Detail)
+	}
+	return fmt.Sprintf("server error %d: %s", e.Code, e.Msg)
+}
+
+// Result is one query's outcome.
+type Result struct {
+	Columns   []string
+	Rows      [][]value.V
+	Plan      string
+	Molecules uint64        // molecules summarized (SELECT ALL)
+	Elapsed   time.Duration // server-side execution + streaming time
+}
+
+// Client is a pooled connection to one server.
+type Client struct {
+	cfg    Config
+	mu     sync.Mutex
+	idle   []*conn
+	closed bool
+}
+
+// New creates a client for cfg.Addr. No connection is made until first use.
+func New(cfg Config) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("client: Config.Addr is required")
+	}
+	return &Client{cfg: cfg.withDefaults()}, nil
+}
+
+// Dial creates a client and verifies the server is reachable with a Ping.
+func Dial(addr string) (*Client, error) {
+	c, err := New(Config{Addr: addr})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Ping(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes every pooled connection. In-flight calls finish on their
+// borrowed connections, which are then discarded.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, cn := range idle {
+		cn.close()
+	}
+	return nil
+}
+
+// Query runs a TMQL statement on a pooled connection.
+func (c *Client) Query(text string) (*Result, error) {
+	return c.withConn(func(cn *conn) (*Result, error) {
+		return cn.query(wire.FrameQuery, wire.EncodeQuery(text))
+	})
+}
+
+// Exec runs parameterized TMQL: $1..$n placeholders in text bind to
+// params server-side.
+func (c *Client) Exec(text string, params ...value.V) (*Result, error) {
+	return c.withConn(func(cn *conn) (*Result, error) {
+		return cn.query(wire.FrameExec, wire.EncodeExec(text, params))
+	})
+}
+
+// Ping round-trips a liveness probe on a pooled connection.
+func (c *Client) Ping() error {
+	_, err := c.withConn(func(cn *conn) (*Result, error) {
+		return nil, cn.ping()
+	})
+	return err
+}
+
+// Session returns a dedicated connection for stateful use. Its Close
+// closes the underlying connection rather than pooling it, because
+// session options would leak into unrelated queries.
+func (c *Client) Session() (*Session, error) {
+	cn, err := c.dialRetry()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{cn: cn}, nil
+}
+
+func (c *Client) withConn(fn func(*conn) (*Result, error)) (*Result, error) {
+	cn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	res, err := fn(cn)
+	if err != nil && !isSessionUsable(err) {
+		cn.close()
+		return res, err
+	}
+	c.put(cn)
+	return res, err
+}
+
+// isSessionUsable reports whether the connection survives the error: the
+// server keeps a session open across query-level failures.
+func isSessionUsable(err error) bool {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Code == wire.CodeQuery || se.Code == wire.CodeTimeout
+	}
+	return false
+}
+
+func (c *Client) get() (*conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("client: closed")
+	}
+	if n := len(c.idle); n > 0 {
+		cn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+	return c.dialRetry()
+}
+
+func (c *Client) put(cn *conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.cfg.PoolSize {
+		c.idle = append(c.idle, cn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cn.close()
+}
+
+// dialRetry dials with the handshake, retrying transient failures.
+func (c *Client) dialRetry() (*conn, error) {
+	backoff := c.cfg.RetryBackoff
+	var last error
+	for attempt := 0; attempt <= c.cfg.DialRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		cn, err := c.dial()
+		if err == nil {
+			return cn, nil
+		}
+		last = err
+		if !isTransientDial(err) {
+			break
+		}
+	}
+	return nil, fmt.Errorf("client: dial %s: %w", c.cfg.Addr, last)
+}
+
+// isTransientDial reports whether retrying the dial could help: the
+// server not yet listening, a timeout, or an at-capacity/draining server.
+func isTransientDial(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Code == wire.CodeBusy
+	}
+	return false
+}
+
+// dial makes one connection attempt including the Hello/Welcome handshake.
+func (c *Client) dial() (*conn, error) {
+	raw, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cn := &conn{cfg: c.cfg, c: raw, r: bufio.NewReader(raw)}
+	if err := cn.write(wire.FrameHello, wire.EncodeHello(c.cfg.Banner)); err != nil {
+		cn.close()
+		return nil, err
+	}
+	f, err := cn.read(c.cfg.DialTimeout)
+	if err != nil {
+		cn.close()
+		return nil, err
+	}
+	switch f.Type {
+	case wire.FrameWelcome:
+		_, sid, err := wire.DecodeWelcome(f.Payload)
+		if err != nil {
+			cn.close()
+			return nil, err
+		}
+		cn.sessionID = sid
+		return cn, nil
+	case wire.FrameError:
+		cn.close()
+		return nil, decodeServerError(f.Payload)
+	default:
+		cn.close()
+		return nil, fmt.Errorf("client: unexpected handshake frame 0x%02x", f.Type)
+	}
+}
+
+func decodeServerError(payload []byte) error {
+	code, msg, detail, err := wire.DecodeError(payload)
+	if err != nil {
+		return fmt.Errorf("client: malformed error frame: %w", err)
+	}
+	return &ServerError{Code: code, Msg: msg, Detail: detail}
+}

@@ -1,0 +1,45 @@
+package client
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders the rows as an aligned text table, matching the format
+// of the in-process query.Result.Table.
+func (r *Result) Table() string {
+	if len(r.Columns) == 0 {
+		return fmt.Sprintf("%d molecule(s)\n", r.Molecules)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range r.Columns {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for i := range r.Columns {
+		sb.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		for i, c := range row {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

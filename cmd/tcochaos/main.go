@@ -1,0 +1,82 @@
+// Command tcochaos replays seeded client workloads through the netfault
+// chaos proxy against a live server and checks the end-to-end resilience
+// contract: every query under injected network faults returns either a
+// result byte-identical to the fault-free golden answer or a clean typed
+// error — never a wrong answer, a panic, a hang, or a leaked connection.
+//
+//	tcochaos -seed 7               # full scenario matrix
+//	tcochaos -short                # deterministic CI subset
+//	tcochaos -report chaos.json    # write the deterministic report
+//
+// The process exits non-zero if any scenario violates the contract. Two
+// runs with the same seed produce identical reports.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tcodm/internal/chaos"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "master seed for workload, fault schedule, and client jitter")
+		short  = flag.Bool("short", false, "run the deterministic CI subset of scenarios")
+		report = flag.String("report", "", "write the deterministic JSON report to this path")
+		vFlag  = flag.Bool("v", false, "log each scenario as it completes")
+	)
+	flag.Parse()
+
+	fmt.Printf("chaos seed %d\n", *seed)
+	cfg := chaos.Config{Seed: *seed, Short: *short}
+	if *vFlag {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	rep, err := chaos.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcochaos: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("scenarios %d: %d ok, %d typed-error, %d violation(s) (%.1fs, %d retries, %d sheds)\n",
+		rep.Summary.Total, rep.Summary.OK, rep.Summary.Errors, rep.Summary.Violations,
+		time.Since(start).Seconds(), rep.Stats.Retries, rep.Stats.Sheds)
+	for _, p := range rep.Sweep {
+		label := "none"
+		if p.FaultEvery > 0 {
+			label = fmt.Sprintf("1/%d conns", p.FaultEvery)
+		}
+		fmt.Printf("availability (faults %s): %d/%d = %.3f\n", label, p.Correct, p.Queries, p.Availability)
+	}
+
+	if *report != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcochaos: encoding report: %v\n", err)
+			os.Exit(2)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*report, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tcochaos: writing report: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("report written to %s\n", *report)
+	}
+
+	if len(rep.Stats.Failures) > 0 {
+		for _, v := range rep.Stats.Failures {
+			fmt.Printf("VIOLATION: %s\n", v)
+		}
+		fmt.Printf("FAIL (replay with -seed %d)\n", *seed)
+		os.Exit(1)
+	}
+	fmt.Println("ok")
+}

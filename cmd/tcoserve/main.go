@@ -32,6 +32,12 @@ func main() {
 	load := flag.String("load", "", "seed an in-memory database with a synthetic workload: personnel|cad")
 	maxConns := flag.Int("max-conns", 64, "concurrent session limit")
 	queryTimeout := flag.Duration("query-timeout", 0, "server-wide per-query cap (0 = unlimited)")
+	maxActive := flag.Int("max-active", 16, "concurrent query executions past admission")
+	maxQueueDepth := flag.Int("max-queue", 64, "admission queue slots beyond -max-active")
+	maxQueueWait := flag.Duration("max-queue-wait", time.Second, "max admission queue wait before shedding")
+	retryAfter := flag.Duration("retry-after", 100*time.Millisecond, "retry-after hint attached to shed responses")
+	maxResultRows := flag.Int("max-result-rows", 0, "per-query result row budget (0 = unlimited)")
+	maxResultBytes := flag.Int("max-result-bytes", 0, "per-query result byte budget (0 = unlimited)")
 	slow := flag.Duration("slow", 0, "log queries at or above this duration (0 = off)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
@@ -64,11 +70,17 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Engine:       db,
-		Addr:         *addr,
-		MaxConns:     *maxConns,
-		QueryTimeout: *queryTimeout,
-		Logf:         func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		Engine:         db,
+		Addr:           *addr,
+		MaxConns:       *maxConns,
+		QueryTimeout:   *queryTimeout,
+		MaxActive:      *maxActive,
+		MaxQueueDepth:  *maxQueueDepth,
+		MaxQueueWait:   *maxQueueWait,
+		RetryAfterHint: *retryAfter,
+		MaxResultRows:  *maxResultRows,
+		MaxResultBytes: *maxResultBytes,
+		Logf:           func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 	})
 	if err != nil {
 		fatal(err)

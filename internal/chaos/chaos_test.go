@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunSubsetCleanAndDeterministic runs a slice of the chaos matrix
+// twice with the same seed: no violations may surface, and the
+// deterministic report must be byte-identical across runs. The full
+// matrix runs in CI via cmd/tcochaos.
+func TestRunSubsetCleanAndDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos subset is several seconds; skipped with -short")
+	}
+	run := func() *Report {
+		rep, err := Run(Config{Seed: 11, Short: true, MaxScenarios: 24, Watchdog: 20 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a := run()
+	if a.Summary.Violations != 0 {
+		t.Fatalf("violations: %v", a.Stats.Failures)
+	}
+	if a.Summary.Total != 24 {
+		t.Fatalf("ran %d scenarios, want 24", a.Summary.Total)
+	}
+	if len(a.Sweep) == 0 {
+		t.Fatal("availability sweep missing")
+	}
+	if p := a.Sweep[0]; p.FaultEvery != 0 || p.Availability != 1.0 {
+		t.Fatalf("fault-free sweep point must be fully available, got %+v", p)
+	}
+
+	b := run()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("same-seed reports differ:\n%s\n%s", aj, bj)
+	}
+}

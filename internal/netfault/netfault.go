@@ -1,0 +1,305 @@
+// Package netfault provides deterministic fault injection for the network
+// stack, in the spirit of internal/fault for the storage stack: a scripted
+// net.Conn wrapper, a listener wrapper, and an in-process chaos proxy
+// (proxy.go). Every injected failure is driven by exact byte offsets in
+// the connection's two data streams plus a seeded pseudo-random source
+// for timing jitter — never by wall-clock randomness — so a failing
+// scenario replays from its script and seed.
+//
+// Faults at the byte level: silent corruption (one byte XORed at an exact
+// stream offset), hard connection resets mid-frame, and freezes (the
+// stream stalls for a scripted duration at an exact offset). Faults at
+// the timing level: per-chunk latency with seeded jitter, bandwidth caps,
+// and forced short reads/writes (chunking), which exercise every partial
+// I/O path in the frame codec. Faults at accept time: the listener
+// accepts and immediately destroys the connection, which a dialing client
+// observes as a reset during the handshake.
+package netfault
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrReset is returned by a wrapped connection's Read/Write after a
+// scripted reset fired: the connection was torn down mid-stream.
+var ErrReset = errors.New("netfault: scripted connection reset")
+
+// PipeScript scripts one direction of a connection. Byte offsets are
+// 1-based positions in that direction's stream; 0 means never. The zero
+// value injects nothing.
+type PipeScript struct {
+	// Latency delays every chunk by this fixed duration.
+	Latency time.Duration
+	// Jitter adds a seeded pseudo-random delay in [0, Jitter) per chunk.
+	Jitter time.Duration
+	// BandwidthBPS caps throughput at this many bytes per second by
+	// sleeping in proportion to each chunk's size (0 = unlimited).
+	BandwidthBPS int
+	// ChunkMax bounds the bytes moved per Read/Write call, forcing short
+	// reads and partial writes (0 = unlimited).
+	ChunkMax int
+	// CorruptAt XORs 0xFF into the byte at this stream offset: silent
+	// corruption the protocol's integrity layer must catch.
+	CorruptAt int64
+	// ResetAt tears the connection down once the stream reaches this
+	// offset; bytes before it are delivered, the rest never arrive.
+	ResetAt int64
+	// FreezeAt stalls the stream for FreezeFor before the byte at this
+	// offset moves, modelling a stalled peer or a blackholed link.
+	FreezeAt  int64
+	FreezeFor time.Duration
+}
+
+// zero reports whether the script injects nothing.
+func (ps PipeScript) zero() bool { return ps == PipeScript{} }
+
+// Script scripts one connection: a pipe script per direction plus the
+// accept-time failure mode.
+type Script struct {
+	// RefuseAccept makes the wrapped listener (or proxy) accept the
+	// connection and immediately destroy it.
+	RefuseAccept bool
+	// Read scripts bytes read from the wrapped connection; Write scripts
+	// bytes written to it. Through the proxy, the wrapped side is the
+	// client: Read is the client-to-server stream, Write the
+	// server-to-client stream.
+	Read  PipeScript
+	Write PipeScript
+}
+
+// pipe tracks one direction's script execution state.
+type pipe struct {
+	sc  PipeScript
+	rng *rand.Rand
+	off int64 // bytes moved so far
+}
+
+// Conn wraps a net.Conn with a fault script. Offsets advance with the
+// bytes actually moved, so corruption and resets land at exact stream
+// positions regardless of how the peer sizes its I/O.
+type Conn struct {
+	conn net.Conn
+
+	mu     sync.Mutex // serializes Close with sleep interruption
+	closed chan struct{}
+	once   sync.Once
+
+	rmu sync.Mutex // one reader at a time (net.Conn contract allows this)
+	rd  pipe
+	wmu sync.Mutex
+	wr  pipe
+}
+
+// Wrap wraps c with the script. The seed drives jitter only; all
+// byte-offset faults are exact.
+func Wrap(c net.Conn, sc Script, seed int64) *Conn {
+	return &Conn{
+		conn:   c,
+		closed: make(chan struct{}),
+		rd:     pipe{sc: sc.Read, rng: rand.New(rand.NewSource(seed))},
+		wr:     pipe{sc: sc.Write, rng: rand.New(rand.NewSource(seed ^ 0x5DEECE66D))},
+	}
+}
+
+// sleep blocks for d unless the connection closes first; it reports
+// whether the full duration elapsed.
+func (c *Conn) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closed:
+		return false
+	}
+}
+
+// delay applies the script's timing faults for a chunk of n bytes.
+func (c *Conn) delay(p *pipe, n int) bool {
+	d := p.sc.Latency
+	if p.sc.Jitter > 0 {
+		d += time.Duration(p.rng.Int63n(int64(p.sc.Jitter)))
+	}
+	if p.sc.BandwidthBPS > 0 {
+		d += time.Duration(int64(n) * int64(time.Second) / int64(p.sc.BandwidthBPS))
+	}
+	return c.sleep(d)
+}
+
+// clip bounds a requested chunk size so byte-offset events land exactly
+// on chunk boundaries where they must (reset truncates the stream).
+func (p *pipe) clip(n int) int {
+	if p.sc.ChunkMax > 0 && n > p.sc.ChunkMax {
+		n = p.sc.ChunkMax
+	}
+	if r := p.sc.ResetAt; r > 0 && p.off < r && p.off+int64(n) > r {
+		n = int(r - p.off)
+	}
+	return n
+}
+
+// mutate advances the pipe over the moved bytes: corruption lands in buf
+// (which covers exactly those bytes), freezes stall. It reports whether
+// the stream has reached its scripted reset point — the caller closes,
+// after the bytes before the cut have been delivered.
+func (c *Conn) mutate(p *pipe, buf []byte) (resetNow bool) {
+	lo, hi := p.off, p.off+int64(len(buf))
+	if at := p.sc.CorruptAt; at > lo && at <= hi {
+		buf[at-lo-1] ^= 0xFF
+	}
+	if at := p.sc.FreezeAt; at > lo && at <= hi {
+		c.sleep(p.sc.FreezeFor)
+	}
+	p.off = hi
+	return p.sc.ResetAt > 0 && p.off >= p.sc.ResetAt
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	p := &c.rd
+	if p.sc.zero() {
+		return c.conn.Read(b)
+	}
+	if r := p.sc.ResetAt; r > 0 && p.off >= r {
+		return 0, ErrReset
+	}
+	n := p.clip(len(b))
+	if n == 0 && len(b) > 0 { // reset lands exactly here
+		c.Close()
+		return 0, ErrReset
+	}
+	if !c.delay(p, n) {
+		return 0, ErrReset
+	}
+	n, err := c.conn.Read(b[:n])
+	if n > 0 && c.mutate(p, b[:n]) {
+		c.Close()
+		return n, nil // deliver the final bytes; next call reports the reset
+	}
+	return n, err
+}
+
+// Write implements net.Conn, moving the buffer in scripted chunks. The
+// caller's bytes are copied before corruption so the fault never mutates
+// application memory.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	p := &c.wr
+	if p.sc.zero() {
+		return c.conn.Write(b)
+	}
+	written := 0
+	for written < len(b) {
+		if r := p.sc.ResetAt; r > 0 && p.off >= r {
+			return written, ErrReset
+		}
+		n := p.clip(len(b) - written)
+		if n == 0 {
+			c.Close()
+			return written, ErrReset
+		}
+		if !c.delay(p, n) {
+			return written, ErrReset
+		}
+		chunk := make([]byte, n)
+		copy(chunk, b[written:written+n])
+		resetNow := c.mutate(p, chunk) // corrupt/freeze before the bytes hit the wire
+		m, err := c.conn.Write(chunk)
+		written += m
+		if err != nil {
+			return written, err
+		}
+		if resetNow { // the cut lands after these bytes; nothing more crosses
+			c.Close()
+			return written, ErrReset
+		}
+	}
+	return written, nil
+}
+
+// Close implements net.Conn, interrupting any in-flight scripted sleep.
+func (c *Conn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.conn.Close()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.conn.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.conn.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener: each accepted connection gets the script
+// for its 0-based accept index, and RefuseAccept destroys the connection
+// before the application sees it.
+type Listener struct {
+	net.Listener
+	seed      int64
+	scriptFor func(i int) Script
+
+	mu  sync.Mutex
+	idx int
+}
+
+// WrapListener wraps ln. scriptFor maps the accept index to a script; a
+// nil scriptFor injects nothing.
+func WrapListener(ln net.Listener, seed int64, scriptFor func(i int) Script) *Listener {
+	if scriptFor == nil {
+		scriptFor = func(int) Script { return Script{} }
+	}
+	return &Listener{Listener: ln, seed: seed, scriptFor: scriptFor}
+}
+
+// Accept implements net.Listener, applying accept-time failures.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		i := l.idx
+		l.idx++
+		l.mu.Unlock()
+		sc := l.scriptFor(i)
+		if sc.RefuseAccept {
+			abortConn(conn)
+			continue
+		}
+		return Wrap(conn, sc, l.seed+int64(i)*7919), nil
+	}
+}
+
+// abortConn destroys a connection as abruptly as the platform allows: a
+// zero linger makes the close send RST rather than FIN where supported.
+func abortConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// interface assertions
+var (
+	_ net.Conn     = (*Conn)(nil)
+	_ net.Listener = (*Listener)(nil)
+)

@@ -1,0 +1,368 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+// pipePair returns two ends of an in-memory connection.
+func pipePair() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestConnCorruptsExactOffset(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	// Corrupt the 5th byte written.
+	w := Wrap(a, Script{Write: PipeScript{CorruptAt: 5}}, 1)
+
+	go w.Write([]byte("0123456789"))
+	got := make([]byte, 10)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("0123456789")
+	want[4] ^= 0xFF
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestConnCorruptsReadStream(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	r := Wrap(a, Script{Read: PipeScript{CorruptAt: 3, ChunkMax: 2}}, 1)
+
+	go b.Write([]byte("abcdef"))
+	got := make([]byte, 6)
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("abcdef")
+	want[2] ^= 0xFF
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestConnResetDeliversPrefixThenErrors(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	r := Wrap(a, Script{Read: PipeScript{ResetAt: 4}}, 1)
+
+	go b.Write([]byte("abcdefgh"))
+	got := make([]byte, 8)
+	n, _ := io.ReadFull(r, got)
+	if n != 4 || !bytes.Equal(got[:4], []byte("abcd")) {
+		t.Fatalf("got %d bytes %q, want the 4-byte prefix", n, got[:n])
+	}
+	if _, err := r.Read(got); !errors.Is(err, ErrReset) {
+		t.Fatalf("expected ErrReset after the cut, got %v", err)
+	}
+}
+
+func TestConnWriteResetStopsMidStream(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	w := Wrap(a, Script{Write: PipeScript{ResetAt: 6, ChunkMax: 4}}, 1)
+
+	got := make([]byte, 6)
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(b, got)
+		readDone <- err
+	}()
+	n, err := w.Write([]byte("0123456789"))
+	if n != 6 || !errors.Is(err, ErrReset) {
+		t.Fatalf("write moved %d bytes with err %v, want 6 and ErrReset", n, err)
+	}
+	if err := <-readDone; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("012345")) {
+		t.Fatalf("peer saw %q", got)
+	}
+}
+
+func TestConnChunkingForcesShortReads(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	r := Wrap(a, Script{Read: PipeScript{ChunkMax: 3}}, 1)
+
+	go b.Write([]byte("0123456789"))
+	buf := make([]byte, 10)
+	n, err := r.Read(buf)
+	if err != nil || n != 3 {
+		t.Fatalf("first read: %d bytes, %v; want exactly ChunkMax=3", n, err)
+	}
+}
+
+func TestConnFreezeStallsStream(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	const stall = 80 * time.Millisecond
+	r := Wrap(a, Script{Read: PipeScript{FreezeAt: 1, FreezeFor: stall}}, 1)
+
+	go b.Write([]byte("x"))
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < stall {
+		t.Fatalf("read returned after %v, want at least %v", d, stall)
+	}
+}
+
+func TestConnCloseInterruptsFreeze(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	r := Wrap(a, Script{Read: PipeScript{FreezeAt: 1, FreezeFor: time.Hour}}, 1)
+
+	go b.Write([]byte("x"))
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		r.Read(buf)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not interrupt a frozen read")
+	}
+}
+
+// TestJitterIsSeededAndDeterministic asserts the jitter source is a pure
+// function of the seed (wall-clock durations themselves carry scheduler
+// noise, so the draw sequence is what determinism means here).
+func TestJitterIsSeededAndDeterministic(t *testing.T) {
+	p := Wrap(nil, Script{}, 7) // conn never touched; rng state only
+	q := Wrap(nil, Script{}, 7)
+	r := Wrap(nil, Script{}, 8)
+	same, diff := true, true
+	for i := 0; i < 16; i++ {
+		a, b, c := p.rd.rng.Int63(), q.rd.rng.Int63(), r.rd.rng.Int63()
+		same = same && a == b
+		diff = diff && a == c
+	}
+	if !same {
+		t.Fatal("same seed produced different jitter sequences")
+	}
+	if diff {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("hello through the proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q", got)
+	}
+	if p.Accepted() != 1 || p.Conns() != 1 {
+		t.Fatalf("accepted=%d conns=%d", p.Accepted(), p.Conns())
+	}
+}
+
+func TestProxyRefuseAccept(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr, 1, func(i int) Script { return Script{RefuseAccept: i == 0} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// First dial: connection destroyed at accept. The dial itself may
+	// succeed (the OS completes the handshake) but the first I/O fails.
+	c, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 1)
+		if _, rerr := c.Read(buf); rerr == nil {
+			t.Fatal("refused connection delivered data")
+		}
+		c.Close()
+	}
+
+	// Second dial goes through.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if _, err := io.ReadFull(c2, got); err != nil {
+		t.Fatal(err)
+	}
+	if p.Refused() != 1 {
+		t.Fatalf("refused=%d, want 1", p.Refused())
+	}
+}
+
+func TestProxyCorruptionAndTeardown(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr, 1, func(i int) Script {
+		return Script{Write: PipeScript{CorruptAt: 2}} // server-to-client byte 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("abcd")
+	want[1] ^= 0xFF
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	c.Close()
+
+	// Teardown drains the live-connection count.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Conns() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy still reports %d live conns", p.Conns())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProxyResetTearsConnection(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr, 1, func(i int) Script {
+		return Script{Read: PipeScript{ResetAt: 3}} // cut client-to-server after 3 bytes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	// The echo returns at most the 3 bytes that crossed before the cut,
+	// then the connection dies; the client observes EOF or a reset.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16)
+	total := 0
+	for {
+		n, err := c.Read(buf[total:])
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if total > 3 {
+		t.Fatalf("%d bytes crossed a connection cut at offset 3", total)
+	}
+}
+
+func TestWrapListenerRefusesScriptedAccepts(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(raw, 1, func(i int) Script { return Script{RefuseAccept: i%2 == 0} })
+	defer ln.Close()
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	// Dial twice: the first is destroyed (the dial itself may observe the
+	// reset, depending on timing), the second served.
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			defer c.Close()
+		}
+	}
+	select {
+	case c := <-accepted:
+		c.Close()
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener never surfaced the second connection")
+	}
+}

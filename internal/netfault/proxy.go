@@ -1,0 +1,172 @@
+package netfault
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is an in-process chaos proxy: it listens on an ephemeral loopback
+// port, forwards every accepted connection to a backend address, and runs
+// each connection's bytes through the fault script for its accept index.
+// The client-facing side of each proxied connection is the wrapped one,
+// so a script's Read pipe is the client-to-server stream and its Write
+// pipe the server-to-client stream.
+//
+// The proxy tracks its live connections: Conns reporting zero after a
+// scenario is the harness's leaked-connection check, and Close tears
+// every proxied connection down and waits for the forwarders to exit.
+type Proxy struct {
+	ln        net.Listener
+	backend   string
+	seed      int64
+	scriptFor func(i int) Script
+
+	mu       sync.Mutex
+	accepted int
+	refused  int
+	active   int
+	conns    map[int][2]net.Conn
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewProxy starts a proxy in front of backend. scriptFor maps each
+// connection's 0-based accept index to its fault script (nil = none).
+func NewProxy(backend string, seed int64, scriptFor func(i int) Script) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	if scriptFor == nil {
+		scriptFor = func(int) Script { return Script{} }
+	}
+	p := &Proxy{ln: ln, backend: backend, seed: seed, scriptFor: scriptFor, conns: map[int][2]net.Conn{}}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Accepted returns how many connections the proxy has accepted (including
+// refused ones) — the accept index the next connection will get is
+// Accepted().
+func (p *Proxy) Accepted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accepted
+}
+
+// Refused returns how many connections were destroyed at accept time.
+func (p *Proxy) Refused() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.refused
+}
+
+// Conns returns the number of currently live proxied connections.
+func (p *Proxy) Conns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}
+
+// Close stops accepting, destroys every live proxied connection, and
+// waits for all forwarders to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	conns := make([][2]net.Conn, 0, len(p.conns))
+	for _, pair := range p.conns {
+		conns = append(conns, pair)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, pair := range conns {
+		pair[0].Close()
+		pair[1].Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		idx := p.accepted
+		p.accepted++
+		sc := p.scriptFor(idx)
+		if sc.RefuseAccept {
+			p.refused++
+			p.mu.Unlock()
+			abortConn(conn)
+			continue
+		}
+		p.mu.Unlock()
+
+		backend, err := net.DialTimeout("tcp", p.backend, 5*time.Second)
+		if err != nil {
+			abortConn(conn)
+			continue
+		}
+		client := Wrap(conn, sc, p.seed+int64(idx)*104729)
+
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			backend.Close()
+			return
+		}
+		p.conns[idx] = [2]net.Conn{client, backend}
+		p.active++
+		p.mu.Unlock()
+
+		p.wg.Add(1)
+		go p.pipe(idx, client, backend)
+	}
+}
+
+// pipe forwards both directions until either side dies, then tears the
+// pair down. Half-close is not modelled: the wire protocol never relies
+// on it, and a chaos fault ending one direction should kill the
+// connection the way a real middlebox failure would.
+func (p *Proxy) pipe(idx int, client, backend net.Conn) {
+	defer p.wg.Done()
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(backend, client) // client-to-server: client reads are scripted
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(client, backend) // server-to-client: client writes are scripted
+		done <- struct{}{}
+	}()
+	<-done
+	client.Close()
+	backend.Close()
+	<-done
+
+	p.mu.Lock()
+	delete(p.conns, idx)
+	p.active--
+	p.mu.Unlock()
+}

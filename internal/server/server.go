@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcodm/internal/core"
@@ -40,6 +41,21 @@ type Config struct {
 	QueryTimeout time.Duration // hard per-query cap; 0 = unlimited
 	BatchRows    int           // rows per ResultRows frame (default 256)
 
+	// Admission control. A session that receives a query must first pass
+	// the gate: at most MaxActive queries execute concurrently, at most
+	// MaxQueueDepth more wait (each at most MaxQueueWait). Everything
+	// beyond is shed with CodeBusy and a RetryAfterHint so well-behaved
+	// clients back off instead of hammering an overloaded server.
+	MaxActive      int           // concurrent query executions (default 16)
+	MaxQueueDepth  int           // admission queue slots beyond MaxActive (default 64)
+	MaxQueueWait   time.Duration // max wait for a gate slot before shedding (default 1s)
+	RetryAfterHint time.Duration // hint attached to shed/refuse errors (default 100ms)
+
+	// Response budgets bound what one query may send back; 0 = unlimited.
+	// A blown budget is a query error (CodeQuery): retrying cannot help.
+	MaxResultRows  int // rows per result
+	MaxResultBytes int // encoded result-row payload bytes per result
+
 	Logf func(format string, args ...any) // optional diagnostics sink
 }
 
@@ -59,6 +75,18 @@ func (c Config) withDefaults() Config {
 	if c.BatchRows <= 0 {
 		c.BatchRows = 256
 	}
+	if c.MaxActive <= 0 {
+		c.MaxActive = 16
+	}
+	if c.MaxQueueDepth <= 0 {
+		c.MaxQueueDepth = 64
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = time.Second
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = 100 * time.Millisecond
+	}
 	return c
 }
 
@@ -74,15 +102,29 @@ type Server struct {
 	nextID   uint64
 	draining bool
 
+	// gate is the concurrent-query semaphore; waiters counts admission
+	// queue occupancy (the gauge mirrors it for observability, the atomic
+	// is what the shed decision reads).
+	gate    chan struct{}
+	waiters atomic.Int64
+
 	// Metrics live in the engine's registry so they surface through the
 	// same /debug/vars and snapshot paths as engine-side telemetry.
-	conns    *obs.Gauge
-	accepted *obs.Counter
-	refused  *obs.Counter
-	frames   *obs.Counter
-	queries  *obs.Counter
-	qErrors  *obs.Counter
-	queryNS  *obs.Histogram
+	conns       *obs.Gauge
+	accepted    *obs.Counter
+	refused     *obs.Counter
+	frames      *obs.Counter
+	queries     *obs.Counter
+	qErrors     *obs.Counter
+	queryNS     *obs.Histogram
+	shed        *obs.Counter
+	shedFull    *obs.Counter
+	shedWait    *obs.Counter
+	queueDepth  *obs.Gauge
+	queueWaitNS *obs.Histogram
+	budgetRows  *obs.Counter
+	budgetBytes *obs.Counter
+	deadlineErr *obs.Counter
 }
 
 // New creates a server for cfg.Engine.
@@ -94,18 +136,71 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := cfg.Engine.Metrics()
 	return &Server{
-		cfg:      cfg,
-		baseCtx:  ctx,
-		cancel:   cancel,
-		sessions: map[uint64]*session{},
-		conns:    reg.Gauge("server.conns"),
-		accepted: reg.Counter("server.conns_accepted"),
-		refused:  reg.Counter("server.conns_refused"),
-		frames:   reg.Counter("server.frames_in"),
-		queries:  reg.Counter("server.queries"),
-		qErrors:  reg.Counter("server.query_errors"),
-		queryNS:  reg.Histogram("server.query_ns"),
+		cfg:         cfg,
+		baseCtx:     ctx,
+		cancel:      cancel,
+		sessions:    map[uint64]*session{},
+		gate:        make(chan struct{}, cfg.MaxActive),
+		conns:       reg.Gauge("server.conns"),
+		accepted:    reg.Counter("server.conns_accepted"),
+		refused:     reg.Counter("server.conns_refused"),
+		frames:      reg.Counter("server.frames_in"),
+		queries:     reg.Counter("server.queries"),
+		qErrors:     reg.Counter("server.query_errors"),
+		queryNS:     reg.Histogram("server.query_ns"),
+		shed:        reg.Counter("server.shed"),
+		shedFull:    reg.Counter("server.queue_shed_full"),
+		shedWait:    reg.Counter("server.queue_shed_wait"),
+		queueDepth:  reg.Gauge("server.queue_depth"),
+		queueWaitNS: reg.Histogram("server.queue_wait_ns"),
+		budgetRows:  reg.Counter("server.budget_rows"),
+		budgetBytes: reg.Counter("server.budget_bytes"),
+		deadlineErr: reg.Counter("server.deadline_err"),
 	}, nil
+}
+
+// Shed errors returned by admit; both travel to the client as CodeBusy
+// with the retry-after hint attached.
+var (
+	errShedQueueFull = errors.New("admission queue full")
+	errShedQueueWait = errors.New("admission queue wait exceeded")
+)
+
+// admit acquires a slot on the concurrent-query gate, queueing up to the
+// configured depth and wait. On success it returns a release func; on
+// shed it returns errShedQueueFull or errShedQueueWait; a context error
+// means the query's own deadline fired while queued.
+func (s *Server) admit(ctx context.Context) (func(), error) {
+	select {
+	case s.gate <- struct{}{}:
+		return func() { <-s.gate }, nil
+	default:
+	}
+	if int(s.waiters.Add(1)) > s.cfg.MaxQueueDepth {
+		s.waiters.Add(-1)
+		s.shed.Inc()
+		s.shedFull.Inc()
+		return nil, errShedQueueFull
+	}
+	s.queueDepth.Add(1)
+	defer func() {
+		s.waiters.Add(-1)
+		s.queueDepth.Add(-1)
+	}()
+	start := time.Now()
+	timer := time.NewTimer(s.cfg.MaxQueueWait)
+	defer timer.Stop()
+	select {
+	case s.gate <- struct{}{}:
+		s.queueWaitNS.Observe(time.Since(start))
+		return func() { <-s.gate }, nil
+	case <-timer.C:
+		s.shed.Inc()
+		s.shedWait.Inc()
+		return nil, errShedQueueWait
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -190,10 +285,14 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// refuse reports an error frame on a connection we will not serve.
+// refuse reports an error frame on a connection we will not serve. The
+// retry-after hint tells backing-off clients when the refusal might lift.
 func (s *Server) refuse(conn net.Conn, code uint16, msg string) {
-	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	wire.WriteFrame(conn, wire.FrameError, wire.EncodeError(code, msg, ""))
+	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+		s.deadlineErr.Inc()
+	}
+	hint := uint32(s.cfg.RetryAfterHint / time.Millisecond)
+	wire.WriteFrame(conn, wire.FrameError, wire.EncodeErrorRetry(code, msg, "", hint))
 	conn.Close()
 }
 

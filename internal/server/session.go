@@ -38,6 +38,8 @@ type session struct {
 	muState    chan struct{} // 1-token mutex; select-free hand-rolled to keep drain lock tiny
 	busy       bool
 	drainAfter bool
+
+	deadlineErrLogged bool // first SetDeadline failure logged; the rest just count
 }
 
 func newSession(s *Server, id uint64, conn net.Conn) *session {
@@ -247,6 +249,20 @@ func (ss *session) runQuery(ctx context.Context, text string) bool {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
+
+	release, err := ss.s.admit(ctx)
+	if err != nil {
+		if errors.Is(err, errShedQueueFull) || errors.Is(err, errShedQueueWait) {
+			// A shed leaves the session usable: the client should back off
+			// for the hinted interval and retry on the same connection.
+			ss.writeErrorRetry(wire.CodeBusy, "server overloaded", err.Error(), ss.s.cfg.RetryAfterHint)
+			return false
+		}
+		ss.writeError(wire.CodeTimeout, "query deadline expired while queued for admission", err.Error())
+		return false
+	}
+	defer release()
+
 	start := time.Now()
 	res, err := ss.s.cfg.Engine.QueryWith(ctx, text, opts)
 	ss.s.queryNS.Observe(time.Since(start))
@@ -264,15 +280,34 @@ func (ss *session) runQuery(ctx context.Context, text string) bool {
 	if len(res.Molecules) > 0 && len(rows) == 0 {
 		cols, rows = moleculeSummary(res)
 	}
+	if max := ss.s.cfg.MaxResultRows; max > 0 && len(rows) > max {
+		ss.s.budgetRows.Inc()
+		ss.writeError(wire.CodeQuery,
+			fmt.Sprintf("result exceeds row budget: %d rows > %d", len(rows), max),
+			"narrow the query or raise the server's MaxResultRows")
+		return false
+	}
 	if err := ss.writeFrame(wire.FrameResultHeader, wire.EncodeResultHeader(cols)); err != nil {
 		return true
 	}
+	sentBytes := 0
 	for off := 0; off < len(rows); off += ss.batch {
 		end := off + ss.batch
 		if end > len(rows) {
 			end = len(rows)
 		}
-		if err := ss.writeFrame(wire.FrameResultRows, wire.EncodeResultRows(rows[off:end])); err != nil {
+		payload := wire.EncodeResultRows(rows[off:end])
+		sentBytes += len(payload)
+		if max := ss.s.cfg.MaxResultBytes; max > 0 && sentBytes > max {
+			// Mid-stream budget stop: the client sees partial rows then a
+			// typed error instead of a ResultDone, and discards the rows.
+			ss.s.budgetBytes.Inc()
+			ss.writeError(wire.CodeQuery,
+				fmt.Sprintf("result exceeds byte budget: %d bytes > %d", sentBytes, max),
+				"narrow the query or raise the server's MaxResultBytes")
+			return false
+		}
+		if err := ss.writeFrame(wire.FrameResultRows, payload); err != nil {
 			return true
 		}
 	}
@@ -309,18 +344,37 @@ func moleculeSummary(res *query.Result) ([]string, [][]value.V) {
 	return cols, rows
 }
 
+// checkDeadline surfaces a SetDeadline failure instead of silently
+// proceeding without one: the counter always moves, the log fires once
+// per session (a dead conn fails every call; one line is enough).
+func (ss *session) checkDeadline(err error) {
+	if err == nil {
+		return
+	}
+	ss.s.deadlineErr.Inc()
+	if !ss.deadlineErrLogged {
+		ss.deadlineErrLogged = true
+		ss.s.logf("session %d: SetDeadline failed, timeouts not enforced: %v", ss.id, err)
+	}
+}
+
 // readFrame reads one frame under the idle deadline.
 func (ss *session) readFrame() (wire.Frame, error) {
-	ss.conn.SetReadDeadline(time.Now().Add(ss.s.cfg.ReadTimeout))
+	ss.checkDeadline(ss.conn.SetReadDeadline(time.Now().Add(ss.s.cfg.ReadTimeout)))
 	return wire.ReadFrame(ss.br)
 }
 
 // writeFrame writes one frame under the write deadline.
 func (ss *session) writeFrame(typ byte, payload []byte) error {
-	ss.conn.SetWriteDeadline(time.Now().Add(ss.s.cfg.WriteTimeout))
+	ss.checkDeadline(ss.conn.SetWriteDeadline(time.Now().Add(ss.s.cfg.WriteTimeout)))
 	return wire.WriteFrame(ss.conn, typ, payload)
 }
 
 func (ss *session) writeError(code uint16, msg, detail string) {
 	ss.writeFrame(wire.FrameError, wire.EncodeError(code, msg, detail))
+}
+
+// writeErrorRetry writes an error frame carrying a retry-after hint.
+func (ss *session) writeErrorRetry(code uint16, msg, detail string, retryAfter time.Duration) {
+	ss.writeFrame(wire.FrameError, wire.EncodeErrorRetry(code, msg, detail, uint32(retryAfter/time.Millisecond)))
 }

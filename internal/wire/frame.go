@@ -1,10 +1,18 @@
 // Package wire defines the binary protocol the tcodm query service speaks:
-// length-prefixed, versioned frames over a byte stream. Every frame is
+// length-prefixed, versioned frames over a byte stream. Every version-2
+// frame is
 //
-//	uint32  length   big-endian; bytes following the prefix = 2 + len(payload)
-//	byte    version  protocol version (currently 1)
+//	uint32  length   big-endian; bytes following the prefix = 2 + len(payload) + 4
+//	byte    version  protocol version (currently 2)
 //	byte    type     frame type
 //	[]byte  payload  type-specific encoding
+//	uint32  crc      big-endian CRC-32C over version|type|payload
+//
+// The checksum turns silent byte corruption on the link into a detected
+// transport error: a flipped bit anywhere in the framed region fails the
+// CRC and the connection is torn down instead of a mangled query or
+// result being acted on. Version-1 frames (no trailer) are still read for
+// compatibility; writers emit version 2.
 //
 // Values travel in the engine's compact record encoding
 // (value.AppendRecord); strings and counts are uvarint-length-prefixed.
@@ -17,11 +25,15 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
 // Version is the protocol version this package encodes.
-const Version = 1
+const Version = 2
+
+// VersionLegacy is the checksum-free version 1, still accepted on read.
+const VersionLegacy = 1
 
 // MaxPayload bounds a single frame's payload: large results are streamed
 // as many bounded row batches, so no legitimate frame approaches this.
@@ -29,6 +41,12 @@ const MaxPayload = 8 << 20
 
 // headerLen is the fixed frame overhead past the length prefix.
 const headerLen = 2
+
+// crcLen is the version-2 integrity trailer size.
+const crcLen = 4
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Frame types. Client-to-server frames sit below 0x20, server-to-client
 // frames at or above it.
@@ -90,13 +108,22 @@ type Frame struct {
 // ErrFrameTooLarge reports a length prefix beyond MaxPayload.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 
-// AppendFrame appends the encoded frame to dst and returns it.
+// ErrChecksum reports a version-2 frame whose CRC trailer does not match
+// its content: the bytes were corrupted in transit. The connection is not
+// recoverable — the stream position is untrustworthy.
+var ErrChecksum = errors.New("wire: frame checksum mismatch")
+
+// AppendFrame appends the encoded version-2 frame to dst and returns it.
 func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
 	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(headerLen+len(payload)))
+	binary.BigEndian.PutUint32(hdr[:], uint32(headerLen+len(payload)+crcLen))
 	dst = append(dst, hdr[:]...)
+	body := len(dst)
 	dst = append(dst, Version, typ)
-	return append(dst, payload...)
+	dst = append(dst, payload...)
+	var crc [crcLen]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(dst[body:], castagnoli))
+	return append(dst, crc[:]...)
 }
 
 // WriteFrame writes one frame to w.
@@ -104,8 +131,31 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return ErrFrameTooLarge
 	}
-	_, err := w.Write(AppendFrame(make([]byte, 0, 4+headerLen+len(payload)), typ, payload))
+	_, err := w.Write(AppendFrame(make([]byte, 0, 4+headerLen+len(payload)+crcLen), typ, payload))
 	return err
+}
+
+// checkBody validates the framed region (version|type|payload[|crc]) and
+// splits out the payload. buf is the n bytes following the length prefix.
+func checkBody(buf []byte) (Frame, error) {
+	f := Frame{Version: buf[0], Type: buf[1]}
+	switch f.Version {
+	case Version:
+		if len(buf) < headerLen+crcLen {
+			return f, fmt.Errorf("wire: frame too short for checksum trailer (%d bytes)", len(buf))
+		}
+		body := buf[:len(buf)-crcLen]
+		want := binary.BigEndian.Uint32(buf[len(buf)-crcLen:])
+		if crc32.Checksum(body, castagnoli) != want {
+			return f, ErrChecksum
+		}
+		f.Payload = body[headerLen:]
+	case VersionLegacy:
+		f.Payload = buf[headerLen:]
+	default:
+		return f, fmt.Errorf("wire: unsupported protocol version %d", f.Version)
+	}
+	return f, nil
 }
 
 // ReadFrame reads one frame from r. The allocation for the payload is
@@ -120,18 +170,14 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if n < headerLen {
 		return Frame{}, fmt.Errorf("wire: frame length %d below header size", n)
 	}
-	if n > headerLen+MaxPayload {
+	if n > headerLen+MaxPayload+crcLen {
 		return Frame{}, ErrFrameTooLarge
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return Frame{}, fmt.Errorf("wire: truncated frame: %w", err)
 	}
-	f := Frame{Version: buf[0], Type: buf[1], Payload: buf[2:]}
-	if f.Version != Version {
-		return f, fmt.Errorf("wire: unsupported protocol version %d", f.Version)
-	}
-	return f, nil
+	return checkBody(buf)
 }
 
 // DecodeFrame decodes one frame from the front of buf, returning the
@@ -145,16 +191,13 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 	if n < headerLen {
 		return Frame{}, 0, fmt.Errorf("wire: frame length %d below header size", n)
 	}
-	if n > headerLen+MaxPayload {
+	if n > headerLen+MaxPayload+crcLen {
 		return Frame{}, 0, ErrFrameTooLarge
 	}
 	end := 4 + int(n)
 	if end > len(buf) {
 		return Frame{}, 0, fmt.Errorf("wire: truncated frame (need %d bytes, have %d)", end, len(buf))
 	}
-	f := Frame{Version: buf[4], Type: buf[5], Payload: buf[6:end]}
-	if f.Version != Version {
-		return f, end, fmt.Errorf("wire: unsupported protocol version %d", f.Version)
-	}
-	return f, end, nil
+	f, err := checkBody(buf[4:end])
+	return f, end, err
 }

@@ -18,6 +18,8 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 1})
 	f.Add([]byte{0, 0, 0, 2, 99, FramePing})                // bad version
 	f.Add([]byte{0, 0, 0, 200, Version, FrameQuery, 'x'})   // truncated body
+	f.Add([]byte{0, 0, 0, 4, VersionLegacy, FramePing, 'h', 'i'}) // legacy checksum-free frame
+	f.Add([]byte{0, 0, 0, 6, Version, FramePing, 0, 0, 0, 0})     // v2 frame, bad checksum
 	f.Add(AppendFrame(nil, FrameQuery, EncodeQuery("SELECT e FROM emp e")))
 	f.Add(AppendFrame(nil, FrameExec, EncodeExec("q $1", []value.V{value.Int(1), value.String_("s")})))
 	f.Add(AppendFrame(nil, FrameWelcome, EncodeWelcome("srv", 7)))
@@ -25,6 +27,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, FrameResultRows, EncodeResultRows([][]value.V{{value.Float(1.5), value.Null}})))
 	f.Add(AppendFrame(nil, FrameResultDone, EncodeResultDone(ResultDone{Plan: "scan", Rows: 2})))
 	f.Add(AppendFrame(nil, FrameError, EncodeError(CodeProtocol, "bad", "frame")))
+	f.Add(AppendFrame(nil, FrameError, EncodeErrorRetry(CodeBusy, "overloaded", "queue full", 250)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame, n, err := DecodeFrame(data)
@@ -80,8 +83,19 @@ func FuzzDecodeFrame(f *testing.F) {
 		if _, err := DecodeResultDone(p); err == nil {
 			// fine
 		}
-		if _, _, _, err := DecodeError(p); err == nil {
-			// fine
+		if code, msg, detail, err := DecodeError(p); err == nil {
+			// The v1 and retry-aware decoders must agree on the shared
+			// fields, and a decoded hint must round-trip.
+			c2, m2, d2, retry, err2 := DecodeErrorRetry(p)
+			if err2 == nil && (c2 != code || m2 != msg || d2 != detail) {
+				t.Fatalf("DecodeError and DecodeErrorRetry disagree on %q", p)
+			}
+			if err2 == nil {
+				rc, rm, rd, rr, rerr := DecodeErrorRetry(EncodeErrorRetry(c2, m2, d2, retry))
+				if rerr != nil || rc != c2 || rm != m2 || rd != d2 || rr != retry {
+					t.Fatalf("error retry round-trip changed: %v", rerr)
+				}
+			}
 		}
 		if _, _, err := DecodeOption(p); err == nil {
 			// fine

@@ -266,25 +266,55 @@ func DecodeResultDone(p []byte) (ResultDone, error) {
 
 // EncodeError builds an Error payload: code, message, and detail.
 func EncodeError(code uint16, msg, detail string) []byte {
-	dst := binary.AppendUvarint(nil, uint64(code))
-	dst = AppendString(dst, msg)
-	return AppendString(dst, detail)
+	return EncodeErrorRetry(code, msg, detail, 0)
 }
 
-// DecodeError parses an Error payload.
+// EncodeErrorRetry builds an Error payload carrying a retry hint: the
+// server suggests the client wait retryAfterMs milliseconds before trying
+// again (overload shedding, connection-limit refusals). The hint is an
+// optional trailing field, omitted when zero, so version-1 decoders —
+// which read code, msg, and detail from the front and ignore trailing
+// bytes — parse the payload unchanged and see "no hint".
+func EncodeErrorRetry(code uint16, msg, detail string, retryAfterMs uint32) []byte {
+	dst := binary.AppendUvarint(nil, uint64(code))
+	dst = AppendString(dst, msg)
+	dst = AppendString(dst, detail)
+	if retryAfterMs > 0 {
+		dst = binary.AppendUvarint(dst, uint64(retryAfterMs))
+	}
+	return dst
+}
+
+// DecodeError parses an Error payload, ignoring any retry hint — the
+// version-1 view of the payload.
 func DecodeError(p []byte) (code uint16, msg, detail string, err error) {
+	code, msg, detail, _, err = DecodeErrorRetry(p)
+	return code, msg, detail, err
+}
+
+// DecodeErrorRetry parses an Error payload including the optional
+// RetryAfterMs hint (0 when absent).
+func DecodeErrorRetry(p []byte) (code uint16, msg, detail string, retryAfterMs uint32, err error) {
 	c, sz := binary.Uvarint(p)
 	if sz <= 0 || c > 0xFFFF {
-		return 0, "", "", fmt.Errorf("wire: corrupt error code")
+		return 0, "", "", 0, fmt.Errorf("wire: corrupt error code")
 	}
 	p = p[sz:]
 	msg, n, err := ReadString(p)
 	if err != nil {
-		return 0, "", "", err
+		return 0, "", "", 0, err
 	}
-	detail, _, err = ReadString(p[n:])
+	p = p[n:]
+	detail, n, err = ReadString(p)
 	if err != nil {
-		return 0, "", "", err
+		return 0, "", "", 0, err
 	}
-	return uint16(c), msg, detail, nil
+	if p = p[n:]; len(p) > 0 {
+		r, sz := binary.Uvarint(p)
+		if sz <= 0 || r > 1<<31 {
+			return 0, "", "", 0, fmt.Errorf("wire: corrupt retry hint")
+		}
+		retryAfterMs = uint32(r)
+	}
+	return uint16(c), msg, detail, retryAfterMs, nil
 }

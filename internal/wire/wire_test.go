@@ -181,6 +181,79 @@ func TestOptionAckErrorRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFrameChecksumDetectsCorruption flips every byte of an encoded frame
+// in turn; each single-byte flip must surface as a decode error, never as
+// a silently different frame. This is the integrity property the chaos
+// harness leans on: corruption on the link becomes a typed transport
+// error.
+func TestFrameChecksumDetectsCorruption(t *testing.T) {
+	frame := AppendFrame(nil, FrameQuery, EncodeQuery("SELECT (name) FROM Emp"))
+	for i := range frame {
+		mut := bytes.Clone(frame)
+		mut[i] ^= 0xFF
+		if f, _, err := DecodeFrame(mut); err == nil {
+			t.Fatalf("flip at byte %d went undetected: %+v", i, f)
+		}
+		if f, err := ReadFrame(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("stream flip at byte %d went undetected: %+v", i, f)
+		}
+	}
+	// A checksum failure is distinguishable from framing noise.
+	mut := bytes.Clone(frame)
+	mut[len(mut)-1] ^= 0x01
+	if _, _, err := DecodeFrame(mut); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("expected ErrChecksum, got %v", err)
+	}
+}
+
+// TestLegacyV1FrameStillReadable hand-builds a checksum-free version-1
+// frame; readers must accept it for compatibility.
+func TestLegacyV1FrameStillReadable(t *testing.T) {
+	payload := EncodeQuery("SELECT (name) FROM Emp")
+	var raw []byte
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(2+len(payload)))
+	raw = append(raw, hdr[:]...)
+	raw = append(raw, VersionLegacy, FrameQuery)
+	raw = append(raw, payload...)
+
+	f, err := ReadFrame(bytes.NewReader(raw))
+	if err != nil || f.Version != VersionLegacy || f.Type != FrameQuery {
+		t.Fatalf("legacy frame rejected: %+v, %v", f, err)
+	}
+	text, err := DecodeQuery(f.Payload)
+	if err != nil || text != "SELECT (name) FROM Emp" {
+		t.Fatalf("legacy payload: %q, %v", text, err)
+	}
+	f2, n, err := DecodeFrame(raw)
+	if err != nil || n != len(raw) || !bytes.Equal(f2.Payload, f.Payload) {
+		t.Fatalf("DecodeFrame on legacy frame: %+v, %d, %v", f2, n, err)
+	}
+}
+
+func TestErrorRetryAfterRoundTrip(t *testing.T) {
+	p := EncodeErrorRetry(CodeBusy, "overloaded", "queue full", 250)
+	code, msg, detail, retry, err := DecodeErrorRetry(p)
+	if err != nil || code != CodeBusy || msg != "overloaded" || detail != "queue full" || retry != 250 {
+		t.Fatalf("retry error frame: %d %q %q retry=%d, %v", code, msg, detail, retry, err)
+	}
+	// A version-1 decoder reads the same payload and simply ignores the
+	// trailing hint.
+	code, msg, detail, err = DecodeError(p)
+	if err != nil || code != CodeBusy || msg != "overloaded" || detail != "queue full" {
+		t.Fatalf("v1 view of retry error frame: %d %q %q, %v", code, msg, detail, err)
+	}
+	// Absent hint decodes as zero, and a hint-free payload is byte-identical
+	// to the version-1 encoding.
+	if !bytes.Equal(EncodeErrorRetry(CodeBusy, "m", "d", 0), EncodeError(CodeBusy, "m", "d")) {
+		t.Fatal("zero hint changed the payload encoding")
+	}
+	_, _, _, retry, err = DecodeErrorRetry(EncodeError(CodeBusy, "m", "d"))
+	if err != nil || retry != 0 {
+		t.Fatalf("absent hint: retry=%d, %v", retry, err)
+	}
+}
+
 func TestTruncatedPayloadsError(t *testing.T) {
 	full := map[string][]byte{
 		"welcome": EncodeWelcome("srv", 9),

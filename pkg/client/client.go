@@ -4,20 +4,32 @@
 // exponential backoff.
 //
 // Stateless queries go through Client.Query/Exec, which borrow a pooled
-// connection per call. Stateful workflows — time-slice defaults, pinned
-// read views ("begin"/"end") — need a dedicated connection: use
-// Client.Session, whose connection never returns to the pool.
+// connection per call. TMQL over the wire is read-only, so a failed
+// Query/Exec/Ping is automatically retried on transport failures and
+// server sheds (CodeBusy/CodeDraining) with jittered exponential backoff
+// that honors the server's retry-after hint, bounded by a per-client
+// retry budget and a circuit breaker over transport failures.
+//
+// Stateful workflows — time-slice defaults, pinned read views
+// ("begin"/"end") — need a dedicated connection: use Client.Session,
+// whose connection never returns to the pool. Session statements are
+// NEVER auto-retried: they depend on session state the server may have
+// lost with the connection, so the caller must decide.
 package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"tcodm/internal/obs"
 	"tcodm/internal/value"
 	"tcodm/internal/wire"
 )
@@ -27,11 +39,27 @@ type Config struct {
 	Addr         string
 	Banner       string        // sent in the Hello frame
 	DialTimeout  time.Duration // per-attempt dial timeout (default 5s)
-	DialRetries  int           // extra attempts after a transient failure (default 3)
+	DialRetries  int           // extra attempts after a transient failure (default 3, -1 disables)
 	RetryBackoff time.Duration // first backoff, doubling per retry (default 50ms)
 	PoolSize     int           // max idle pooled connections (default 4)
 	ReadTimeout  time.Duration // per-response deadline; 0 = wait indefinitely
 	WriteTimeout time.Duration // per-request deadline (default 30s)
+
+	// Automatic retry of read-only calls (Query/Exec/Ping only; never
+	// Session statements). A retry fires on transport failures and on
+	// server sheds, waits a jittered exponential backoff of at least the
+	// server's RetryAfter hint, and spends one token of the budget.
+	QueryRetries int           // extra attempts per call (default 3, -1 disables)
+	MaxBackoff   time.Duration // backoff ceiling per attempt (default 2s)
+	RetryBudget  int           // lifetime cap on automatic retries (default 1024, -1 unlimited)
+
+	// Circuit breaker over transport-level failures. Server-reported
+	// errors do not count: an Error frame proves the server is alive.
+	BreakerFailures int           // consecutive failures to open (default 8, -1 disables)
+	BreakerCooldown time.Duration // open period before the half-open probe (default 500ms)
+
+	JitterSeed int64         // seeds backoff jitter; 0 derives from the clock
+	Metrics    *obs.Registry // optional metrics sink (nil = no metrics)
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +83,25 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 30 * time.Second
 	}
+	if c.QueryRetries < 0 {
+		c.QueryRetries = 0
+	} else if c.QueryRetries == 0 {
+		c.QueryRetries = 3
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 1024
+	}
+	if c.BreakerFailures < 0 {
+		c.BreakerFailures = 0 // disabled
+	} else if c.BreakerFailures == 0 {
+		c.BreakerFailures = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
 	return c
 }
 
@@ -63,6 +110,9 @@ type ServerError struct {
 	Code   uint16
 	Msg    string
 	Detail string
+	// RetryAfterMs is the server's backoff hint on sheds and refusals
+	// (0 = none): retry no sooner than this many milliseconds.
+	RetryAfterMs uint32
 }
 
 func (e *ServerError) Error() string {
@@ -81,12 +131,26 @@ type Result struct {
 	Elapsed   time.Duration // server-side execution + streaming time
 }
 
+// errClosed reports a call on a closed client; never retried.
+var errClosed = errors.New("client: closed")
+
 // Client is a pooled connection to one server.
 type Client struct {
 	cfg    Config
+	ctx    context.Context // done at Close: interrupts every backoff sleep
+	cancel context.CancelFunc
+	brk    *breaker
+	budget atomic.Int64 // remaining automatic retries; negative = exhausted
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // jitter source; seeded for reproducible chaos runs
+
 	mu     sync.Mutex
 	idle   []*conn
 	closed bool
+
+	retries      *obs.Counter // client.retry
+	retryGiveups *obs.Counter // client.retry_budget_exhausted
 }
 
 // New creates a client for cfg.Addr. No connection is made until first use.
@@ -94,7 +158,27 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Addr == "" {
 		return nil, errors.New("client: Config.Addr is required")
 	}
-	return &Client{cfg: cfg.withDefaults()}, nil
+	cfg = cfg.withDefaults()
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{
+		cfg:          cfg,
+		ctx:          ctx,
+		cancel:       cancel,
+		brk:          newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown, cfg.Metrics),
+		rng:          rand.New(rand.NewSource(seed)),
+		retries:      cfg.Metrics.Counter("client.retry"),
+		retryGiveups: cfg.Metrics.Counter("client.retry_budget_exhausted"),
+	}
+	if cfg.RetryBudget < 0 {
+		c.budget.Store(1 << 62) // effectively unlimited
+	} else {
+		c.budget.Store(int64(cfg.RetryBudget))
+	}
+	return c, nil
 }
 
 // Dial creates a client and verifies the server is reachable with a Ping.
@@ -109,9 +193,11 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
-// Close closes every pooled connection. In-flight calls finish on their
-// borrowed connections, which are then discarded.
+// Close closes every pooled connection and interrupts any in-flight
+// backoff sleep. In-flight calls finish on their borrowed connections,
+// which are then discarded.
 func (c *Client) Close() error {
+	c.cancel()
 	c.mu.Lock()
 	idle := c.idle
 	c.idle = nil
@@ -123,27 +209,111 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// Query runs a TMQL statement on a pooled connection.
+// Query runs a TMQL statement on a pooled connection, retrying
+// transparently on transport failures and server sheds (TMQL over the
+// wire is read-only, so re-running is always safe).
 func (c *Client) Query(text string) (*Result, error) {
-	return c.withConn(func(cn *conn) (*Result, error) {
+	return c.doRetry(func(cn *conn) (*Result, error) {
 		return cn.query(wire.FrameQuery, wire.EncodeQuery(text))
 	})
 }
 
 // Exec runs parameterized TMQL: $1..$n placeholders in text bind to
-// params server-side.
+// params server-side. Retries like Query.
 func (c *Client) Exec(text string, params ...value.V) (*Result, error) {
-	return c.withConn(func(cn *conn) (*Result, error) {
+	return c.doRetry(func(cn *conn) (*Result, error) {
 		return cn.query(wire.FrameExec, wire.EncodeExec(text, params))
 	})
 }
 
 // Ping round-trips a liveness probe on a pooled connection.
 func (c *Client) Ping() error {
-	_, err := c.withConn(func(cn *conn) (*Result, error) {
+	_, err := c.doRetry(func(cn *conn) (*Result, error) {
 		return nil, cn.ping()
 	})
 	return err
+}
+
+// doRetry runs one read-only call with the automatic retry loop, the
+// retry budget, and the circuit breaker.
+func (c *Client) doRetry(fn func(*conn) (*Result, error)) (*Result, error) {
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		if err := c.brk.allow(); err != nil {
+			return nil, err
+		}
+		res, err := c.withConn(fn)
+		if err == nil {
+			c.brk.success()
+			return res, nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			c.brk.success() // the server answered: the transport works
+		} else if !errors.Is(err, errClosed) {
+			c.brk.failure()
+		}
+		if attempt >= c.cfg.QueryRetries || !retryable(err) {
+			return nil, err
+		}
+		if c.budget.Add(-1) < 0 {
+			c.retryGiveups.Inc()
+			return nil, err
+		}
+		if !c.sleep(c.retryDelay(backoff, err)) {
+			return nil, errClosed
+		}
+		c.retries.Inc()
+		if backoff *= 2; backoff > c.cfg.MaxBackoff {
+			backoff = c.cfg.MaxBackoff
+		}
+	}
+}
+
+// retryable reports whether running the call again could succeed. Only
+// read-only calls reach here, so the question is purely "is this failure
+// transient": server sheds and drains are, query errors and timeouts are
+// the query's own fault, and everything non-ServerError is a transport
+// failure where re-running cannot double-apply anything.
+func retryable(err error) bool {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Code == wire.CodeBusy || se.Code == wire.CodeDraining
+	}
+	return !errors.Is(err, errClosed) && !errors.Is(err, ErrBreakerOpen)
+}
+
+// retryDelay computes the jittered backoff for the next attempt: at
+// least max(backoff, server hint), plus up to half that again of seeded
+// jitter so synchronized clients do not retry in lockstep.
+func (c *Client) retryDelay(backoff time.Duration, err error) time.Duration {
+	base := backoff
+	var se *ServerError
+	if errors.As(err, &se) && se.RetryAfterMs > 0 {
+		if hint := time.Duration(se.RetryAfterMs) * time.Millisecond; hint > base {
+			base = hint
+		}
+	}
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(base/2) + 1))
+	c.rngMu.Unlock()
+	return base + j
+}
+
+// sleep blocks for d unless the client closes first; it reports whether
+// the full duration elapsed.
+func (c *Client) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.ctx.Done():
+		return false
+	}
 }
 
 // Session returns a dedicated connection for stateful use. Its Close
@@ -172,11 +342,12 @@ func (c *Client) withConn(fn func(*conn) (*Result, error)) (*Result, error) {
 }
 
 // isSessionUsable reports whether the connection survives the error: the
-// server keeps a session open across query-level failures.
+// server keeps a session open across query-level failures and admission
+// sheds (a shed says "later", not "goodbye").
 func isSessionUsable(err error) bool {
 	var se *ServerError
 	if errors.As(err, &se) {
-		return se.Code == wire.CodeQuery || se.Code == wire.CodeTimeout
+		return se.Code == wire.CodeQuery || se.Code == wire.CodeTimeout || se.Code == wire.CodeBusy
 	}
 	return false
 }
@@ -185,7 +356,7 @@ func (c *Client) get() (*conn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, errors.New("client: closed")
+		return nil, errClosed
 	}
 	if n := len(c.idle); n > 0 {
 		cn := c.idle[n-1]
@@ -208,13 +379,17 @@ func (c *Client) put(cn *conn) {
 	cn.close()
 }
 
-// dialRetry dials with the handshake, retrying transient failures.
+// dialRetry dials with the handshake, retrying transient failures. The
+// backoff sleep aborts as soon as the client closes — a Close must never
+// wait out a retry schedule.
 func (c *Client) dialRetry() (*conn, error) {
 	backoff := c.cfg.RetryBackoff
 	var last error
 	for attempt := 0; attempt <= c.cfg.DialRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			if !c.sleep(backoff) {
+				return nil, errClosed
+			}
 			backoff *= 2
 		}
 		cn, err := c.dial()
@@ -281,9 +456,9 @@ func (c *Client) dial() (*conn, error) {
 }
 
 func decodeServerError(payload []byte) error {
-	code, msg, detail, err := wire.DecodeError(payload)
+	code, msg, detail, retryAfter, err := wire.DecodeErrorRetry(payload)
 	if err != nil {
 		return fmt.Errorf("client: malformed error frame: %w", err)
 	}
-	return &ServerError{Code: code, Msg: msg, Detail: detail}
+	return &ServerError{Code: code, Msg: msg, Detail: detail, RetryAfterMs: retryAfter}
 }

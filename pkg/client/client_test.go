@@ -1,0 +1,433 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcodm/internal/core"
+	"tcodm/internal/netfault"
+	"tcodm/internal/obs"
+	"tcodm/internal/server"
+	"tcodm/internal/value"
+	"tcodm/internal/wire"
+	"tcodm/internal/workload"
+)
+
+// fakeServer speaks just enough wire protocol for retry tests: it
+// handshakes every connection and answers each query via respond, which
+// receives the global 1-based query sequence number. Ping always pongs.
+func fakeServer(t *testing.T, respond func(c net.Conn, n int)) (addr string, queries *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var count atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				f, err := wire.ReadFrame(c)
+				if err != nil || f.Type != wire.FrameHello {
+					return
+				}
+				if err := wire.WriteFrame(c, wire.FrameWelcome, wire.EncodeWelcome("fake", 1)); err != nil {
+					return
+				}
+				for {
+					f, err := wire.ReadFrame(c)
+					if err != nil {
+						return
+					}
+					switch f.Type {
+					case wire.FramePing:
+						wire.WriteFrame(c, wire.FramePong, f.Payload)
+					case wire.FrameQuery, wire.FrameExec:
+						respond(c, int(count.Add(1)))
+					case wire.FrameClose:
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), &count
+}
+
+// writeOKResult streams a one-row result.
+func writeOKResult(c net.Conn) {
+	wire.WriteFrame(c, wire.FrameResultHeader, wire.EncodeResultHeader([]string{"n"}))
+	wire.WriteFrame(c, wire.FrameResultRows, wire.EncodeResultRows([][]value.V{{value.Int(1)}}))
+	wire.WriteFrame(c, wire.FrameResultDone, wire.EncodeResultDone(wire.ResultDone{Rows: 1}))
+}
+
+// TestDialBackoffInterruptedByClose is the regression test for the
+// context-blind backoff sleep: Close must interrupt a dial retry
+// schedule promptly instead of waiting it out.
+func TestDialBackoffInterruptedByClose(t *testing.T) {
+	// A port with nothing listening: dials fail instantly with refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cl, err := New(Config{
+		Addr:            addr,
+		DialRetries:     5,
+		RetryBackoff:    400 * time.Millisecond,
+		QueryRetries:    -1,
+		BreakerFailures: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- cl.Ping() }()
+	time.Sleep(30 * time.Millisecond) // let the first dial fail and the backoff start
+	cl.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Ping succeeded against a dead address")
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("Close took %v to interrupt the dial backoff", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never interrupted the dial backoff")
+	}
+}
+
+func TestQueryRetryHonorsRetryAfterHint(t *testing.T) {
+	addr, queries := fakeServer(t, func(c net.Conn, n int) {
+		if n == 1 {
+			wire.WriteFrame(c, wire.FrameError, wire.EncodeErrorRetry(wire.CodeBusy, "overloaded", "", 200))
+			return
+		}
+		writeOKResult(c)
+	})
+	reg := obs.New()
+	cl, err := New(Config{
+		Addr:         addr,
+		RetryBackoff: time.Millisecond, // the server hint must dominate
+		JitterSeed:   1,
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	res, err := cl.Query(`SELECT (n) FROM T`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("retried query: %v", err)
+	}
+	if d := time.Since(start); d < 200*time.Millisecond {
+		t.Fatalf("retry fired after %v, before the 200ms server hint", d)
+	}
+	if got := queries.Load(); got != 2 {
+		t.Fatalf("server saw %d queries, want 2 (shed + retry)", got)
+	}
+	if got := reg.Counters()["client.retry"]; got != 1 {
+		t.Fatalf("client.retry = %d, want 1", got)
+	}
+}
+
+func TestSessionNeverAutoRetries(t *testing.T) {
+	addr, queries := fakeServer(t, func(c net.Conn, n int) {
+		wire.WriteFrame(c, wire.FrameError, wire.EncodeErrorRetry(wire.CodeBusy, "overloaded", "", 50))
+	})
+	cl, err := New(Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sess, err := cl.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	_, err = sess.Query(`SELECT (n) FROM T`)
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeBusy {
+		t.Fatalf("expected the shed to surface unretried, got %v", err)
+	}
+	if se.RetryAfterMs != 50 {
+		t.Fatalf("RetryAfterMs = %d, want 50", se.RetryAfterMs)
+	}
+	if got := queries.Load(); got != 1 {
+		t.Fatalf("server saw %d queries from a session call, want exactly 1", got)
+	}
+}
+
+// TestPoolHygieneMidResultError is the satellite check: a connection that
+// errors mid-result must be discarded, never returned to the idle pool.
+func TestPoolHygieneMidResultError(t *testing.T) {
+	addr, queries := fakeServer(t, func(c net.Conn, n int) {
+		if n == 1 {
+			// Header and one batch, then the connection dies mid-stream.
+			wire.WriteFrame(c, wire.FrameResultHeader, wire.EncodeResultHeader([]string{"n"}))
+			wire.WriteFrame(c, wire.FrameResultRows, wire.EncodeResultRows([][]value.V{{value.Int(1)}}))
+			c.Close()
+			return
+		}
+		writeOKResult(c)
+	})
+	cl, err := New(Config{Addr: addr, QueryRetries: -1, BreakerFailures: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Query(`SELECT (n) FROM T`); err == nil {
+		t.Fatal("expected a transport error from the cut result stream")
+	}
+	cl.mu.Lock()
+	pooled := len(cl.idle)
+	cl.mu.Unlock()
+	if pooled != 0 {
+		t.Fatalf("%d connections pooled after a mid-result transport error", pooled)
+	}
+	// The next query dials fresh and succeeds.
+	if res, err := cl.Query(`SELECT (n) FROM T`); err != nil || len(res.Rows) != 1 {
+		t.Fatalf("query after discard: %v", err)
+	}
+	if got := queries.Load(); got != 2 {
+		t.Fatalf("server saw %d queries, want 2", got)
+	}
+}
+
+// startRealServer serves an engine for breaker/leak tests.
+func startRealServer(t *testing.T, eng *core.Engine) string {
+	t.Helper()
+	srv, err := server.New(server.Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-served
+	})
+	return ln.Addr().String()
+}
+
+func emptyEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	eng, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// TestBreakerOpensHalfOpensRecovers drives the breaker through its full
+// state machine with scripted accept-time refusals: two failures open it,
+// a failed half-open probe re-opens it, a successful probe closes it.
+func TestBreakerOpensHalfOpensRecovers(t *testing.T) {
+	addr := startRealServer(t, emptyEngine(t))
+	proxy, err := netfault.NewProxy(addr, 1, func(i int) netfault.Script {
+		return netfault.Script{RefuseAccept: i < 3} // first three dials die
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	reg := obs.New()
+	cl, err := New(Config{
+		Addr:            proxy.Addr(),
+		DialRetries:     -1, // one dial per call: failures are countable
+		QueryRetries:    -1,
+		BreakerFailures: 2,
+		BreakerCooldown: 50 * time.Millisecond,
+		Metrics:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Ping(); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("first refused dial: got %v", err)
+	}
+	if err := cl.Ping(); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second refused dial: got %v", err)
+	}
+	// Two consecutive transport failures: open. Calls fail fast now.
+	if err := cl.Ping(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("expected ErrBreakerOpen, got %v", err)
+	}
+	if got := proxy.Accepted(); got != 2 {
+		t.Fatalf("fast-fail still dialed: %d accepts, want 2", got)
+	}
+
+	// After the cooldown one probe goes through — and is refused: re-open.
+	time.Sleep(70 * time.Millisecond)
+	if err := cl.Ping(); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("half-open probe: got %v", err)
+	}
+	if err := cl.Ping(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("expected re-opened breaker, got %v", err)
+	}
+
+	// Next probe reaches the healthy server: the circuit closes for good.
+	time.Sleep(70 * time.Millisecond)
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("recovery probe: %v", err)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("closed breaker: %v", err)
+	}
+	if got := reg.Counters()["client.breaker_open"]; got != 2 {
+		t.Fatalf("client.breaker_open = %d, want 2", got)
+	}
+	if got := cl.brk.snapshot(); got != breakerClosed {
+		t.Fatalf("breaker state = %d, want closed", got)
+	}
+}
+
+func personnelEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	eng := emptyEngine(t)
+	sch, err := workload.PersonnelSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range sch.AtomTypeNames() {
+		at, _ := sch.AtomType(n)
+		if err := eng.DefineAtomType(*at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range sch.MoleculeTypeNames() {
+		mt, _ := sch.MoleculeType(n)
+		if err := eng.DefineMoleculeType(*mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app := workload.NewEngineApplier(eng, 256)
+	ops := workload.Personnel(workload.PersonnelParams{
+		Depts: 2, Emps: 20, UpdatesPerEmp: 2, MovesPerEmp: 1, TimeStep: 10, Seed: 42,
+	})
+	if _, err := workload.Apply(ops, app); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func openFDs(t *testing.T) int {
+	t.Helper()
+	entries, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc/self/fd on this platform: %v", err)
+	}
+	return len(entries)
+}
+
+// TestChaosQueriesNoLeaks runs 1k queries through a fault-injecting proxy
+// that corrupts a slice of the connections; every successful result must
+// be correct, and afterwards no goroutines or file descriptors may leak.
+func TestChaosQueriesNoLeaks(t *testing.T) {
+	const total = 1000
+	eng := personnelEngine(t)
+	addr := startRealServer(t, eng)
+
+	const q = `SELECT (name) FROM Emp WHERE salary > 2000`
+	golden, err := eng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	startGoroutines := runtime.NumGoroutine()
+	startFDs := openFDs(t)
+
+	proxy, err := netfault.NewProxy(addr, 7, func(i int) netfault.Script {
+		switch {
+		case i%7 == 3:
+			// Corrupt the client-to-server stream inside the first query
+			// frame (past the ~25-byte handshake): the server's CRC check
+			// rejects it and kills the session.
+			return netfault.Script{Read: netfault.PipeScript{CorruptAt: 40}}
+		case i%11 == 5:
+			// Corrupt the server-to-client result stream past the Welcome.
+			return netfault.Script{Write: netfault.PipeScript{CorruptAt: 100}}
+		default:
+			return netfault.Script{}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := New(Config{
+		Addr:            proxy.Addr(),
+		QueryRetries:    5,
+		RetryBackoff:    time.Millisecond,
+		MaxBackoff:      5 * time.Millisecond,
+		RetryBudget:     -1,
+		BreakerFailures: -1, // fault density here would flap the breaker
+		JitterSeed:      7,
+		PoolSize:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		res, err := cl.Query(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(res.Rows) != len(golden.Rows) {
+			t.Fatalf("query %d: %d rows, want %d — corruption produced a wrong answer", i, len(res.Rows), len(golden.Rows))
+		}
+	}
+	cl.Close()
+	if err := proxy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := proxy.Conns(); got != 0 {
+		t.Fatalf("%d proxied connections leaked", got)
+	}
+
+	// Goroutines and fds must settle back to the baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= startGoroutines+5 && openFDs(t) <= startFDs+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak: goroutines %d->%d, fds %d->%d",
+				startGoroutines, runtime.NumGoroutine(), startFDs, openFDs(t))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

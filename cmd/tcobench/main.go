@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,7 +51,12 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address while the suite runs")
 	linger := flag.Duration("linger", 0, "keep the process (and debug server) alive this long after the suite")
 	remote := flag.String("remote", "", "run R-T7 against this tcoserve address instead of an in-process loopback server")
+	ncores := flag.String("ncores", "1,2,4", "comma-separated worker counts for the R-T9 parallel-scaling sweep")
 	flag.Parse()
+	cores, err := parseCores(*ncores)
+	if err != nil {
+		fatal(err)
+	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[strings.ToUpper(a)] = true
@@ -95,6 +101,7 @@ func main() {
 		{"R-A2", func() (*experiments.Table, error) { return experiments.RA2Vacuum(s) }},
 		{"R-T6", func() (*experiments.Table, error) { return experiments.RT6Overhead(s, dir) }},
 		{"R-T7", func() (*experiments.Table, error) { return experiments.RT7WireOverhead(s, *remote) }},
+		{"R-T9", func() (*experiments.Table, error) { return experiments.RT9ParallelScan(s, cores) }},
 	}
 	suiteStart := time.Now()
 	for _, e := range suite {
@@ -129,6 +136,26 @@ func main() {
 		fmt.Printf("lingering %s for debug scraping...\n", *linger)
 		time.Sleep(*linger)
 	}
+}
+
+// parseCores parses the -ncores list, e.g. "1,4" -> [1, 4].
+func parseCores(s string) ([]int, error) {
+	var cores []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -ncores entry %q (want positive integers, e.g. \"1,4\")", part)
+		}
+		cores = append(cores, n)
+	}
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("-ncores is empty")
+	}
+	return cores, nil
 }
 
 func fatal(err error) {

@@ -35,6 +35,7 @@ func main() {
 	remote := flag.String("remote", "", "connect to a tcoserve instance at this address instead of opening a database")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
 	slow := flag.Duration("slow", 0, "log queries at or above this duration (0 = off)")
+	workers := flag.Int("workers", 0, "per-query worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *remote != "" {
@@ -42,7 +43,7 @@ func main() {
 		return
 	}
 
-	db, err := core.Open(core.Options{Path: *dbPath, TimeIndex: true, SlowQueryThreshold: *slow})
+	db, err := core.Open(core.Options{Path: *dbPath, TimeIndex: true, SlowQueryThreshold: *slow, QueryWorkers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -41,9 +41,10 @@ func main() {
 	slow := flag.Duration("slow", 0, "log queries at or above this duration (0 = off)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
+	workers := flag.Int("workers", 0, "per-query worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	db, err := core.Open(core.Options{Path: *dbPath, TimeIndex: true, SlowQueryThreshold: *slow})
+	db, err := core.Open(core.Options{Path: *dbPath, TimeIndex: true, SlowQueryThreshold: *slow, QueryWorkers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -56,6 +57,11 @@ type Options struct {
 	// above the given duration (0 = disabled; adjustable at runtime via
 	// SlowLog().SetThreshold).
 	SlowQueryThreshold time.Duration
+	// QueryWorkers caps intra-query parallelism: candidate streams are
+	// partitioned across this many goroutines with an order-preserving
+	// merge (results are byte-identical to serial execution). 0 defaults
+	// to GOMAXPROCS; 1 forces the exact serial path.
+	QueryWorkers int
 }
 
 // Engine is one open database.
@@ -205,6 +211,11 @@ func Open(opts Options) (*Engine, error) {
 	e.txns.SetMetrics(e.metrics)
 	e.builder = molecule.NewBuilder(e.atoms)
 	e.queries = query.NewEngine(e.atoms)
+	e.queries.Workers = opts.QueryWorkers
+	if e.queries.Workers == 0 {
+		e.queries.Workers = runtime.GOMAXPROCS(0)
+	}
+	e.queries.SetMetrics(e.metrics)
 	if e.metrics != nil {
 		// Record how the database came up; after a clean open all recovery
 		// gauges read zero.
@@ -780,6 +791,16 @@ func (e *Engine) QueryWith(ctx context.Context, src string, opts QueryOptions) (
 		}
 	}
 	return res, err
+}
+
+// SetQueryWorkers adjusts intra-query parallelism at runtime (the ncores
+// sweep in tcobench re-runs one workload across worker counts without
+// rebuilding the database). n <= 1 forces the exact serial path. Takes the
+// writer lock so in-flight queries never observe the change mid-run.
+func (e *Engine) SetQueryWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries.Workers = n
 }
 
 // IDs lists the atoms of a type.

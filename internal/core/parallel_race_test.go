@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+// seedParallelDB populates an engine opened with forced intra-query
+// parallelism: n employees over 4 departments with enough salary history
+// that aggregate queries do real per-candidate work.
+func seedParallelDB(t *testing.T, e *Engine, n int) (depts, emps []value.ID) {
+	t.Helper()
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		d, err := tx.Insert("Dept", map[string]value.V{
+			"name": value.String_(fmt.Sprintf("d%d", i)), "budget": value.Int(int64(100 * i)),
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depts = append(depts, d)
+	}
+	for i := 0; i < n; i++ {
+		id, err := tx.Insert("Emp", map[string]value.V{
+			"name":   value.String_(fmt.Sprintf("e%d", i)),
+			"salary": value.Int(int64(1000 + i)),
+			"dept":   value.Ref(depts[i%len(depts)]),
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emps = append(emps, id)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return depts, emps
+}
+
+// TestParallelQueriesAgainstLiveWriter floods the engine with 64 concurrent
+// query goroutines — all running with 8-way intra-query parallelism — while
+// a writer keeps committing temporal updates. Run under -race, this is the
+// regression test that worker goroutines inside one query are as safe
+// against the writer as whole concurrent queries already were: every read
+// still happens under the engine's shared lock, just on more goroutines.
+func TestParallelQueriesAgainstLiveWriter(t *testing.T) {
+	e, err := Open(Options{TimeIndex: true, QueryWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	defineTestSchema(t, e)
+	_, emps := seedParallelDB(t, e, 200)
+
+	queries := []string{
+		`SELECT (Emp.name, Emp.salary) FROM Emp WHERE Emp.salary > 1050`,
+		`SELECT (name, TAVG(salary), CHANGES(salary)) FROM Emp DURING [0, 400) AT 10`,
+		`SELECT (Dept.name, COUNT(Emp)) FROM DeptStaff AT 10`,
+		`SELECT HISTORY(salary) FROM Emp WHERE name = "e7" DURING [0, 400)`,
+		`SELECT (name, salary) FROM Emp ORDER BY salary DESC LIMIT 10 AT 10`,
+		`EXPLAIN ANALYZE SELECT (name) FROM Emp WHERE salary > 1100 AT 10`,
+	}
+
+	const readers = 64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Minimum one full pass over the corpus: on a single-CPU host
+			// the writer can finish before a reader is ever scheduled.
+			for i := 0; i < len(queries) || !stop.Load(); i++ {
+				q := queries[(r+i)%len(queries)]
+				if _, err := e.Query(q); err != nil {
+					errs <- fmt.Errorf("reader %d: %q: %w", r, q, err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	for i := 0; i < 25; i++ {
+		tx, err := e.Begin()
+		if err != nil {
+			t.Fatalf("commit %d: Begin: %v", i, err)
+		}
+		emp := emps[(i*7)%len(emps)]
+		if err := tx.Set(emp, "salary", value.Int(int64(5000+i)), temporal.Instant(10*(i+1))); err != nil {
+			t.Fatalf("commit %d: Set: %v", i, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit %d: Commit: %v", i, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Sanity: parallel execution actually ran (the metric family ticks).
+	if c := e.CounterSnapshot(); c["query.parallel_runs"] == 0 {
+		t.Error("query.parallel_runs = 0: queries never took the parallel path")
+	}
+
+	// A final serial run cross-checks the live-writer results' shape.
+	e.SetQueryWorkers(1)
+	res, err := e.Query(`SELECT (Emp.name) FROM Emp AT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(emps) {
+		t.Errorf("final rows = %d, want %d", len(res.Rows), len(emps))
+	}
+}
+
+// TestParallelCancellationNoGoroutineLeak cancels parallel queries
+// mid-scan, repeatedly, and asserts the engine reaps every worker within
+// the poll budget: the goroutine count must settle back to its baseline
+// (mirrors the leak-check style of internal/server/admission_test.go).
+func TestParallelCancellationNoGoroutineLeak(t *testing.T) {
+	e, err := Open(Options{TimeIndex: true, QueryWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	defineTestSchema(t, e)
+	seedParallelDB(t, e, 300)
+
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// Molecule materialization polls cancellation per candidate;
+			// the scan path polls per chunk. Alternate to cover both.
+			q := `SELECT (Dept.name, COUNT(Emp)) FROM DeptStaff AT 10`
+			if i%2 == 1 {
+				q = `SELECT (name, TAVG(salary)) FROM Emp DURING [0, 400) AT 10`
+			}
+			_, err := e.QueryCtx(ctx, q)
+			if err != nil && err != context.Canceled {
+				t.Errorf("iteration %d: err = %v", i, err)
+			}
+		}()
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: cancelled query did not return", i)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines = %d, baseline %d: parallel workers leaked", runtime.NumGoroutine(), baseline)
+}
+
+// TestQueryWorkersOptionPlumbing: 0 resolves to GOMAXPROCS, explicit values
+// stick, and SetQueryWorkers adjusts at runtime.
+func TestQueryWorkersOptionPlumbing(t *testing.T) {
+	e, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if got, want := e.queries.Workers, runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("default workers = %d, want GOMAXPROCS %d", got, want)
+	}
+	e2, err := Open(Options{QueryWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.queries.Workers != 3 {
+		t.Errorf("explicit workers = %d, want 3", e2.queries.Workers)
+	}
+	e2.SetQueryWorkers(1)
+	if e2.queries.Workers != 1 {
+		t.Errorf("SetQueryWorkers(1) -> %d", e2.queries.Workers)
+	}
+}

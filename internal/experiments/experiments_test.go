@@ -78,6 +78,7 @@ func TestSuiteRuns(t *testing.T) {
 		{"R-A1", func() (*Table, error) { return RA1SegmentCap(1) }, 4},
 		{"R-F8", func() (*Table, error) { return RF8ValueIndex(1) }, 4},
 		{"R-A2", func() (*Table, error) { return RA2Vacuum(1) }, 3},
+		{"R-T9", func() (*Table, error) { return RT9ParallelScan(1, []int{1, 2}) }, 2},
 	}
 	for _, e := range suite {
 		t.Run(e.name, func(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"tcodm/internal/atom"
 	"tcodm/internal/history"
 	"tcodm/internal/molecule"
+	"tcodm/internal/obs"
 	"tcodm/internal/schema"
 	"tcodm/internal/storage"
 	"tcodm/internal/temporal"
@@ -70,6 +71,43 @@ func (r *Result) Table() string {
 type Engine struct {
 	Mgr     *atom.Manager
 	Builder *molecule.Builder
+
+	// Workers caps intra-query parallelism: candidate streams are
+	// partitioned across this many goroutines with an order-preserving
+	// merge, so results are byte-identical to serial execution. Values
+	// <= 1 run the exact serial path. The atom-layer read path must be
+	// safe for concurrent readers (it is: the server already runs whole
+	// queries concurrently under the engine's shared lock).
+	Workers int
+
+	// chunk overrides the candidate partition size (tests only; 0 = the
+	// parallelChunk default, which matches the serial cancel-poll cadence).
+	chunk int
+
+	met engineMetrics
+}
+
+// engineMetrics holds the query engine's instrumentation handles. The
+// defaults are nil no-ops; SetMetrics binds them to a registry. Parallel
+// bookkeeping fires once per query (not per row), so counters are enough.
+type engineMetrics struct {
+	parRuns   *obs.Counter // queries that took the parallel path
+	parChunks *obs.Counter // candidate partitions dispatched to workers
+	parCands  *obs.Counter // candidates processed by parallel workers
+}
+
+// SetMetrics binds the engine's instrumentation to reg under
+// "query.parallel_*" names. A nil registry disables it (nil no-op handles).
+func (e *Engine) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		e.met = engineMetrics{}
+		return
+	}
+	e.met = engineMetrics{
+		parRuns:   reg.Counter("query.parallel_runs"),
+		parChunks: reg.Counter("query.parallel_chunks"),
+		parCands:  reg.Counter("query.parallel_cands"),
+	}
 }
 
 // NewEngine wires a query engine.
@@ -144,19 +182,96 @@ func (e *Engine) ExecuteCtx(ctx context.Context, a *Analyzed, def Defaults) (*Re
 	return res, nil
 }
 
+// frag is the output fragment one candidate partition produces. Serial
+// execution fills a single fragment; parallel execution fills one per chunk
+// and concatenates them in chunk order, which reproduces the serial row
+// order exactly.
+type frag struct {
+	rows [][]value.V
+	mols []*molecule.Molecule
+}
+
+// candProc processes one deduplicated candidate id, appending output to
+// sink and accounting operator counts into ctx. Implementations must be
+// safe for concurrent use with distinct (ctx, sink) pairs: all shared state
+// (atom manager, molecule builder) is read-only during query execution.
+type candProc func(id value.ID, ctx *execCtx, sink *frag) error
+
 // executeClass dispatches on the query class, accumulating operator counts
-// (and, when ctx.analyze is set, per-stage wall time) into ctx.
+// (and, when ctx.analyze is set, per-stage wall time) into ctx. The
+// per-candidate pipeline is identical for serial and parallel execution;
+// only the driver differs.
 func (e *Engine) executeClass(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx) (*Result, error) {
+	q := a.Query
+	res := &Result{}
+	var proc candProc
 	switch a.Class {
 	case ClassAtom:
-		return e.execAtom(a, vt, tt, ctx)
+		for _, p := range q.Projs {
+			res.Columns = append(res.Columns, p.Label())
+		}
+		proc = e.atomProc(a, vt, tt)
 	case ClassHistory:
-		return e.execHistory(a, vt, tt, ctx)
+		res.Columns = []string{"id", q.History.Attr, "valid_from", "valid_to"}
+		proc = e.historyProc(a, vt, tt)
 	case ClassMolecule:
-		return e.execMolecule(a, vt, tt, ctx)
+		if !q.SelectAll {
+			for _, p := range q.Projs {
+				res.Columns = append(res.Columns, p.Label())
+			}
+		}
+		proc = e.moleculeProc(a, vt, tt)
 	default:
 		return nil, fmt.Errorf("query: unknown query class %d", a.Class)
 	}
+
+	typeName := baseType(a).Name
+	var out frag
+	var plan string
+	var err error
+	if e.Workers > 1 {
+		plan, err = e.runParallel(a, typeName, ctx, proc, &out)
+	} else {
+		plan, err = e.runSerial(a, typeName, ctx, proc, &out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = out.rows
+	res.Molecules = out.mols
+	res.Plan = plan
+	if a.Class == ClassMolecule {
+		res.Plan = plan + " + molecule materialization (" + a.MolType.Name + ")"
+	}
+	return res, nil
+}
+
+// runSerial streams candidates through proc on the calling goroutine — the
+// exact single-threaded path (Workers <= 1). Deduplication and sampled
+// cancellation polling happen here, in stream order.
+func (e *Engine) runSerial(a *Analyzed, typeName string, ctx *execCtx, proc candProc, sink *frag) (string, error) {
+	seen := map[value.ID]bool{}
+	var innerErr error
+	plan, err := e.candidates(a, typeName, func(id value.ID) (bool, error) {
+		if err := ctx.checkCancel(); err != nil {
+			innerErr = err
+			return false, nil
+		}
+		if seen[id] {
+			return true, nil
+		}
+		seen[id] = true
+		if err := proc(id, ctx, sink); err != nil {
+			innerErr = err
+			return false, nil
+		}
+		return true, nil
+	})
+	ctx.scanDesc = plan
+	if innerErr != nil {
+		return plan, innerErr
+	}
+	return plan, err
 }
 
 // applyOrderLimit sorts and truncates the result per ORDER BY / LIMIT.
@@ -301,39 +416,34 @@ func (e *Engine) whenHolds(id value.ID, w *WhenClause, tt temporal.Instant) (boo
 	return false, nil
 }
 
-func (e *Engine) execAtom(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx) (*Result, error) {
+// atomProc builds the per-candidate pipeline for atom-class queries:
+// WHEN / time-slice / WHERE filters, then projection (temporal aggregates
+// evaluate per atom, so no cross-partition merge state is needed).
+func (e *Engine) atomProc(a *Analyzed, vt, tt temporal.Instant) candProc {
 	q := a.Query
-	res := &Result{}
-	for _, p := range q.Projs {
-		res.Columns = append(res.Columns, p.Label())
-	}
 	window := temporal.All()
 	if q.During != nil {
 		window = *q.During
 	}
-	seen := map[value.ID]bool{}
-	plan, err := e.forEachCandidate(a, vt, tt, seen, ctx, func(st *atom.State) error {
-		row := make([]value.V, 0, len(q.Projs))
-		for _, p := range q.Projs {
-			if p.Agg != "" {
-				v, err := e.evalAggregate(st.ID, p, window, tt)
-				if err != nil {
-					return err
+	return func(id value.ID, ctx *execCtx, sink *frag) error {
+		return e.processCandidate(a, vt, tt, id, ctx, func(st *atom.State) error {
+			row := make([]value.V, 0, len(q.Projs))
+			for _, p := range q.Projs {
+				if p.Agg != "" {
+					v, err := e.evalAggregate(st.ID, p, window, tt)
+					if err != nil {
+						return err
+					}
+					row = append(row, v)
+					continue
 				}
-				row = append(row, v)
-				continue
+				row = append(row, projectValue(st, p))
 			}
-			row = append(row, projectValue(st, p))
-		}
-		res.Rows = append(res.Rows, row)
-		ctx.emitOut++
-		return nil
-	})
-	if err != nil {
-		return nil, err
+			sink.rows = append(sink.rows, row)
+			ctx.emitOut++
+			return nil
+		})
 	}
-	res.Plan = plan
-	return res, nil
 }
 
 // evalAggregate computes a temporal aggregate over one atom's attribute
@@ -364,75 +474,52 @@ func (e *Engine) evalAggregate(id value.ID, p Projection, window temporal.Interv
 	}
 }
 
-// forEachCandidate applies the WHEN and WHERE filters and calls emit for
-// every qualifying atom's state, accumulating per-stage counts into ctx.
-func (e *Engine) forEachCandidate(a *Analyzed, vt, tt temporal.Instant, seen map[value.ID]bool, ctx *execCtx, emit func(*atom.State) error) (string, error) {
+// processCandidate applies the WHEN and WHERE filters to one candidate and
+// calls emit with its qualifying state, accumulating per-stage counts into
+// ctx. A nil return with no emit means the candidate was filtered out.
+func (e *Engine) processCandidate(a *Analyzed, vt, tt temporal.Instant, id value.ID, ctx *execCtx, emit func(*atom.State) error) error {
 	q := a.Query
-	typeName := a.AtomType.Name
-	var innerErr error
-	plan, err := e.candidates(a, typeName, func(id value.ID) (bool, error) {
-		if err := ctx.checkCancel(); err != nil {
-			innerErr = err
-			return false, nil
-		}
-		if seen[id] {
-			return true, nil
-		}
-		seen[id] = true
-		ctx.scanned++
-		if q.When != nil {
-			start := ctx.now()
-			ok, err := e.whenHolds(id, q.When, tt)
-			ctx.whenDur += since(start)
-			if err != nil {
-				innerErr = err
-				return false, nil
-			}
-			if !ok {
-				return true, nil
-			}
-			ctx.whenOut++
-		}
+	ctx.scanned++
+	if q.When != nil {
 		start := ctx.now()
-		st, err := e.Mgr.StateAt(id, vt, tt)
-		ctx.sliceDur += since(start)
+		ok, err := e.whenHolds(id, q.When, tt)
+		ctx.whenDur += since(start)
 		if err != nil {
-			innerErr = err
-			return false, nil
+			return err
 		}
-		// Without a WHEN clause the query is a pure time-slice: only atoms
-		// alive at vt qualify. With WHEN, selection is by history.
-		if q.When == nil && !st.Alive {
-			return true, nil
+		if !ok {
+			return nil
 		}
-		ctx.sliceOut++
-		if q.Where != nil {
-			start := ctx.now()
-			ok, err := evalBool(q.Where, st)
-			ctx.whereDur += since(start)
-			if err != nil {
-				innerErr = err
-				return false, nil
-			}
-			if !ok {
-				return true, nil
-			}
-			ctx.whereOut++
-		}
-		start = ctx.now()
-		err = emit(st)
-		ctx.emitDur += since(start)
-		if err != nil {
-			innerErr = err
-			return false, nil
-		}
-		return true, nil
-	})
-	ctx.scanDesc = plan
-	if innerErr != nil {
-		return plan, innerErr
+		ctx.whenOut++
 	}
-	return plan, err
+	start := ctx.now()
+	st, err := e.Mgr.StateAt(id, vt, tt)
+	ctx.sliceDur += since(start)
+	if err != nil {
+		return err
+	}
+	// Without a WHEN clause the query is a pure time-slice: only atoms
+	// alive at vt qualify. With WHEN, selection is by history.
+	if q.When == nil && !st.Alive {
+		return nil
+	}
+	ctx.sliceOut++
+	if q.Where != nil {
+		start := ctx.now()
+		ok, err := evalBool(q.Where, st)
+		ctx.whereDur += since(start)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		ctx.whereOut++
+	}
+	start = ctx.now()
+	err = emit(st)
+	ctx.emitDur += since(start)
+	return err
 }
 
 func projectValue(st *atom.State, p Projection) value.V {
@@ -449,35 +536,27 @@ func projectValue(st *atom.State, p Projection) value.V {
 	return value.Null
 }
 
-func (e *Engine) execHistory(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx) (*Result, error) {
+// historyProc builds the per-candidate pipeline for HISTORY() queries. The
+// stage order differs from the atom pipeline (the time-slice only runs when
+// a WHERE needs a state to evaluate against), so it does not share
+// processCandidate.
+func (e *Engine) historyProc(a *Analyzed, vt, tt temporal.Instant) candProc {
 	q := a.Query
 	window := temporal.All()
 	if q.During != nil {
 		window = *q.During
 	}
-	res := &Result{Columns: []string{"id", q.History.Attr, "valid_from", "valid_to"}}
-	seen := map[value.ID]bool{}
-	var innerErr error
-	plan, err := e.candidates(a, a.AtomType.Name, func(id value.ID) (bool, error) {
-		if err := ctx.checkCancel(); err != nil {
-			innerErr = err
-			return false, nil
-		}
-		if seen[id] {
-			return true, nil
-		}
-		seen[id] = true
+	return func(id value.ID, ctx *execCtx, sink *frag) error {
 		ctx.scanned++
 		if q.When != nil {
 			start := ctx.now()
 			ok, err := e.whenHolds(id, q.When, tt)
 			ctx.whenDur += since(start)
 			if err != nil {
-				innerErr = err
-				return false, nil
+				return err
 			}
 			if !ok {
-				return true, nil
+				return nil
 			}
 			ctx.whenOut++
 		}
@@ -486,16 +565,17 @@ func (e *Engine) execHistory(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx)
 			st, err := e.Mgr.StateAt(id, vt, tt)
 			ctx.sliceDur += since(start)
 			if err != nil {
-				innerErr = err
-				return false, nil
+				return err
 			}
 			ctx.sliceOut++
 			start = ctx.now()
 			ok, err := evalBool(q.Where, st)
 			ctx.whereDur += since(start)
-			if err != nil || !ok {
-				innerErr = err
-				return err == nil, nil
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
 			}
 			ctx.whereOut++
 		} else {
@@ -505,80 +585,63 @@ func (e *Engine) execHistory(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx)
 		hist, err := e.Mgr.History(id, q.History.Attr, tt)
 		if err != nil {
 			ctx.emitDur += since(start)
-			innerErr = err
-			return false, nil
+			return err
 		}
 		for _, v := range hist {
 			iv := v.Valid.Intersect(window)
 			if iv.IsEmpty() {
 				continue
 			}
-			res.Rows = append(res.Rows, []value.V{
+			sink.rows = append(sink.rows, []value.V{
 				value.Ref(id), v.Val, value.Instant(iv.From), value.Instant(iv.To),
 			})
 			ctx.emitOut++
 		}
 		ctx.emitDur += since(start)
-		return true, nil
-	})
-	ctx.scanDesc = plan
-	if innerErr != nil {
-		return nil, innerErr
+		return nil
 	}
-	if err != nil {
-		return nil, err
-	}
-	res.Plan = plan
-	return res, nil
 }
 
-func (e *Engine) execMolecule(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx) (*Result, error) {
+// moleculeProc builds the per-candidate pipeline for molecule-class
+// queries: the atom pipeline on the root type, then materialization,
+// HAVING, and projection/unnesting. Materialize is read-only over the atom
+// layer, so root candidates parallelize like any other candidate stream.
+func (e *Engine) moleculeProc(a *Analyzed, vt, tt temporal.Instant) candProc {
 	q := a.Query
-	res := &Result{}
-	if !q.SelectAll {
-		for _, p := range q.Projs {
-			res.Columns = append(res.Columns, p.Label())
-		}
-	}
-	seen := map[value.ID]bool{}
-	sub := &Analyzed{Query: q, Class: ClassAtom, AtomType: a.RootType}
-	plan, err := e.forEachCandidate(sub, vt, tt, seen, ctx, func(st *atom.State) error {
-		// Materialization is the expensive per-candidate stage (it can touch
-		// thousands of atoms per molecule), so poll cancellation on every
-		// molecule rather than at the sampled scan cadence.
-		if err := ctx.cancelErr(); err != nil {
-			return err
-		}
-		mol, err := e.Builder.Materialize(a.MolType, st.ID, vt, tt)
-		if err != nil {
-			return err
-		}
-		ctx.matCount++
-		if q.Having != nil {
-			ok, err := evalHaving(q.Having, mol)
+	return func(id value.ID, ctx *execCtx, sink *frag) error {
+		return e.processCandidate(a, vt, tt, id, ctx, func(st *atom.State) error {
+			// Materialization is the expensive per-candidate stage (it can touch
+			// thousands of atoms per molecule), so poll cancellation on every
+			// molecule rather than at the sampled scan cadence.
+			if err := ctx.cancelErr(); err != nil {
+				return err
+			}
+			mol, err := e.Builder.Materialize(a.MolType, st.ID, vt, tt)
 			if err != nil {
 				return err
 			}
-			if !ok {
+			ctx.matCount++
+			if q.Having != nil {
+				ok, err := evalHaving(q.Having, mol)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			ctx.havingOut++
+			if q.SelectAll {
+				sink.mols = append(sink.mols, mol)
+				ctx.emitOut++
 				return nil
 			}
-		}
-		ctx.havingOut++
-		if q.SelectAll {
-			res.Molecules = append(res.Molecules, mol)
-			ctx.emitOut++
+			rows := moleculeRows(q, a, st, mol)
+			sink.rows = append(sink.rows, rows...)
+			ctx.emitOut += int64(len(rows))
 			return nil
-		}
-		rows := moleculeRows(q, a, st, mol)
-		res.Rows = append(res.Rows, rows...)
-		ctx.emitOut += int64(len(rows))
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		})
 	}
-	res.Plan = plan + " + molecule materialization (" + a.MolType.Name + ")"
-	return res, nil
 }
 
 // moleculeRows projects one molecule into result rows. Projections of

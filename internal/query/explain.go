@@ -78,6 +78,34 @@ type execCtx struct {
 	matCount  int64 // molecules materialized (molecule class only)
 
 	totalDur time.Duration
+
+	// Parallel-execution telemetry. workers is non-nil iff runParallel
+	// drove this query (possibly with zero entries when there were no
+	// candidates); planWorkers is the configured fan-out, shown by plain
+	// EXPLAIN where nothing executes.
+	workers     []workerStat
+	chunks      int
+	planWorkers int
+}
+
+// merge folds a worker's counters into the parent context — the merge-time
+// aggregation that keeps EXPLAIN ANALYZE row counts exact under
+// parallelism (private counters per worker, no shared-counter races).
+func (c *execCtx) merge(w *execCtx) {
+	if w == nil {
+		return
+	}
+	c.scanned += w.scanned
+	c.whenOut += w.whenOut
+	c.whenDur += w.whenDur
+	c.sliceOut += w.sliceOut
+	c.sliceDur += w.sliceDur
+	c.whereOut += w.whereOut
+	c.whereDur += w.whereDur
+	c.emitOut += w.emitOut
+	c.emitDur += w.emitDur
+	c.havingOut += w.havingOut
+	c.matCount += w.matCount
 }
 
 // checkCancel polls the caller's context at operator-loop boundaries.
@@ -148,6 +176,29 @@ func buildPlanTree(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx, res *Resu
 	node := &PlanNode{
 		Name: "scan", Detail: ctx.scanDesc,
 		Rows: ctx.scanned, Analyzed: analyzed,
+	}
+
+	// Parallel execution inserts a gather node above the scan: the scan
+	// (candidate collection) is serial, everything downstream fans out, and
+	// the gather's worker children carry per-worker rows and wall time.
+	if ctx.workers != nil || ctx.planWorkers > 1 {
+		g := &PlanNode{
+			Name: "gather", Rows: ctx.scanned, Analyzed: analyzed,
+			Children: []*PlanNode{node},
+		}
+		if ctx.workers == nil {
+			g.Detail = fmt.Sprintf("workers=%d", ctx.planWorkers)
+		} else {
+			g.Detail = fmt.Sprintf("workers=%d chunks=%d", len(ctx.workers), ctx.chunks)
+			for i, ws := range ctx.workers {
+				g.Children = append(g.Children, &PlanNode{
+					Name:   fmt.Sprintf("worker %d", i),
+					Detail: fmt.Sprintf("chunks=%d cands=%d", ws.chunks, ws.cands),
+					Rows:   ws.rows, Dur: ws.dur, Analyzed: analyzed,
+				})
+			}
+		}
+		node = g
 	}
 
 	if q.When != nil {
@@ -307,7 +358,7 @@ func (e *Engine) explain(cctx context.Context, a *Analyzed, def Defaults) (*Resu
 	}
 	if !q.Analyze {
 		// Describe only — nothing executes.
-		ctx := &execCtx{scanDesc: e.describeScan(a, baseType(a).Name)}
+		ctx := &execCtx{scanDesc: e.describeScan(a, baseType(a).Name), planWorkers: e.Workers}
 		return planResult(buildPlanTree(a, vt, tt, ctx, nil)), nil
 	}
 	ctx := &execCtx{analyze: true, ctx: cctx}

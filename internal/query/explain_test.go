@@ -109,6 +109,126 @@ func TestExplainAnalyzeOrderLimit(t *testing.T) {
 	}
 }
 
+// TestExplainAnalyzeParallelGolden pins the gather node and its per-worker
+// line for a parallel run. The fixture's 5 candidates fit in one default
+// chunk, so exactly one worker runs and the whole tree — including the
+// worker's chunk/candidate/row counts — is deterministic.
+func TestExplainAnalyzeParallelGolden(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	e.Workers = 4
+	got := planText(t, e, `EXPLAIN ANALYZE SELECT (name, salary) FROM Emp WHERE salary > 2500 AT 100`)
+	want := strings.Join([]string{
+		`query (atom)  [rows=3]`,
+		`  -> project (Emp.name, Emp.salary)  [rows=3]`,
+		`    -> filter (WHERE (Emp.salary > 2500))  [rows=3]`,
+		`      -> time-slice (vt=100 tt=now)  [rows=4]`,
+		`        -> gather (workers=1 chunks=1)  [rows=5]`,
+		`          -> scan (full type scan on Emp)  [rows=5]`,
+		`          -> worker 0 (chunks=1 cands=5)  [rows=3]`,
+		``,
+	}, "\n")
+	if got != want {
+		t.Errorf("plan mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeParallelExactCounts forces many chunks across several
+// workers: the chunk distribution is nondeterministic, but the merged
+// operator counts must stay exact — identical to a serial run — and the
+// per-worker rows/candidates must sum to the operator totals.
+func TestExplainAnalyzeParallelExactCounts(t *testing.T) {
+	e, err := buildScaledFixture(300, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const src = `EXPLAIN ANALYZE SELECT (name, salary) FROM Emp WHERE salary > 2500 AT 100`
+	e.Workers = 1
+	serial := planText(t, e, src)
+	e.Workers = 8
+	e.chunk = 16
+	res, err := e.Run(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := res.ExplainTree
+
+	// Locate the gather node and check the worker sums.
+	var gather *PlanNode
+	var walk func(n *PlanNode)
+	walk = func(n *PlanNode) {
+		if n.Name == "gather" {
+			gather = n
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
+	if gather == nil {
+		t.Fatalf("no gather node in parallel plan:\n%s", tree)
+	}
+	if len(gather.Children) < 2 {
+		t.Fatalf("gather has no worker children:\n%s", tree)
+	}
+	var workerRows, scanRows int64
+	for _, c := range gather.Children {
+		if c.Name == "scan" {
+			scanRows = c.Rows
+			continue
+		}
+		workerRows += c.Rows
+	}
+	if scanRows != gather.Rows {
+		t.Errorf("gather rows %d != scan rows %d", gather.Rows, scanRows)
+	}
+	// The project node (root's grandchild) carries the total emitted rows;
+	// per-worker rows must sum to it exactly.
+	project := tree.Children[0]
+	if project.Name != "project" {
+		t.Fatalf("expected project under root, got %q", project.Name)
+	}
+	if workerRows != project.Rows {
+		t.Errorf("worker rows sum %d != project rows %d", workerRows, project.Rows)
+	}
+
+	// Every operator count above the gather must match the serial plan:
+	// strip the gather/worker lines and compare the rest byte-for-byte.
+	var parallel []string
+	for _, line := range strings.Split(timingRe.ReplaceAllString(tree.String(), "]"), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "-> gather") || strings.HasPrefix(trimmed, "-> worker") {
+			continue
+		}
+		parallel = append(parallel, strings.TrimLeft(line, " "))
+	}
+	var serialLines []string
+	for _, line := range strings.Split(serial, "\n") {
+		serialLines = append(serialLines, strings.TrimLeft(line, " "))
+	}
+	if strings.Join(parallel, "\n") != strings.Join(serialLines, "\n") {
+		t.Errorf("operator counts diverge from serial\nserial:\n%s\nparallel sans gather:\n%s",
+			strings.Join(serialLines, "\n"), strings.Join(parallel, "\n"))
+	}
+}
+
+// TestExplainDescribeParallel: plain EXPLAIN on a parallel engine shows the
+// planned gather fan-out without executing anything.
+func TestExplainDescribeParallel(t *testing.T) {
+	e, _, _ := fixture(t, false)
+	e.Workers = 4
+	res, err := e.Run(`EXPLAIN SELECT (name) FROM Emp`, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.ExplainTree.String()
+	if !strings.Contains(text, "gather (workers=4)") {
+		t.Errorf("EXPLAIN should show the planned fan-out:\n%s", text)
+	}
+	if strings.Contains(text, "[rows=") {
+		t.Errorf("plain EXPLAIN must not carry analyzed counts:\n%s", text)
+	}
+}
+
 // TestExplainRoundTrip ensures EXPLAIN queries re-parse from String().
 func TestExplainRoundTrip(t *testing.T) {
 	for _, src := range []string{

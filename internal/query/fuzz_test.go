@@ -6,6 +6,54 @@ import (
 	"unicode/utf8"
 )
 
+// FuzzParallelEquivalence is the differential fuzzer: any input that
+// parses and analyzes against the fixture schema executes twice — serial
+// and with 4 workers over 1-candidate chunks (maximum interleaving) — and
+// the two runs must agree on everything observable: error text, columns,
+// row values and order, molecule order, and plan description. The engine
+// pair is built once; queries are read-only.
+func FuzzParallelEquivalence(f *testing.F) {
+	for _, s := range differentialCorpus {
+		f.Add(s)
+	}
+	// Shapes the corpus lacks: EXPLAIN ANALYZE totals and runtime errors.
+	f.Add(`SELECT (name) FROM Emp WHERE bogus = 1 AT 10`)
+	f.Add(`SELECT (name, salary) FROM Emp WHEN VALID(salary) OVERLAPS PERIOD [0, 20) ORDER BY salary DESC LIMIT 2`)
+	eng, _, _, err := buildFixture(false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil || q.Explain {
+			// Unparseable input is FuzzParse's territory; EXPLAIN trees
+			// legitimately differ (the parallel plan adds a gather node).
+			return
+		}
+		if _, err := Analyze(q, eng.Mgr.Schema()); err != nil {
+			return
+		}
+		eng.Workers = 1
+		eng.chunk = 0
+		serialRes, serialErr := eng.Run(src, 10)
+		eng.Workers = 4
+		eng.chunk = 1
+		parallelRes, parallelErr := eng.Run(src, 10)
+		if (serialErr == nil) != (parallelErr == nil) {
+			t.Fatalf("error divergence on %q: serial=%v parallel=%v", src, serialErr, parallelErr)
+		}
+		if serialErr != nil {
+			if serialErr.Error() != parallelErr.Error() {
+				t.Fatalf("error text divergence on %q: serial=%q parallel=%q", src, serialErr, parallelErr)
+			}
+			return
+		}
+		if got, want := signature(parallelRes, nil), signature(serialRes, nil); got != want {
+			t.Fatalf("result divergence on %q:\n--- serial ---\n%s\n--- parallel ---\n%s", src, want, got)
+		}
+	})
+}
+
 // FuzzParse throws arbitrary byte soup at the TMQL parser. The parser's
 // contract for any input is an AST or an error — never a panic, a hang,
 // or an out-of-range slice access in the lexer. The seed corpus covers

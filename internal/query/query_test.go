@@ -13,55 +13,78 @@ import (
 
 func testSchema(t *testing.T) *schema.Schema {
 	t.Helper()
-	s := schema.New()
-	must := func(err error) {
-		t.Helper()
-		if err != nil {
-			t.Fatal(err)
-		}
+	s, err := buildTestSchema()
+	if err != nil {
+		t.Fatal(err)
 	}
-	must(s.AddAtomType(schema.AtomType{
+	return s
+}
+
+// buildTestSchema is the t-free form of testSchema (fuzz targets build the
+// fixture outside a *testing.T).
+func buildTestSchema() (*schema.Schema, error) {
+	s := schema.New()
+	if err := s.AddAtomType(schema.AtomType{
 		Name: "Dept",
 		Attrs: []schema.Attribute{
 			{Name: "name", Kind: value.KindString, Required: true},
 		},
-	}))
-	must(s.AddAtomType(schema.AtomType{
+	}); err != nil {
+		return nil, err
+	}
+	if err := s.AddAtomType(schema.AtomType{
 		Name: "Emp",
 		Attrs: []schema.Attribute{
 			{Name: "name", Kind: value.KindString, Required: true},
 			{Name: "salary", Kind: value.KindInt, Temporal: true},
 			{Name: "dept", Kind: value.KindID, Target: "Dept", Card: schema.One, Temporal: true},
 		},
-	}))
-	must(s.AddMoleculeType(schema.MoleculeType{
+	}); err != nil {
+		return nil, err
+	}
+	if err := s.AddMoleculeType(schema.MoleculeType{
 		Name:  "DeptStaff",
 		Root:  "Dept",
 		Edges: []schema.MoleculeEdge{{From: "Dept", Attr: "dept", To: "Emp", Reverse: true}},
-	}))
+	}); err != nil {
+		return nil, err
+	}
 	s.Freeze()
-	return s
+	return s, nil
 }
 
 // fixture builds a small personnel database and returns the engine plus
 // the dept/emp ids.
 func fixture(t *testing.T, timeIndex bool) (*Engine, []value.ID, []value.ID) {
 	t.Helper()
+	e, depts, emps, err := buildFixture(timeIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, depts, emps
+}
+
+// buildFixture is the t-free form of fixture.
+func buildFixture(timeIndex bool) (*Engine, []value.ID, []value.ID, error) {
 	dev := storage.NewMemDevice()
 	pool := storage.NewBufferPool(dev, 256)
 	if err := storage.InitMeta(pool); err != nil {
-		t.Fatal(err)
+		return nil, nil, nil, err
 	}
 	heap := storage.NewHeap(pool, nil)
-	m, err := atom.NewManager(heap, pool, testSchema(t), atom.Options{Strategy: atom.StrategySeparated, TimeIndex: timeIndex})
+	sch, err := buildTestSchema()
 	if err != nil {
-		t.Fatal(err)
+		return nil, nil, nil, err
+	}
+	m, err := atom.NewManager(heap, pool, sch, atom.Options{Strategy: atom.StrategySeparated, TimeIndex: timeIndex})
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	var depts, emps []value.ID
 	for _, n := range []string{"kernel", "tools"} {
 		d, err := m.Insert("Dept", map[string]value.V{"name": value.String_(n)}, 0, 1)
 		if err != nil {
-			t.Fatal(err)
+			return nil, nil, nil, err
 		}
 		depts = append(depts, d)
 	}
@@ -74,18 +97,18 @@ func fixture(t *testing.T, timeIndex bool) (*Engine, []value.ID, []value.ID) {
 			"dept":   value.Ref(depts[i%2]),
 		}, 0, 2)
 		if err != nil {
-			t.Fatal(err)
+			return nil, nil, nil, err
 		}
 		emps = append(emps, e)
 	}
 	// ada gets a raise at t=50; eve leaves at t=80.
 	if err := m.UpdateAttr(emps[0], "salary", value.Int(9000), temporal.Open(50), 3); err != nil {
-		t.Fatal(err)
+		return nil, nil, nil, err
 	}
 	if err := m.Delete(emps[4], 80, 4); err != nil {
-		t.Fatal(err)
+		return nil, nil, nil, err
 	}
-	return NewEngine(m), depts, emps
+	return NewEngine(m), depts, emps, nil
 }
 
 func TestParseRoundTrip(t *testing.T) {

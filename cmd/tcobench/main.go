@@ -72,7 +72,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("(debug server on http://%s/debug/vars)\n", addr)
+		fmt.Printf("(debug server on http://%s/debug/vars)\n", addr.Addr())
 	}
 
 	dir, err := os.MkdirTemp("", "tcobench")

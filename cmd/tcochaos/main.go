@@ -24,10 +24,11 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 1, "master seed for workload, fault schedule, and client jitter")
-		short  = flag.Bool("short", false, "run the deterministic CI subset of scenarios")
-		report = flag.String("report", "", "write the deterministic JSON report to this path")
-		vFlag  = flag.Bool("v", false, "log each scenario as it completes")
+		seed     = flag.Int64("seed", 1, "master seed for workload, fault schedule, and client jitter")
+		short    = flag.Bool("short", false, "run the deterministic CI subset of scenarios")
+		report   = flag.String("report", "", "write the deterministic JSON report to this path")
+		traceOut = flag.String("trace-out", "", "write a sample span tree from the trace-spans scenario to this path")
+		vFlag    = flag.Bool("v", false, "log each scenario as it completes")
 	)
 	flag.Parse()
 
@@ -69,6 +70,18 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("report written to %s\n", *report)
+	}
+
+	if *traceOut != "" {
+		if rep.Stats.SampleTrace == "" {
+			fmt.Fprintln(os.Stderr, "tcochaos: no sample trace captured (trace-spans scenario did not run?)")
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*traceOut, []byte(rep.Stats.SampleTrace), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tcochaos: writing sample trace: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("sample trace written to %s\n", *traceOut)
 	}
 
 	if len(rep.Stats.Failures) > 0 {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	"tcodm/internal/core"
@@ -60,7 +61,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("(debug server on http://%s/debug/vars)\n", addr)
+		fmt.Printf("(debug server on http://%s/debug/vars)\n", addr.Addr())
 	}
 	if *oneShot != "" {
 		res, err := runQuery(db, *oneShot)
@@ -74,6 +75,7 @@ func main() {
 	fmt.Println("tcoq — temporal complex-object query shell. Type .help for commands.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lastTrace uint64
 	for {
 		fmt.Print("> ")
 		if !sc.Scan() {
@@ -94,6 +96,8 @@ func main() {
 			printStats(db)
 		case line == ".slowlog":
 			printSlowLog(db)
+		case strings.HasPrefix(line, ".trace"):
+			printTrace(db, strings.Fields(line), lastTrace)
 		case strings.HasPrefix(line, ".explain "):
 			explain(db, strings.TrimSpace(strings.TrimPrefix(line, ".explain")))
 		case strings.HasPrefix(line, ".load"):
@@ -119,9 +123,48 @@ func main() {
 					fmt.Printf("molecule %s root=%v atoms=%d\n", m.Type.Name, m.Root, m.Size())
 				}
 			}
-			fmt.Printf("(%d rows; plan: %s)\n", len(res.Rows), res.Plan)
+			lastTrace = res.Trace
+			fmt.Printf("(%d rows; plan: %s; trace: %d)\n", len(res.Rows), res.Plan, res.Trace)
 		}
 	}
+}
+
+// printTrace renders one span tree from the engine's tracer. With no
+// argument it shows the last query's trace, falling back to the recent
+// trace-id index; ".trace <id>" looks up a specific trace.
+func printTrace(db *core.Engine, fields []string, lastTrace uint64) {
+	tr := db.Tracer()
+	if tr == nil {
+		fmt.Println("tracing disabled")
+		return
+	}
+	id := lastTrace
+	if len(fields) > 1 {
+		n, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Println("usage: .trace [id]")
+			return
+		}
+		id = n
+	}
+	if id == 0 {
+		ids := tr.TraceIDs(20)
+		if len(ids) == 0 {
+			fmt.Println("no traces recorded yet")
+			return
+		}
+		fmt.Println("recent traces (newest first); .trace <id> to inspect:")
+		for _, t := range ids {
+			fmt.Printf("  %d\n", t)
+		}
+		return
+	}
+	evs := tr.Trace(id)
+	if len(evs) == 0 {
+		fmt.Printf("trace %d not found (evicted or never recorded)\n", id)
+		return
+	}
+	fmt.Print(obs.FormatTrace(evs))
 }
 
 func help() {
@@ -135,6 +178,7 @@ Shell commands:
   .schema            print the catalog
   .stats             engine statistics (layer counters, latency quantiles, query metrics)
   .explain <query>   shorthand for EXPLAIN ANALYZE <query>
+  .trace [id]        span tree for the last query (or a specific trace id)
   .slowlog           recent slow queries (enable with -slow <dur>)
   .load personnel    load the synthetic personnel workload (defines its schema)
   .load cad          load the synthetic design workload
@@ -308,6 +352,7 @@ func remoteShell(addr, oneShot string) {
 	fmt.Printf("tcoq — connected to %s (session %d). Type .help for commands.\n", addr, sess.ID())
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var last *client.Result
 	for {
 		fmt.Print("> ")
 		if !sc.Scan() {
@@ -341,6 +386,13 @@ func remoteShell(addr, oneShot string) {
 			} else {
 				fmt.Println("read view released")
 			}
+		case line == ".trace":
+			if last == nil || last.Trace == 0 {
+				fmt.Println("no traced query yet")
+				continue
+			}
+			fmt.Printf("trace %d: %s\n", last.Trace, last.Res.String())
+			fmt.Printf("full span tree: curl the server's /debug/trace/%d (requires tcoserve -debug-addr)\n", last.Trace)
 		case strings.HasPrefix(line, ".option"):
 			fields := strings.Fields(line)
 			if len(fields) < 2 || len(fields) > 3 {
@@ -365,8 +417,9 @@ func remoteShell(addr, oneShot string) {
 				fmt.Println("error:", err)
 				continue
 			}
+			last = res
 			fmt.Print(res.Table())
-			fmt.Printf("(%d rows in %s; plan: %s)\n", len(res.Rows), res.Elapsed, res.Plan)
+			fmt.Printf("(%d rows in %s; plan: %s; trace: %d)\n", len(res.Rows), res.Elapsed, res.Plan, res.Trace)
 		}
 	}
 }
@@ -379,6 +432,7 @@ func remoteHelp() {
   .option slow <dur>           per-session slow-query threshold
   .option batch <n>            result rows per frame
   .begin / .end                pin / release a repeatable-read view
+  .trace                       trace id + exact resource totals of the last query
   .ping                        liveness probe
   .quit
 `)

@@ -67,7 +67,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("(debug server on http://%s/debug/vars)\n", dbg)
+		fmt.Printf("(debug server on http://%s/debug/vars)\n", dbg.Addr())
 	}
 
 	srv, err := server.New(server.Config{

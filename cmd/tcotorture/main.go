@@ -38,7 +38,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tcotorture: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("(debug server on http://%s/debug/vars)\n", addr)
+		fmt.Printf("(debug server on http://%s/debug/vars)\n", addr.Addr())
 	}
 
 	if *cuts < 1 {

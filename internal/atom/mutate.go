@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"tcodm/internal/obs"
 	"tcodm/internal/schema"
 	"tcodm/internal/storage"
 	"tcodm/internal/temporal"
@@ -304,7 +305,7 @@ func (m *Manager) separatedMutate(id value.ID, span temporal.Interval, apply fun
 // apply, then rebuild the current record and the whole history chain.
 func (m *Manager) separatedMutateFull(id value.ID, rid storage.RID, apply func(*Atom) ([]Version, error), tt temporal.Instant) error {
 	m.met.fullLoads.Inc()
-	a, hdr, err := m.loadSeparatedFull(rid)
+	a, hdr, err := m.loadSeparatedFull(rid, nil)
 	if err != nil {
 		return err
 	}
@@ -408,13 +409,13 @@ func (m *Manager) appendHistory(hdr SepHeader, entries []HistoryEntry) (SepHeade
 }
 
 // loadSeparatedFull materializes the complete atom: current record plus the
-// whole history chain.
-func (m *Manager) loadSeparatedFull(rid storage.RID) (*Atom, SepHeader, error) {
+// whole history chain. Segment hops count as version-chain steps in acc.
+func (m *Manager) loadSeparatedFull(rid storage.RID, acc *obs.Resources) (*Atom, SepHeader, error) {
 	start := time.Time{}
 	if m.met.decodeNS != nil {
 		start = time.Now()
 	}
-	data, err := m.heap.Fetch(rid)
+	data, err := m.heap.FetchAcc(rid, acc)
 	if err != nil {
 		return nil, SepHeader{}, err
 	}
@@ -426,8 +427,9 @@ func (m *Manager) loadSeparatedFull(rid storage.RID) (*Atom, SepHeader, error) {
 	seg := hdr.Head
 	for seg.IsValid() {
 		m.met.segmentReads.Inc()
+		acc.Add(obs.Resources{ChainSteps: 1})
 		depth++
-		data, err := m.heap.Fetch(seg)
+		data, err := m.heap.FetchAcc(seg, acc)
 		if err != nil {
 			return nil, SepHeader{}, err
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"tcodm/internal/obs"
 	"tcodm/internal/schema"
 	"tcodm/internal/storage"
 	"tcodm/internal/temporal"
@@ -38,11 +39,20 @@ const Now = temporal.Forever - 1
 // StateAt materializes atom id at valid time vt as recorded at transaction
 // time tt (use Now for the latest state).
 func (m *Manager) StateAt(id value.ID, vt, tt temporal.Instant) (*State, error) {
+	return m.StateAtAcc(id, vt, tt, nil)
+}
+
+// StateAtAcc is StateAt with exact resource accounting: the pages and
+// version-chain steps the materialization touches are charged to acc
+// (nil = uncharged). The charge is a deterministic function of the atom's
+// stored layout and (vt, tt) — never of buffer-pool state — so serial and
+// parallel executions of the same query account identical totals.
+func (m *Manager) StateAtAcc(id value.ID, vt, tt temporal.Instant, acc *obs.Resources) (*State, error) {
 	switch m.opts.Strategy {
 	case StrategyTuple:
-		return m.tupleStateAt(id, vt, tt)
+		return m.tupleStateAt(id, vt, tt, acc)
 	default:
-		a, err := m.loadFor(id, vt, tt)
+		a, err := m.loadFor(id, vt, tt, acc)
 		if err != nil {
 			return nil, err
 		}
@@ -72,6 +82,11 @@ func (m *Manager) reconcile(a *Atom) *Atom {
 // Load materializes the complete atom with its full history. For the tuple
 // strategy this reconstructs histories from the snapshot chain.
 func (m *Manager) Load(id value.ID) (*Atom, error) {
+	return m.LoadAcc(id, nil)
+}
+
+// LoadAcc is Load with exact resource accounting (see StateAtAcc).
+func (m *Manager) LoadAcc(id value.ID, acc *obs.Resources) (*Atom, error) {
 	rid, err := m.homeRID(id)
 	if err != nil {
 		return nil, err
@@ -79,7 +94,7 @@ func (m *Manager) Load(id value.ID) (*Atom, error) {
 	switch m.opts.Strategy {
 	case StrategyEmbedded:
 		m.met.fullLoads.Inc()
-		data, err := m.heap.Fetch(rid)
+		data, err := m.heap.FetchAcc(rid, acc)
 		if err != nil {
 			return nil, err
 		}
@@ -90,13 +105,13 @@ func (m *Manager) Load(id value.ID) (*Atom, error) {
 		return m.reconcile(a), nil
 	case StrategySeparated:
 		m.met.fullLoads.Inc()
-		a, _, err := m.loadSeparatedFull(rid)
+		a, _, err := m.loadSeparatedFull(rid, acc)
 		if err != nil {
 			return nil, err
 		}
 		return m.reconcile(a), nil
 	case StrategyTuple:
-		return m.tupleLoad(rid)
+		return m.tupleLoad(rid, acc)
 	default:
 		return nil, fmt.Errorf("atom: unknown strategy %d", m.opts.Strategy)
 	}
@@ -105,7 +120,12 @@ func (m *Manager) Load(id value.ID) (*Atom, error) {
 // loadFor loads as much of the atom as answering a (vt, tt) question needs:
 // for the separated strategy, current-only when the question is about the
 // live open-ended present, the full chain otherwise.
-func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant) (*Atom, error) {
+//
+// Accounting note: the separated fast-path probe re-reads the current
+// record on the slow path via loadSeparatedFull, and both reads are
+// charged — the charge counts logical record fetches, and both fetches
+// really happen, identically in serial and parallel execution.
+func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant, acc *obs.Resources) (*Atom, error) {
 	rid, err := m.homeRID(id)
 	if err != nil {
 		return nil, err
@@ -113,7 +133,7 @@ func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant) (*Atom, error) {
 	switch m.opts.Strategy {
 	case StrategyEmbedded:
 		m.met.fastLoads.Inc()
-		data, err := m.heap.Fetch(rid)
+		data, err := m.heap.FetchAcc(rid, acc)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +143,7 @@ func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant) (*Atom, error) {
 		}
 		return m.reconcile(a), nil
 	case StrategySeparated:
-		data, err := m.heap.Fetch(rid)
+		data, err := m.heap.FetchAcc(rid, acc)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +161,7 @@ func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant) (*Atom, error) {
 			return a, nil
 		}
 		m.met.fullLoads.Inc()
-		full, _, err := m.loadSeparatedFull(rid)
+		full, _, err := m.loadSeparatedFull(rid, acc)
 		if err != nil {
 			return nil, err
 		}
@@ -211,10 +231,15 @@ func sortVals(vs []value.V) []value.V {
 // History returns the valid-time history of an attribute as recorded at
 // transaction time tt: visible versions ordered by valid start.
 func (m *Manager) History(id value.ID, attr string, tt temporal.Instant) ([]Version, error) {
+	return m.HistoryAcc(id, attr, tt, nil)
+}
+
+// HistoryAcc is History with exact resource accounting (see StateAtAcc).
+func (m *Manager) HistoryAcc(id value.ID, attr string, tt temporal.Instant, acc *obs.Resources) ([]Version, error) {
 	if m.opts.Strategy == StrategyTuple {
-		return m.tupleHistory(id, attr, tt)
+		return m.tupleHistory(id, attr, tt, acc)
 	}
-	a, err := m.Load(id)
+	a, err := m.LoadAcc(id, acc)
 	if err != nil {
 		return nil, err
 	}
@@ -236,19 +261,24 @@ func effectiveTT(tt temporal.Instant) temporal.Instant {
 
 // Lifespan returns the atom's existence element.
 func (m *Manager) Lifespan(id value.ID) (temporal.Element, error) {
+	return m.LifespanAcc(id, nil)
+}
+
+// LifespanAcc is Lifespan with exact resource accounting (see StateAtAcc).
+func (m *Manager) LifespanAcc(id value.ID, acc *obs.Resources) (temporal.Element, error) {
 	switch m.opts.Strategy {
 	case StrategyTuple:
 		rid, err := m.homeRID(id)
 		if err != nil {
 			return nil, err
 		}
-		a, err := m.tupleLoad(rid)
+		a, err := m.tupleLoad(rid, acc)
 		if err != nil {
 			return nil, err
 		}
 		return a.Lifespan, nil
 	default:
-		a, err := m.loadFor(id, Now-1, Now)
+		a, err := m.loadFor(id, Now-1, Now, acc)
 		if err != nil {
 			return nil, err
 		}
@@ -260,7 +290,7 @@ func (m *Manager) Lifespan(id value.ID) (temporal.Element, error) {
 
 // tupleStateAt walks the snapshot chain newest-first to the snapshot in
 // force at (vt, tt).
-func (m *Manager) tupleStateAt(id value.ID, vt, tt temporal.Instant) (*State, error) {
+func (m *Manager) tupleStateAt(id value.ID, vt, tt temporal.Instant, acc *obs.Resources) (*State, error) {
 	rid, err := m.homeRID(id)
 	if err != nil {
 		return nil, err
@@ -269,7 +299,8 @@ func (m *Manager) tupleStateAt(id value.ID, vt, tt temporal.Instant) (*State, er
 	var first *Snapshot
 	for rid.IsValid() {
 		m.met.snapshotHops.Inc()
-		data, err := m.heap.Fetch(rid)
+		acc.Add(obs.Resources{ChainSteps: 1})
+		data, err := m.heap.FetchAcc(rid, acc)
 		if err != nil {
 			return nil, err
 		}
@@ -332,8 +363,8 @@ func stateFromSnapshot(s *Snapshot, alive bool) *State {
 
 // tupleLoad reconstructs a full atom (with step-function histories) from
 // the snapshot chain.
-func (m *Manager) tupleLoad(rid storage.RID) (*Atom, error) {
-	snaps, err := m.tupleChain(rid)
+func (m *Manager) tupleLoad(rid storage.RID, acc *obs.Resources) (*Atom, error) {
+	snaps, err := m.tupleChain(rid, acc)
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +420,7 @@ func (m *Manager) tupleLoad(rid storage.RID) (*Atom, error) {
 }
 
 // tupleChain returns the snapshot chain oldest-first.
-func (m *Manager) tupleChain(rid storage.RID) ([]*Snapshot, error) {
+func (m *Manager) tupleChain(rid storage.RID, acc *obs.Resources) ([]*Snapshot, error) {
 	start := time.Time{}
 	if m.met.decodeNS != nil {
 		start = time.Now()
@@ -397,7 +428,8 @@ func (m *Manager) tupleChain(rid storage.RID) ([]*Snapshot, error) {
 	var chain []*Snapshot
 	for rid.IsValid() {
 		m.met.snapshotHops.Inc()
-		data, err := m.heap.Fetch(rid)
+		acc.Add(obs.Resources{ChainSteps: 1})
+		data, err := m.heap.FetchAcc(rid, acc)
 		if err != nil {
 			return nil, err
 		}
@@ -421,12 +453,12 @@ func (m *Manager) tupleChain(rid storage.RID) ([]*Snapshot, error) {
 
 // tupleHistory reconstructs the step-function history of one attribute from
 // the snapshot chain, as recorded at transaction time tt.
-func (m *Manager) tupleHistory(id value.ID, attr string, tt temporal.Instant) ([]Version, error) {
+func (m *Manager) tupleHistory(id value.ID, attr string, tt temporal.Instant, acc *obs.Resources) ([]Version, error) {
 	rid, err := m.homeRID(id)
 	if err != nil {
 		return nil, err
 	}
-	snaps, err := m.tupleChain(rid)
+	snaps, err := m.tupleChain(rid, acc)
 	if err != nil {
 		return nil, err
 	}

@@ -89,7 +89,7 @@ func (m *Manager) tupleVacuum(id value.ID, beforeTT temporal.Instant) (int, erro
 	if err != nil {
 		return 0, err
 	}
-	chain, err := m.tupleChain(rid) // oldest first
+	chain, err := m.tupleChain(rid, nil) // oldest first
 	if err != nil {
 		return 0, err
 	}

@@ -95,6 +95,12 @@ type Stats struct {
 	Elapsed  time.Duration
 	Probe    probe
 	Failures []string // violation details, mirrored from the run
+
+	// SampleTrace is one formatted span tree captured by the trace-spans
+	// scenario: a root "query" span with queue/exec/storage children and
+	// exact resource totals. Durations make it wall-clock-dependent, so it
+	// lives outside the deterministic report payload.
+	SampleTrace string
 }
 
 type probe struct {
@@ -141,6 +147,9 @@ type env struct {
 
 	retries atomic.Uint64
 	sheds   atomic.Uint64
+
+	sampleMu    sync.Mutex
+	sampleTrace string // first complete span tree seen by trace-spans
 }
 
 // heavyQuery runs for tens of milliseconds against the overload engine.
@@ -331,6 +340,7 @@ func Run(cfg Config) (*Report, error) {
 	rep.Sweep = availabilitySweep(e)
 	rep.Stats.Retries = e.retries.Load()
 	rep.Stats.Sheds = e.sheds.Load()
+	rep.Stats.SampleTrace = e.sampleTrace
 	rep.Stats.Elapsed = time.Since(start)
 	return rep, nil
 }
@@ -768,6 +778,21 @@ func buildScenarios(e *env, c2s, s2c int64) []scenario {
 		})
 	}
 
+	// Tracing: every non-shed query must leave a complete span tree in
+	// the server tracer — root "query" with queue, exec, and at least one
+	// storage-accounting child — whose totals match what came back on the
+	// wire. Runs fault-free and under degraded timing: faults slow
+	// queries, they must never produce half-recorded traces.
+	add("trace-spans", true, func(e *env) outcome {
+		return e.traceScenario(netfault.Script{})
+	})
+	add("trace-spans-chunked", false, func(e *env) outcome {
+		return e.traceScenario(netfault.Script{
+			Read:  netfault.PipeScript{ChunkMax: 5},
+			Write: netfault.PipeScript{ChunkMax: 11},
+		})
+	})
+
 	// Breaker: consecutive dial failures must open the circuit (fail
 	// fast), and a healthy server after the cooldown must close it again.
 	add("breaker-trips-open", true, func(e *env) outcome {
@@ -787,6 +812,81 @@ func buildScenarios(e *env, c2s, s2c int64) []scenario {
 	}
 
 	return scs
+}
+
+// traceScenario checks the observability contract end to end: each golden
+// query's trace id travels client → wire → server, names a complete span
+// tree in the server tracer, and the resource totals on the wire equal
+// the totals the root span accounted. The first complete tree is kept as
+// the run's sample trace.
+func (e *env) traceScenario(sc netfault.Script) outcome {
+	var out outcome
+	out.verdict = verdictOK
+
+	proxy, err := netfault.NewProxy(e.addr, e.seed, func(int) netfault.Script { return sc })
+	if err != nil {
+		out.verdict = verdictError
+		out.bad("proxy: %v", err)
+		return out
+	}
+	defer proxy.Close()
+	cl, _, err := e.newClient(proxy.Addr(), clientTweaks{}, 4)
+	if err != nil {
+		out.verdict = verdictError
+		out.bad("client: %v", err)
+		return out
+	}
+	defer cl.Close()
+
+	for qi, g := range e.golden {
+		res, err := cl.Query(g.text)
+		if err != nil {
+			out.verdict = verdictError
+			continue
+		}
+		if cerr := checkResult(g, res); cerr != nil {
+			out.bad("query %d wrong answer: %v", qi, cerr)
+			continue
+		}
+		if res.Trace == 0 {
+			out.bad("query %d completed without a trace id", qi)
+			continue
+		}
+		evs := e.eng.Tracer().Trace(res.Trace)
+		spans := make(map[string]obs.Event, len(evs))
+		for _, ev := range evs {
+			spans[ev.Name] = ev
+		}
+		root, ok := spans["query"]
+		if !ok || root.Parent != 0 {
+			out.bad("query %d trace %d: no root query span", qi, res.Trace)
+			continue
+		}
+		if q, ok := spans["queue"]; !ok || q.Parent != root.Span {
+			out.bad("query %d trace %d: queue span missing or misparented", qi, res.Trace)
+		}
+		exec, ok := spans["exec"]
+		if !ok || exec.Parent != root.Span {
+			out.bad("query %d trace %d: exec span missing or misparented", qi, res.Trace)
+			continue
+		}
+		if st, ok := spans["storage"]; !ok || st.Parent != exec.Span {
+			out.bad("query %d trace %d: no storage child under exec", qi, res.Trace)
+		}
+		if root.Res != res.Res {
+			out.bad("query %d trace %d: root accounted %s but the wire reported %s",
+				qi, res.Trace, root.Res, res.Res)
+		}
+		if res.Res.IsZero() {
+			out.bad("query %d trace %d: resource totals all zero", qi, res.Trace)
+		}
+		e.sampleMu.Lock()
+		if e.sampleTrace == "" {
+			e.sampleTrace = fmt.Sprintf("query: %s\n%s", g.text, obs.FormatTrace(evs))
+		}
+		e.sampleMu.Unlock()
+	}
+	return out
 }
 
 func (e *env) breakerTripScenario() outcome {

@@ -131,7 +131,9 @@ func Open(opts Options) (*Engine, error) {
 	e.slow = obs.NewSlowLog(64, opts.SlowQueryThreshold)
 	if !opts.DisableMetrics {
 		e.metrics = obs.New()
-		e.tracer = obs.NewTracer(256)
+		// The ring holds span trees now, not just points: a traced query
+		// emits ~10 events, so size for a few hundred recent queries.
+		e.tracer = obs.NewTracer(4096)
 		e.queryNS = e.metrics.Histogram("query.ns")
 		e.queryRuns = e.metrics.Counter("query.runs")
 	}
@@ -216,6 +218,7 @@ func Open(opts Options) (*Engine, error) {
 		e.queries.Workers = runtime.GOMAXPROCS(0)
 	}
 	e.queries.SetMetrics(e.metrics)
+	e.queries.SetTracer(e.tracer)
 	if e.metrics != nil {
 		// Record how the database came up; after a clean open all recovery
 		// gauges read zero.
@@ -576,6 +579,10 @@ func (e *Engine) ddl(mutate func(*schema.Schema) error) error {
 type Txn struct {
 	e     *Engine
 	inner *txn.Txn
+	// span traces the transaction; its Resources carry the exact WAL bytes
+	// the commit appended (single-writer log, so the size delta is exact).
+	span *obs.Span
+	wal0 int64
 }
 
 // Begin starts a write transaction (engine-wide writer exclusion).
@@ -604,7 +611,14 @@ func (e *Engine) Begin() (*Txn, error) {
 		return nil, err
 	}
 	e.atoms.SetIndexUndo(inner)
-	return &Txn{e: e, inner: inner}, nil
+	tx := &Txn{e: e, inner: inner}
+	if e.tracer != nil {
+		tx.span = e.tracer.Start(e.tracer.NextTraceID(), "txn")
+		if e.log != nil {
+			tx.wal0 = e.log.Size()
+		}
+	}
+	return tx, nil
 }
 
 // TT returns the transaction's transaction-time instant.
@@ -620,6 +634,19 @@ func (t *Txn) Commit() error {
 	if err != nil {
 		_ = t.inner.Abort()
 	}
+	if t.span != nil {
+		// Measure after the commit record lands so the delta covers it.
+		if t.e.log != nil {
+			if d := t.e.log.Size() - t.wal0; d > 0 {
+				t.span.Account(obs.Resources{WALBytes: uint64(d)})
+			}
+		}
+		if err != nil {
+			t.span.End("error: " + err.Error())
+		} else {
+			t.span.End("committed")
+		}
+	}
 	t.e.mu.Unlock()
 	return err
 }
@@ -628,6 +655,7 @@ func (t *Txn) Commit() error {
 func (t *Txn) Abort() error {
 	t.e.atoms.SetIndexUndo(nil)
 	err := t.inner.Abort()
+	t.span.End("aborted")
 	t.e.mu.Unlock()
 	return err
 }
@@ -757,14 +785,26 @@ type QueryOptions struct {
 	// duration meets it, independent of the engine-wide threshold
 	// (0 = engine threshold only). Per-session knob of the query server.
 	SlowThreshold time.Duration
+	// Trace is the distributed trace id this query runs under; 0 asks the
+	// engine to allocate one when tracing is enabled. Parent is the span
+	// the engine's exec span attaches to (the server's root query span;
+	// 0 = the exec span is the trace root).
+	Trace  uint64
+	Parent uint64
 }
 
 // QueryWith runs a TMQL statement under ctx with explicit session
 // defaults. Each run is timed into the query.ns histogram and offered to
 // the slow-query log.
 func (e *Engine) QueryWith(ctx context.Context, src string, opts QueryOptions) (*query.Result, error) {
+	trace := opts.Trace
+	if trace == 0 {
+		trace = e.tracer.NextTraceID() // nil-safe: 0 when tracing is off
+	}
+	exec := e.tracer.StartSpan(trace, opts.Parent, "exec")
+
 	e.mu.RLock()
-	def := query.Defaults{VT: e.clock.Now()}
+	def := query.Defaults{VT: e.clock.Now(), Trace: trace, Span: exec.ID()}
 	if opts.VT != nil {
 		def.VT = *opts.VT
 	}
@@ -778,17 +818,20 @@ func (e *Engine) QueryWith(ctx context.Context, src string, opts QueryOptions) (
 
 	e.queryRuns.Inc()
 	e.queryNS.Observe(dur)
-	if err == nil {
-		rows := len(res.Rows) + len(res.Molecules)
-		recorded := e.slow.Observe(src, dur, rows, res.Plan)
-		if !recorded && opts.SlowThreshold > 0 && dur >= opts.SlowThreshold {
-			e.slow.Record(src, dur, rows, res.Plan)
-			recorded = true
-		}
-		if recorded && e.tracer != nil {
-			e.tracer.Point(e.tracer.NextTraceID(), "slow-query",
-				fmt.Sprintf("dur=%s rows=%d", dur, rows))
-		}
+	if err != nil {
+		exec.End("error: " + err.Error())
+		return res, err
+	}
+	rows := len(res.Rows) + len(res.Molecules)
+	exec.Account(res.Res)
+	exec.End(fmt.Sprintf("rows=%d", rows))
+	recorded := e.slow.Observe(src, dur, rows, res.Plan, trace)
+	if !recorded && opts.SlowThreshold > 0 && dur >= opts.SlowThreshold {
+		e.slow.Record(src, dur, rows, res.Plan, trace)
+		recorded = true
+	}
+	if recorded {
+		e.tracer.Point(trace, "slow-query", fmt.Sprintf("dur=%s rows=%d", dur, rows))
 	}
 	return res, err
 }
@@ -868,6 +911,8 @@ func (e *Engine) PublishDebugVars() {
 	if e.metrics == nil {
 		return
 	}
+	obs.SetMetricsSource(e.metrics)
+	obs.SetTraceSource(e.tracer)
 	obs.SetDebugVars(func() any {
 		snap := e.metrics.Snapshot()
 		snap["slowlog"] = map[string]any{

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"tcodm/internal/atom"
+	"tcodm/internal/obs"
 	"tcodm/internal/schema"
 	"tcodm/internal/temporal"
 	"tcodm/internal/value"
@@ -66,12 +67,18 @@ func NewBuilder(mgr *atom.Manager) *Builder {
 // through); cycles are handled by visiting each atom once. A dead or
 // missing root yields a molecule with no atoms.
 func (b *Builder) Materialize(mt *schema.MoleculeType, root value.ID, vt, tt temporal.Instant) (*Molecule, error) {
+	return b.MaterializeAcc(mt, root, vt, tt, nil)
+}
+
+// MaterializeAcc is Materialize with exact resource accounting: every atom
+// state read during the BFS charges pages and chain steps into acc.
+func (b *Builder) MaterializeAcc(mt *schema.MoleculeType, root value.ID, vt, tt temporal.Instant, acc *obs.Resources) (*Molecule, error) {
 	mol := &Molecule{
 		Type: mt, Root: root, VT: vt, TT: tt,
 		Atoms:    map[value.ID]*atom.State{},
 		Children: map[value.ID]map[int][]value.ID{},
 	}
-	rootState, err := b.mgr.StateAt(root, vt, tt)
+	rootState, err := b.mgr.StateAtAcc(root, vt, tt, acc)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +108,7 @@ func (b *Builder) Materialize(mt *schema.MoleculeType, root value.ID, vt, tt tem
 					addChild(mol, id, ei, tid)
 					continue
 				}
-				tst, err := b.mgr.StateAt(tid, vt, tt)
+				tst, err := b.mgr.StateAtAcc(tid, vt, tt, acc)
 				if err != nil {
 					return nil, fmt.Errorf("molecule: dangling reference %s edge %d -> %v: %w", mt.Name, ei, tid, err)
 				}

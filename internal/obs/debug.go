@@ -2,9 +2,12 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -37,17 +40,131 @@ func SetDebugVars(fn func() any) {
 	})
 }
 
-// StartDebugServer listens on addr and serves expvar (/debug/vars) and pprof
-// (/debug/pprof/*) from http.DefaultServeMux in a background goroutine. It
-// returns the bound address (useful with ":0") or an error if the listen
-// fails. The server runs until the process exits.
-func StartDebugServer(addr string) (string, error) {
+// metricsSrc and traceSrc are the process-wide sources behind /metrics and
+// /debug/trace. Like debugVars, the last engine to publish wins.
+var (
+	metricsSrc  atomic.Pointer[Registry]
+	traceSrc    atomic.Pointer[Tracer]
+	handlerOnce sync.Once // DefaultServeMux panics on duplicate patterns
+)
+
+// SetMetricsSource points /metrics at reg (nil detaches).
+func SetMetricsSource(reg *Registry) {
+	metricsSrc.Store(reg)
+	registerDebugHandlers()
+}
+
+// SetTraceSource points /debug/trace at t (nil detaches).
+func SetTraceSource(t *Tracer) {
+	traceSrc.Store(t)
+	registerDebugHandlers()
+}
+
+// registerDebugHandlers installs /metrics and /debug/trace/ on the default
+// mux exactly once per process.
+func registerDebugHandlers() {
+	handlerOnce.Do(func() {
+		http.HandleFunc("/metrics", serveMetrics)
+		http.HandleFunc("/debug/trace", serveTraceIndex)
+		http.HandleFunc("/debug/trace/", serveTrace)
+	})
+}
+
+// serveMetrics renders the active registry in Prometheus text format.
+func serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg := metricsSrc.Load()
+	if reg == nil {
+		http.Error(w, "metrics source not attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, reg.PrometheusText())
+}
+
+// serveTraceIndex lists the trace ids surviving in the span-store ring.
+func serveTraceIndex(w http.ResponseWriter, _ *http.Request) {
+	tr := traceSrc.Load()
+	if tr == nil {
+		http.Error(w, "trace source not attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	ids := tr.TraceIDs(0)
+	fmt.Fprintf(w, "%d trace(s) in window; GET /debug/trace/<id>\n", len(ids))
+	for _, id := range ids {
+		fmt.Fprintf(w, "%d\n", id)
+	}
+}
+
+// serveTrace renders one trace's span tree: GET /debug/trace/<id>.
+func serveTrace(w http.ResponseWriter, r *http.Request) {
+	tr := traceSrc.Load()
+	if tr == nil {
+		http.Error(w, "trace source not attached", http.StatusServiceUnavailable)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if rest == "" {
+		serveTraceIndex(w, r)
+		return
+	}
+	id, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		http.Error(w, "trace id must be a decimal uint64", http.StatusBadRequest)
+		return
+	}
+	evs := tr.Trace(id)
+	if len(evs) == 0 {
+		http.Error(w, "trace not found (evicted from the ring or never recorded)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, FormatTrace(evs))
+}
+
+// DebugServer is a running debug HTTP endpoint. Close shuts it down and
+// releases the listener; tests use it so -race runs don't accumulate
+// servers for the life of the process.
+type DebugServer struct {
+	addr      string
+	srv       *http.Server
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Addr returns the bound address (useful when listening on ":0").
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.addr
+}
+
+// Close shuts the server down and closes its listener. Idempotent.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	d.closeOnce.Do(func() {
+		d.closeErr = d.srv.Close()
+	})
+	return d.closeErr
+}
+
+// StartDebugServer listens on addr and serves expvar (/debug/vars), pprof
+// (/debug/pprof/*), Prometheus metrics (/metrics), and trace lookup
+// (/debug/trace/<id>) from http.DefaultServeMux in a background goroutine.
+// The returned handle exposes the bound address and a Close that stops the
+// server and releases the listener.
+func StartDebugServer(addr string) (*DebugServer, error) {
+	registerDebugHandlers()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
 	go func() {
-		_ = http.Serve(ln, nil)
+		_ = srv.Serve(ln)
 	}()
-	return ln.Addr().String(), nil
+	return &DebugServer{addr: ln.Addr().String(), srv: srv}, nil
 }

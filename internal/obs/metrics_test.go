@@ -55,7 +55,7 @@ func TestNilHandlesAreNoOps(t *testing.T) {
 	if tr.Events(0) != nil || tr.Recorded() != 0 {
 		t.Fatal("nil tracer must be empty")
 	}
-	if sl.Observe("q", time.Second, 0, "") {
+	if sl.Observe("q", time.Second, 0, "", 0) {
 		t.Fatal("nil slowlog must not record")
 	}
 	_ = r.String()

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// prometheusName maps a registry metric name ("server.query_ns") to a
+// Prometheus-legal name ("tcodm_server_query_ns").
+func prometheusName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("tcodm_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// PrometheusText renders every metric in the registry in the Prometheus
+// text exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as summaries with p50/p95/p99 quantiles plus _sum
+// and _count. Output is sorted by name so same-state registries render
+// byte-identical text. A nil registry renders empty.
+func (r *Registry) PrometheusText() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, name := range sortedKeys(counters) {
+		pn := prometheusName(name)
+		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := prometheusName(name)
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name].Value())
+	}
+	for _, name := range sortedKeys(hists) {
+		pn := prometheusName(name)
+		s := hists[name].Snapshot()
+		fmt.Fprintf(&sb, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(&sb, "%s{quantile=\"0.5\"} %d\n", pn, s.P50)
+		fmt.Fprintf(&sb, "%s{quantile=\"0.95\"} %d\n", pn, s.P95)
+		fmt.Fprintf(&sb, "%s{quantile=\"0.99\"} %d\n", pn, s.P99)
+		fmt.Fprintf(&sb, "%s_sum %d\n", pn, s.Sum)
+		fmt.Fprintf(&sb, "%s_count %d\n", pn, s.Count)
+	}
+	return sb.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

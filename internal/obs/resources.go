@@ -1,0 +1,39 @@
+package obs
+
+import "fmt"
+
+// Resources is an exact account of the storage work one traced operation
+// performed. Counts are logical (every record fetch counts its pages,
+// whether or not the buffer pool had them cached), which makes them a
+// deterministic function of the query and the database state: a serial
+// and a parallel execution of the same query must report identical
+// totals, and the differential corpus asserts exactly that.
+type Resources struct {
+	Pages      uint64 // heap pages touched per record fetch (home + forward hops + overflow chain)
+	WALBytes   uint64 // WAL bytes appended on behalf of the operation
+	ChainSteps uint64 // version-chain steps walked (history segments + snapshot hops)
+	Atoms      uint64 // candidate atoms scanned
+}
+
+// Add accumulates o into r.
+func (r *Resources) Add(o Resources) {
+	if r == nil {
+		return
+	}
+	r.Pages += o.Pages
+	r.WALBytes += o.WALBytes
+	r.ChainSteps += o.ChainSteps
+	r.Atoms += o.Atoms
+}
+
+// IsZero reports whether no resource was accounted.
+func (r Resources) IsZero() bool {
+	return r == Resources{}
+}
+
+// String renders the account in the stable "k=v" form used by span attrs
+// and the differential-corpus signatures.
+func (r Resources) String() string {
+	return fmt.Sprintf("pages=%d wal=%dB chain=%d atoms=%d",
+		r.Pages, r.WALBytes, r.ChainSteps, r.Atoms)
+}

@@ -14,6 +14,7 @@ type SlowEntry struct {
 	Query string // the query text (possibly truncated)
 	Rows  int    // rows returned
 	Plan  string // one-line access-path description, may be empty
+	Trace uint64 // trace id, 0 when the query ran untraced
 }
 
 // SlowLog keeps the most recent slow queries — those whose execution time
@@ -60,7 +61,8 @@ func (l *SlowLog) Threshold() time.Duration {
 }
 
 // Observe records the query if it was slow. Returns true when recorded.
-func (l *SlowLog) Observe(query string, dur time.Duration, rows int, plan string) bool {
+// trace correlates the entry with its span tree (0 = untraced).
+func (l *SlowLog) Observe(query string, dur time.Duration, rows int, plan string, trace uint64) bool {
 	if l == nil {
 		return false
 	}
@@ -73,7 +75,7 @@ func (l *SlowLog) Observe(query string, dur time.Duration, rows int, plan string
 		query = query[:maxSlowQueryText] + "…"
 	}
 	l.ring[l.next%uint64(len(l.ring))] = SlowEntry{
-		When: time.Now(), Dur: dur, Query: query, Rows: rows, Plan: plan,
+		When: time.Now(), Dur: dur, Query: query, Rows: rows, Plan: plan, Trace: trace,
 	}
 	l.next++
 	l.total++
@@ -82,7 +84,7 @@ func (l *SlowLog) Observe(query string, dur time.Duration, rows int, plan string
 
 // Record stores the query unconditionally, bypassing the threshold. Used
 // for per-session slow thresholds tighter than the engine-wide one.
-func (l *SlowLog) Record(query string, dur time.Duration, rows int, plan string) {
+func (l *SlowLog) Record(query string, dur time.Duration, rows int, plan string, trace uint64) {
 	if l == nil {
 		return
 	}
@@ -92,7 +94,7 @@ func (l *SlowLog) Record(query string, dur time.Duration, rows int, plan string)
 		query = query[:maxSlowQueryText] + "…"
 	}
 	l.ring[l.next%uint64(len(l.ring))] = SlowEntry{
-		When: time.Now(), Dur: dur, Query: query, Rows: rows, Plan: plan,
+		When: time.Now(), Dur: dur, Query: query, Rows: rows, Plan: plan, Trace: trace,
 	}
 	l.next++
 	l.total++
@@ -140,6 +142,9 @@ func (l *SlowLog) String() string {
 			e.When.Format("15:04:05.000"), e.Dur.Round(time.Microsecond), e.Rows, e.Query)
 		if e.Plan != "" {
 			fmt.Fprintf(&sb, "    plan: %s\n", e.Plan)
+		}
+		if e.Trace != 0 {
+			fmt.Fprintf(&sb, "    trace: %d\n", e.Trace)
 		}
 	}
 	return sb.String()

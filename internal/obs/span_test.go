@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanParentChildLinks(t *testing.T) {
+	tr := NewTracer(32)
+	trace := tr.NextTraceID()
+	root := tr.Start(trace, "query")
+	if root.ID() == 0 || root.TraceID() != trace {
+		t.Fatalf("root span id=%d trace=%d", root.ID(), root.TraceID())
+	}
+	queue := root.Child("queue")
+	queue.End("admitted")
+	exec := root.Child("exec")
+	storage := exec.Child("storage")
+	storage.Account(Resources{Pages: 7, ChainSteps: 3, Atoms: 2})
+	storage.Account(Resources{Pages: 1})
+	storage.End("")
+	exec.End("rows=5")
+	root.End("")
+
+	evs := tr.Trace(trace)
+	if len(evs) != 4 {
+		t.Fatalf("trace events = %d, want 4", len(evs))
+	}
+	byName := map[string]Event{}
+	for _, ev := range evs {
+		byName[ev.Name] = ev
+	}
+	if byName["queue"].Parent != root.ID() || byName["exec"].Parent != root.ID() {
+		t.Fatal("queue and exec must be children of root")
+	}
+	if byName["storage"].Parent != byName["exec"].Span {
+		t.Fatal("storage must be a child of exec")
+	}
+	if got := byName["storage"].Res; got != (Resources{Pages: 8, ChainSteps: 3, Atoms: 2}) {
+		t.Fatalf("storage resources = %+v", got)
+	}
+	out := FormatTrace(evs)
+	if !strings.Contains(out, "pages=8") || !strings.Contains(out, "storage") {
+		t.Fatalf("FormatTrace = %q", out)
+	}
+	// Other traces must not bleed into the lookup.
+	if evs := tr.Trace(trace + 999); evs != nil {
+		t.Fatalf("unknown trace returned %d events", len(evs))
+	}
+}
+
+// TestSpanRingWrapWithLiveParents overruns the ring while a parent span is
+// still open: ending it afterwards must record cleanly even though every
+// child event has been evicted, and FormatTrace must promote orphaned
+// children to the root level rather than dropping them.
+func TestSpanRingWrapWithLiveParents(t *testing.T) {
+	tr := NewTracer(4)
+	trace := tr.NextTraceID()
+	root := tr.Start(trace, "root")
+	for i := 0; i < 10; i++ {
+		c := root.Child(fmt.Sprintf("child%d", i))
+		c.End("")
+	}
+	root.End("") // children 0..5 are long gone from the ring
+	evs := tr.Trace(trace)
+	if len(evs) != 4 {
+		t.Fatalf("surviving events = %d, want 4", len(evs))
+	}
+	if evs[len(evs)-1].Name != "root" {
+		t.Fatalf("last event = %q, want root", evs[len(evs)-1].Name)
+	}
+	out := FormatTrace(evs)
+	for _, want := range []string{"root", "child9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatTrace missing %q: %q", want, out)
+		}
+	}
+	// A child whose parent was evicted renders at the root level.
+	orphan := []Event{{Trace: trace, Span: 42, Parent: 41, Name: "orphan", Dur: time.Millisecond}}
+	if got := FormatTrace(orphan); !strings.Contains(got, "orphan") {
+		t.Fatalf("orphaned span dropped: %q", got)
+	}
+}
+
+// TestNilTracerAndSpanNoOps pins the nil-safe handle contract: every
+// method on a nil *Tracer or nil *Span must be a no-op, matching the
+// registry's nil counter/gauge/histogram behavior.
+func TestNilTracerAndSpanNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.NextTraceID() != 0 {
+		t.Fatal("nil tracer must allocate trace id 0")
+	}
+	sp := tr.Start(1, "x")
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	child := sp.Child("y")
+	if child != nil {
+		t.Fatal("nil span must hand out nil children")
+	}
+	sp.Account(Resources{Pages: 1})
+	sp.End("attrs")
+	if sp.ID() != 0 || sp.TraceID() != 0 {
+		t.Fatal("nil span ids must be 0")
+	}
+	tr.Point(1, "p", "")
+	if tr.EmitSpan(1, 0, "e", time.Now(), time.Second, "", Resources{}) != 0 {
+		t.Fatal("nil tracer EmitSpan must return 0")
+	}
+	if tr.Trace(1) != nil || tr.TraceIDs(0) != nil || tr.Events(0) != nil {
+		t.Fatal("nil tracer lookups must return nil")
+	}
+	var res *Resources
+	res.Add(Resources{Pages: 1}) // nil *Resources is a no-op sink
+}
+
+// TestSpanConcurrentEmission hammers one tracer from many goroutines; run
+// under -race this pins the span store's synchronization.
+func TestSpanConcurrentEmission(t *testing.T) {
+	tr := NewTracer(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			trace := tr.NextTraceID()
+			for i := 0; i < 300; i++ {
+				root := tr.Start(trace, "root")
+				c := root.Child("child")
+				c.Account(Resources{Pages: 1})
+				c.End("")
+				root.End("")
+				if i%64 == 0 {
+					_ = tr.Trace(trace)
+					_ = tr.TraceIDs(8)
+					_ = FormatTrace(tr.Trace(trace))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Recorded(); got != 8*300*2 {
+		t.Fatalf("recorded = %d, want %d", got, 8*300*2)
+	}
+}
+
+func TestPrometheusTextGolden(t *testing.T) {
+	reg := New()
+	reg.Counter("wal.appends").Add(3)
+	reg.Counter("heap.fetches").Add(12)
+	reg.Gauge("server.conns").Set(2)
+	h := reg.Histogram("query.ns")
+	h.Record(0)
+	h.Record(1)
+	h.Record(1)
+	h.Record(1)
+
+	want := `# TYPE tcodm_heap_fetches counter
+tcodm_heap_fetches 12
+# TYPE tcodm_wal_appends counter
+tcodm_wal_appends 3
+# TYPE tcodm_server_conns gauge
+tcodm_server_conns 2
+# TYPE tcodm_query_ns summary
+tcodm_query_ns{quantile="0.5"} 1
+tcodm_query_ns{quantile="0.95"} 1
+tcodm_query_ns{quantile="0.99"} 1
+tcodm_query_ns_sum 3
+tcodm_query_ns_count 4
+`
+	if got := reg.PrometheusText(); got != want {
+		t.Fatalf("PrometheusText golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	var nilReg *Registry
+	if nilReg.PrometheusText() != "" {
+		t.Fatal("nil registry must render empty")
+	}
+}
+
+// TestDebugServerLifecycle starts a debug server, smokes the /metrics and
+// /debug/trace endpoints, and verifies Close releases the listener.
+func TestDebugServerLifecycle(t *testing.T) {
+	reg := New()
+	reg.Counter("test.hits").Add(5)
+	tr := NewTracer(16)
+	trace := tr.NextTraceID()
+	sp := tr.Start(trace, "query")
+	sp.End("rows=1")
+	SetMetricsSource(reg)
+	SetTraceSource(tr)
+	defer SetMetricsSource(nil)
+	defer SetTraceSource(nil)
+
+	dbg, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + dbg.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "tcodm_test_hits 5") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/trace"); code != 200 || !strings.Contains(body, fmt.Sprint(trace)) {
+		t.Fatalf("/debug/trace = %d %q", code, body)
+	}
+	if code, body := get(fmt.Sprintf("/debug/trace/%d", trace)); code != 200 || !strings.Contains(body, "query") {
+		t.Fatalf("/debug/trace/%d = %d %q", trace, code, body)
+	}
+	if code, _ := get(fmt.Sprintf("/debug/trace/%d", trace+100)); code != 404 {
+		t.Fatalf("missing trace must 404, got %d", code)
+	}
+	if code, _ := get("/debug/trace/notanumber"); code != 400 {
+		t.Fatalf("bad trace id must 400, got %d", code)
+	}
+
+	if err := dbg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := dbg.Close(); err != nil {
+		t.Fatalf("second Close must be idempotent: %v", err)
+	}
+	if _, err := http.Get("http://" + dbg.Addr() + "/metrics"); err == nil {
+		t.Fatal("listener must be released after Close")
+	}
+	var nilDbg *DebugServer
+	if nilDbg.Addr() != "" || nilDbg.Close() != nil {
+		t.Fatal("nil DebugServer must no-op")
+	}
+}

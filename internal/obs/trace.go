@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -10,23 +11,29 @@ import (
 
 // Event is one recorded trace event: a completed span or a point annotation.
 type Event struct {
-	Seq   uint64        // global sequence number (monotonic per tracer)
-	Trace uint64        // trace (query/txn) id, 0 = unattributed
-	Name  string        // span or event name, e.g. "wal.fsync"
-	Start time.Time     // span start (or event time for point events)
-	Dur   time.Duration // span duration, 0 for point events
-	Attrs string        // free-form "k=v k=v" detail, may be empty
+	Seq    uint64        // global sequence number (monotonic per tracer)
+	Trace  uint64        // trace (query/txn) id, 0 = unattributed
+	Span   uint64        // span id, 0 for point events
+	Parent uint64        // parent span id, 0 for roots and points
+	Name   string        // span or event name, e.g. "wal.fsync"
+	Start  time.Time     // span start (or event time for point events)
+	Dur    time.Duration // span duration, 0 for point events
+	Attrs  string        // free-form "k=v k=v" detail, may be empty
+	Res    Resources     // exact resource account, zero unless charged
 }
 
-// Tracer records completed spans into a bounded ring buffer. When the ring
-// is full the oldest events are overwritten; Events() returns the surviving
-// window in order. A nil *Tracer is a valid no-op.
+// Tracer is a bounded span store: completed spans and point events land in
+// a ring buffer with trace/span/parent links, so a whole query's span tree
+// can be reassembled by trace id as long as it survives in the window.
+// When the ring is full the oldest events are overwritten; Events() returns
+// the surviving window in order. A nil *Tracer is a valid no-op.
 type Tracer struct {
 	mu    sync.Mutex
 	ring  []Event
 	next  uint64 // total events ever recorded; ring index = next % len(ring)
 	seq   atomic.Uint64
 	trace atomic.Uint64 // trace id allocator
+	span  atomic.Uint64 // span id allocator
 }
 
 // NewTracer creates a tracer whose ring holds capacity events.
@@ -44,6 +51,11 @@ func (t *Tracer) NextTraceID() uint64 {
 		return 0
 	}
 	return t.trace.Add(1)
+}
+
+// nextSpanID allocates a fresh nonzero span id.
+func (t *Tracer) nextSpanID() uint64 {
+	return t.span.Add(1)
 }
 
 // record appends an event to the ring, overwriting the oldest when full.
@@ -66,35 +78,100 @@ func (t *Tracer) Point(trace uint64, name, attrs string) {
 	t.record(Event{Trace: trace, Name: name, Start: time.Now(), Attrs: attrs})
 }
 
-// Span is an in-flight traced operation. End records it. A zero Span
-// (from a nil Tracer) is a valid no-op.
+// Span is an in-flight traced operation with a place in the trace tree.
+// End records it. A nil *Span (from a nil Tracer) is a valid no-op, so
+// instrumented code never branches on "tracing enabled".
 type Span struct {
-	t     *Tracer
-	trace uint64
-	name  string
-	start time.Time
+	t      *Tracer
+	trace  uint64
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	res    Resources
 }
 
-// Start opens a span attributed to the given trace id.
-func (t *Tracer) Start(trace uint64, name string) Span {
+// Start opens a root-level span attributed to the given trace id.
+func (t *Tracer) Start(trace uint64, name string) *Span {
+	return t.StartSpan(trace, 0, name)
+}
+
+// StartSpan opens a span under an explicit parent span id (0 = root).
+func (t *Tracer) StartSpan(trace, parent uint64, name string) *Span {
 	if t == nil {
-		return Span{}
+		return nil
 	}
-	return Span{t: t, trace: trace, name: name, start: time.Now()}
+	return &Span{t: t, trace: trace, id: t.nextSpanID(), parent: parent, name: name, start: time.Now()}
+}
+
+// Child opens a sub-span of s in the same trace.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.StartSpan(s.trace, s.id, name)
+}
+
+// ID returns the span id (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID returns the trace id the span belongs to (0 for a nil span).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// Account charges resources to the span; they are recorded when it ends.
+func (s *Span) Account(r Resources) {
+	if s == nil {
+		return
+	}
+	s.res.Add(r)
 }
 
 // End completes the span with optional attrs.
-func (s Span) End(attrs string) {
-	if s.t == nil {
+func (s *Span) End(attrs string) {
+	if s == nil || s.t == nil {
 		return
 	}
 	s.t.record(Event{
-		Trace: s.trace,
-		Name:  s.name,
-		Start: s.start,
-		Dur:   time.Since(s.start),
-		Attrs: attrs,
+		Trace:  s.trace,
+		Span:   s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    time.Since(s.start),
+		Attrs:  attrs,
+		Res:    s.res,
 	})
+}
+
+// EmitSpan records an already-measured span (used by the executor, which
+// learns per-worker and per-operator durations only after the parallel
+// barrier). It allocates and returns the span id.
+func (t *Tracer) EmitSpan(trace, parent uint64, name string, start time.Time, dur time.Duration, attrs string, res Resources) uint64 {
+	if t == nil {
+		return 0
+	}
+	id := t.nextSpanID()
+	t.record(Event{
+		Trace:  trace,
+		Span:   id,
+		Parent: parent,
+		Name:   name,
+		Start:  start,
+		Dur:    dur,
+		Attrs:  attrs,
+		Res:    res,
+	})
+	return id
 }
 
 // Events returns the buffered events oldest-first. Limit <= 0 returns all.
@@ -118,6 +195,44 @@ func (t *Tracer) Events(limit int) []Event {
 	start := t.next - count
 	for i := uint64(0); i < count; i++ {
 		out = append(out, t.ring[(start+i)%n])
+	}
+	return out
+}
+
+// Trace returns the surviving events of one trace, oldest-first. The ring
+// may have evicted part of a tree; callers treat the result as a window.
+func (t *Tracer) Trace(id uint64) []Event {
+	if t == nil || id == 0 {
+		return nil
+	}
+	var out []Event
+	for _, ev := range t.Events(0) {
+		if ev.Trace == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TraceIDs returns the distinct trace ids present in the ring, most
+// recently recorded first. Limit <= 0 returns all.
+func (t *Tracer) TraceIDs(limit int) []uint64 {
+	if t == nil {
+		return nil
+	}
+	evs := t.Events(0)
+	seen := map[uint64]bool{}
+	var out []uint64
+	for i := len(evs) - 1; i >= 0; i-- {
+		id := evs[i].Trace
+		if id == 0 || seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
 	}
 	return out
 }
@@ -147,6 +262,63 @@ func (t *Tracer) String() string {
 			sb.WriteString(" " + ev.Attrs)
 		}
 		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatTrace renders one trace's events as an indented span tree. Spans
+// whose parent was evicted from the ring (or lives in another process)
+// render at the root level; point events render under their trace root.
+// Children sort by record order (sequence number), which for spans is
+// completion order.
+func FormatTrace(evs []Event) string {
+	if len(evs) == 0 {
+		return "(no events)\n"
+	}
+	byParent := map[uint64][]Event{}
+	spans := map[uint64]bool{}
+	for _, ev := range evs {
+		if ev.Span != 0 {
+			spans[ev.Span] = true
+		}
+	}
+	var roots []Event
+	for _, ev := range evs {
+		if ev.Parent != 0 && spans[ev.Parent] {
+			byParent[ev.Parent] = append(byParent[ev.Parent], ev)
+		} else {
+			roots = append(roots, ev)
+		}
+	}
+	sortEvents := func(s []Event) {
+		sort.Slice(s, func(i, j int) bool { return s[i].Seq < s[j].Seq })
+	}
+	sortEvents(roots)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %d (%d events)\n", evs[0].Trace, len(evs))
+	var render func(ev Event, depth int)
+	render = func(ev Event, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		if ev.Span == 0 {
+			fmt.Fprintf(&sb, "* %s", ev.Name)
+		} else {
+			fmt.Fprintf(&sb, "- %s %s", ev.Name, ev.Dur)
+		}
+		if !ev.Res.IsZero() {
+			sb.WriteString(" [" + ev.Res.String() + "]")
+		}
+		if ev.Attrs != "" {
+			sb.WriteString(" " + ev.Attrs)
+		}
+		sb.WriteByte('\n')
+		kids := byParent[ev.Span]
+		sortEvents(kids)
+		for _, k := range kids {
+			render(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 1)
 	}
 	return sb.String()
 }

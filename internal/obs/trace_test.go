@@ -109,11 +109,11 @@ func TestTracerConcurrent(t *testing.T) {
 
 func TestSlowLogThresholdAndWrap(t *testing.T) {
 	sl := NewSlowLog(3, 10*time.Millisecond)
-	if sl.Observe("fast", 5*time.Millisecond, 1, "") {
+	if sl.Observe("fast", 5*time.Millisecond, 1, "", 0) {
 		t.Fatal("below-threshold query must not record")
 	}
 	for i := 0; i < 5; i++ {
-		if !sl.Observe(fmt.Sprintf("q%d", i), 20*time.Millisecond, i, "scan") {
+		if !sl.Observe(fmt.Sprintf("q%d", i), 20*time.Millisecond, i, "scan", uint64(i+100)) {
 			t.Fatal("slow query must record")
 		}
 	}
@@ -124,11 +124,17 @@ func TestSlowLogThresholdAndWrap(t *testing.T) {
 	if entries[0].Query != "q2" || entries[2].Query != "q4" {
 		t.Fatalf("ring kept wrong window: %+v", entries)
 	}
+	if entries[2].Trace != 104 {
+		t.Fatalf("entry trace = %d, want 104", entries[2].Trace)
+	}
+	if !strings.Contains(sl.String(), "trace: 104") {
+		t.Fatalf("String() must surface trace ids: %q", sl.String())
+	}
 	if sl.Total() != 5 {
 		t.Fatalf("total = %d, want 5", sl.Total())
 	}
 	sl.SetThreshold(0)
-	if sl.Observe("any", time.Hour, 0, "") {
+	if sl.Observe("any", time.Hour, 0, "", 0) {
 		t.Fatal("zero threshold must disable logging")
 	}
 	if sl.Threshold() != 0 {
@@ -142,7 +148,7 @@ func TestSlowLogThresholdAndWrap(t *testing.T) {
 func TestSlowLogTruncatesLongQueries(t *testing.T) {
 	sl := NewSlowLog(2, time.Nanosecond)
 	long := strings.Repeat("x", 2*maxSlowQueryText)
-	sl.Observe(long, time.Second, 0, "")
+	sl.Observe(long, time.Second, 0, "", 0)
 	e := sl.Entries()[0]
 	if len(e.Query) > maxSlowQueryText+len("…") {
 		t.Fatalf("query not truncated: %d bytes", len(e.Query))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"tcodm/internal/atom"
 	"tcodm/internal/history"
@@ -27,6 +28,12 @@ type Result struct {
 	// ExplainTree is the operator tree for EXPLAIN [ANALYZE] queries (nil
 	// otherwise); Rows then carry its rendered lines.
 	ExplainTree *PlanNode
+	// Res holds the query's exact resource totals: pages read, WAL bytes,
+	// version-chain steps, and atoms scanned. Identical for serial and
+	// parallel execution of the same query.
+	Res obs.Resources
+	// Trace is the trace id the query ran under (0 = untraced).
+	Trace uint64
 }
 
 // Table renders the rows as an aligned text table.
@@ -84,8 +91,14 @@ type Engine struct {
 	// parallelChunk default, which matches the serial cancel-poll cadence).
 	chunk int
 
-	met engineMetrics
+	met    engineMetrics
+	tracer *obs.Tracer
 }
+
+// SetTracer binds the engine to a span store: queries that carry a trace id
+// (Defaults.Trace != 0) emit per-operator, per-worker, and storage spans
+// into it. A nil tracer disables executor tracing.
+func (e *Engine) SetTracer(tr *obs.Tracer) { e.tracer = tr }
 
 // engineMetrics holds the query engine's instrumentation handles. The
 // defaults are nil no-ops; SetMetrics binds them to a registry. Parallel
@@ -121,6 +134,12 @@ func NewEngine(mgr *atom.Manager) *Engine {
 type Defaults struct {
 	VT temporal.Instant
 	TT temporal.Instant
+
+	// Trace and Span tie this execution into a distributed trace: Trace is
+	// the query's trace id and Span the parent span the executor's spans
+	// attach under (the engine's "exec" span). Zero Trace disables tracing.
+	Trace uint64
+	Span  uint64
 }
 
 // tt returns the effective default transaction time.
@@ -174,12 +193,54 @@ func (e *Engine) ExecuteCtx(ctx context.Context, a *Analyzed, def Defaults) (*Re
 	if q.AsOf != nil {
 		tt = *q.AsOf
 	}
-	res, err := e.executeClass(a, vt, tt, &execCtx{ctx: ctx})
+	traced := e.tracer != nil && def.Trace != 0
+	ectx := &execCtx{ctx: ctx, timed: traced}
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
+	res, err := e.executeClass(a, vt, tt, ectx)
 	if err != nil {
 		return nil, err
 	}
 	applyOrderLimit(a, res)
+	res.Res = ectx.res
+	res.Trace = def.Trace
+	if traced {
+		e.emitTrace(a, def, ectx, start, time.Since(start))
+	}
 	return res, nil
+}
+
+// emitTrace records the executor's span tree after the query completes:
+// per-operator spans, per-worker spans (parallel runs), and one storage
+// span carrying the exact resource totals, all children of the engine's
+// exec span (def.Span). Emission is post-hoc because per-stage durations
+// and merged totals only exist once every worker has finished; operator
+// spans therefore share the query's start instant and carry the stage's
+// accumulated duration across all candidates.
+func (e *Engine) emitTrace(a *Analyzed, def Defaults, ctx *execCtx, start time.Time, total time.Duration) {
+	tr, q := e.tracer, a.Query
+	emit := func(name string, dur time.Duration, attrs string, res obs.Resources) {
+		tr.EmitSpan(def.Trace, def.Span, name, start, dur, attrs, res)
+	}
+	emit("op:scan", 0, fmt.Sprintf("cands=%d %s", ctx.scanned, ctx.scanDesc), obs.Resources{})
+	if q.When != nil {
+		emit("op:when", ctx.whenDur, fmt.Sprintf("out=%d", ctx.whenOut), obs.Resources{})
+	}
+	emit("op:time-slice", ctx.sliceDur, fmt.Sprintf("out=%d", ctx.sliceOut), obs.Resources{})
+	if q.Where != nil {
+		emit("op:where", ctx.whereDur, fmt.Sprintf("out=%d", ctx.whereOut), obs.Resources{})
+	}
+	if a.Class == ClassMolecule {
+		emit("op:materialize", 0, fmt.Sprintf("molecules=%d", ctx.matCount), obs.Resources{})
+	}
+	emit("op:emit", ctx.emitDur, fmt.Sprintf("out=%d", ctx.emitOut), obs.Resources{})
+	for i, ws := range ctx.workers {
+		emit(fmt.Sprintf("worker %d", i), ws.dur,
+			fmt.Sprintf("chunks=%d cands=%d rows=%d", ws.chunks, ws.cands, ws.rows), obs.Resources{})
+	}
+	emit("storage", total, "", ctx.res)
 }
 
 // frag is the output fragment one candidate partition produces. Serial
@@ -391,9 +452,9 @@ func whenStartBound(w *WhenClause) (temporal.Instant, bool) {
 }
 
 // whenHolds evaluates the WHEN clause exactly for one atom.
-func (e *Engine) whenHolds(id value.ID, w *WhenClause, tt temporal.Instant) (bool, error) {
+func (e *Engine) whenHolds(id value.ID, w *WhenClause, tt temporal.Instant, acc *obs.Resources) (bool, error) {
 	if w.Lifespan {
-		life, err := e.Mgr.Lifespan(id)
+		life, err := e.Mgr.LifespanAcc(id, acc)
 		if err != nil {
 			return false, err
 		}
@@ -404,7 +465,7 @@ func (e *Engine) whenHolds(id value.ID, w *WhenClause, tt temporal.Instant) (boo
 		}
 		return false, nil
 	}
-	hist, err := e.Mgr.History(id, w.Attr.Attr, tt)
+	hist, err := e.Mgr.HistoryAcc(id, w.Attr.Attr, tt, acc)
 	if err != nil {
 		return false, err
 	}
@@ -430,7 +491,7 @@ func (e *Engine) atomProc(a *Analyzed, vt, tt temporal.Instant) candProc {
 			row := make([]value.V, 0, len(q.Projs))
 			for _, p := range q.Projs {
 				if p.Agg != "" {
-					v, err := e.evalAggregate(st.ID, p, window, tt)
+					v, err := e.evalAggregate(st.ID, p, window, tt, &ctx.res)
 					if err != nil {
 						return err
 					}
@@ -448,8 +509,8 @@ func (e *Engine) atomProc(a *Analyzed, vt, tt temporal.Instant) candProc {
 
 // evalAggregate computes a temporal aggregate over one atom's attribute
 // history within the window.
-func (e *Engine) evalAggregate(id value.ID, p Projection, window temporal.Interval, tt temporal.Instant) (value.V, error) {
-	hist, err := e.Mgr.History(id, p.Attr.Attr, tt)
+func (e *Engine) evalAggregate(id value.ID, p Projection, window temporal.Interval, tt temporal.Instant, acc *obs.Resources) (value.V, error) {
+	hist, err := e.Mgr.HistoryAcc(id, p.Attr.Attr, tt, acc)
 	if err != nil {
 		return value.Null, err
 	}
@@ -480,9 +541,10 @@ func (e *Engine) evalAggregate(id value.ID, p Projection, window temporal.Interv
 func (e *Engine) processCandidate(a *Analyzed, vt, tt temporal.Instant, id value.ID, ctx *execCtx, emit func(*atom.State) error) error {
 	q := a.Query
 	ctx.scanned++
+	ctx.res.Atoms++
 	if q.When != nil {
 		start := ctx.now()
-		ok, err := e.whenHolds(id, q.When, tt)
+		ok, err := e.whenHolds(id, q.When, tt, &ctx.res)
 		ctx.whenDur += since(start)
 		if err != nil {
 			return err
@@ -493,7 +555,7 @@ func (e *Engine) processCandidate(a *Analyzed, vt, tt temporal.Instant, id value
 		ctx.whenOut++
 	}
 	start := ctx.now()
-	st, err := e.Mgr.StateAt(id, vt, tt)
+	st, err := e.Mgr.StateAtAcc(id, vt, tt, &ctx.res)
 	ctx.sliceDur += since(start)
 	if err != nil {
 		return err
@@ -548,9 +610,10 @@ func (e *Engine) historyProc(a *Analyzed, vt, tt temporal.Instant) candProc {
 	}
 	return func(id value.ID, ctx *execCtx, sink *frag) error {
 		ctx.scanned++
+		ctx.res.Atoms++
 		if q.When != nil {
 			start := ctx.now()
-			ok, err := e.whenHolds(id, q.When, tt)
+			ok, err := e.whenHolds(id, q.When, tt, &ctx.res)
 			ctx.whenDur += since(start)
 			if err != nil {
 				return err
@@ -562,7 +625,7 @@ func (e *Engine) historyProc(a *Analyzed, vt, tt temporal.Instant) candProc {
 		}
 		if q.Where != nil {
 			start := ctx.now()
-			st, err := e.Mgr.StateAt(id, vt, tt)
+			st, err := e.Mgr.StateAtAcc(id, vt, tt, &ctx.res)
 			ctx.sliceDur += since(start)
 			if err != nil {
 				return err
@@ -582,7 +645,7 @@ func (e *Engine) historyProc(a *Analyzed, vt, tt temporal.Instant) candProc {
 			ctx.sliceOut++
 		}
 		start := ctx.now()
-		hist, err := e.Mgr.History(id, q.History.Attr, tt)
+		hist, err := e.Mgr.HistoryAcc(id, q.History.Attr, tt, &ctx.res)
 		if err != nil {
 			ctx.emitDur += since(start)
 			return err
@@ -616,7 +679,7 @@ func (e *Engine) moleculeProc(a *Analyzed, vt, tt temporal.Instant) candProc {
 			if err := ctx.cancelErr(); err != nil {
 				return err
 			}
-			mol, err := e.Builder.Materialize(a.MolType, st.ID, vt, tt)
+			mol, err := e.Builder.MaterializeAcc(a.MolType, st.ID, vt, tt, &ctx.res)
 			if err != nil {
 				return err
 			}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"tcodm/internal/obs"
 	"tcodm/internal/temporal"
 	"tcodm/internal/value"
 )
@@ -55,9 +56,20 @@ func (n *PlanNode) render(sb *strings.Builder, depth int) {
 type execCtx struct {
 	analyze bool
 
+	// timed enables per-stage wall-clock measurement without the full
+	// EXPLAIN ANALYZE machinery — set when the query runs under an active
+	// trace so operator spans carry real durations.
+	timed bool
+
 	// ctx carries the caller's cancellation; nil means "never cancelled".
 	ctx        context.Context
 	cancelTick uint32
+
+	// res accumulates the query's exact resource totals: every storage,
+	// WAL, and atom-layer read on this execution context charges here.
+	// Workers keep private totals that merge() sums, so serial and
+	// parallel runs report identical numbers by construction.
+	res obs.Resources
 
 	scanDesc string // access-path description from candidates()
 	scanned  int64  // candidate ids produced by the access path
@@ -106,6 +118,7 @@ func (c *execCtx) merge(w *execCtx) {
 	c.emitDur += w.emitDur
 	c.havingOut += w.havingOut
 	c.matCount += w.matCount
+	c.res.Add(w.res)
 }
 
 // checkCancel polls the caller's context at operator-loop boundaries.
@@ -135,7 +148,7 @@ func (c *execCtx) cancelErr() error {
 // now returns the current time only when profiling; the zero Time means
 // "don't measure" and makes the paired since() a no-op.
 func (c *execCtx) now() time.Time {
-	if c == nil || !c.analyze {
+	if c == nil || (!c.analyze && !c.timed) {
 		return time.Time{}
 	}
 	return time.Now()
@@ -369,5 +382,15 @@ func (e *Engine) explain(cctx context.Context, a *Analyzed, def Defaults) (*Resu
 	}
 	applyOrderLimit(a, res)
 	ctx.totalDur = time.Since(start)
-	return planResult(buildPlanTree(a, vt, tt, ctx, res)), nil
+	out := planResult(buildPlanTree(a, vt, tt, ctx, res))
+	out.Res = ctx.res
+	out.Trace = def.Trace
+	if e.tracer != nil && def.Trace != 0 {
+		e.emitTrace(a, def, ctx, start, ctx.totalDur)
+		// Stamp the trace id as a trailing plan line so EXPLAIN ANALYZE
+		// output correlates with /debug/trace. Untraced runs are untouched,
+		// keeping existing plan goldens byte-identical.
+		out.Rows = append(out.Rows, []value.V{value.String_(fmt.Sprintf("trace: %d", def.Trace))})
+	}
+	return out, nil
 }

@@ -104,13 +104,13 @@ func (e *Engine) runParallel(a *Analyzed, typeName string, ctx *execCtx, proc ca
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		wctx := &execCtx{analyze: ctx.analyze, ctx: ctx.ctx}
+		wctx := &execCtx{analyze: ctx.analyze, timed: ctx.timed, ctx: ctx.ctx}
 		wctxs[w] = wctx
 		wg.Add(1)
 		go func(w int, wctx *execCtx) {
 			defer wg.Done()
 			var start time.Time
-			if ctx.analyze {
+			if ctx.analyze || ctx.timed {
 				start = time.Now()
 			}
 			for {
@@ -142,7 +142,7 @@ func (e *Engine) runParallel(a *Analyzed, typeName string, ctx *execCtx, proc ca
 					break
 				}
 			}
-			if ctx.analyze {
+			if ctx.analyze || ctx.timed {
 				stats[w].dur = time.Since(start)
 			}
 			stats[w].cands = wctx.scanned

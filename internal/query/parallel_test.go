@@ -69,14 +69,18 @@ var differentialCorpus = []string{
 }
 
 // signature flattens everything observable about one execution — error,
-// columns, row values in order, molecule identity in order, and the plan
-// string — so two runs compare with a single string equality.
+// columns, row values in order, molecule identity in order, the plan
+// string, and the exact resource totals (pages, WAL bytes, chain steps,
+// atoms) — so two runs compare with a single string equality. Including
+// the totals makes the corpus assert the accounting invariant: parallel
+// execution must charge exactly what serial execution charges.
 func signature(res *Result, err error) string {
 	if err != nil {
 		return "error: " + err.Error()
 	}
 	var sb strings.Builder
 	sb.WriteString("plan: " + res.Plan + "\n")
+	sb.WriteString("resources: " + res.Res.String() + "\n")
 	sb.WriteString("columns: " + strings.Join(res.Columns, "|") + "\n")
 	for _, row := range res.Rows {
 		for j, v := range row {
@@ -169,10 +173,15 @@ func TestParallelDifferentialCorpus(t *testing.T) {
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.name, func(t *testing.T) {
+			sawResources := false
 			for _, src := range differentialCorpus {
 				fx.e.Workers = 1
 				fx.e.chunk = 0
-				want := signature(fx.e.Run(src, 10))
+				serialRes, serialErr := fx.e.Run(src, 10)
+				want := signature(serialRes, serialErr)
+				if serialErr == nil && !serialRes.Res.IsZero() {
+					sawResources = true
+				}
 				for _, workers := range []int{1, 2, 8} {
 					fx.e.Workers = workers
 					fx.e.chunk = fx.chunk
@@ -181,6 +190,11 @@ func TestParallelDifferentialCorpus(t *testing.T) {
 						t.Errorf("workers=%d diverges on %q:\n--- serial ---\n%s\n--- parallel ---\n%s", workers, src, want, got)
 					}
 				}
+			}
+			// Guard against the totals comparison passing vacuously: the
+			// corpus must actually exercise the accounting paths.
+			if !sawResources {
+				t.Error("no query in the corpus reported nonzero resources; accounting is dead")
 			}
 		})
 	}

@@ -386,7 +386,18 @@ func TestGracefulDrain(t *testing.T) {
 			results <- err
 		}()
 	}
-	time.Sleep(5 * time.Millisecond) // let the queries reach the server
+	// Wait until every query is actually in flight before draining. The
+	// server.queries counter increments inside the frame handler, after the
+	// drain-visible busy flag is set, so counter == inflight guarantees no
+	// session can be hard-closed with an unread Query frame (a fixed sleep
+	// here flaked under -race, where handshakes can take longer).
+	queriesC := eng.Metrics().Counter("server.queries")
+	for deadline := time.Now().Add(5 * time.Second); queriesC.Value() < inflight; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d queries reached the server", queriesC.Value(), inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

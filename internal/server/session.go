@@ -123,14 +123,14 @@ func (ss *session) serve(ctx context.Context) {
 func (ss *session) handle(ctx context.Context, f wire.Frame) bool {
 	switch f.Type {
 	case wire.FrameQuery:
-		text, err := wire.DecodeQuery(f.Payload)
+		text, trace, err := wire.DecodeQueryTrace(f.Payload)
 		if err != nil {
 			ss.writeError(wire.CodeProtocol, "malformed Query", err.Error())
 			return true
 		}
-		return ss.runQuery(ctx, text)
+		return ss.runQuery(ctx, text, trace)
 	case wire.FrameExec:
-		text, params, err := wire.DecodeExec(f.Payload)
+		text, params, trace, err := wire.DecodeExecTrace(f.Payload)
 		if err != nil {
 			ss.writeError(wire.CodeProtocol, "malformed Exec", err.Error())
 			return true
@@ -142,7 +142,7 @@ func (ss *session) handle(ctx context.Context, f wire.Frame) bool {
 			ss.writeError(wire.CodeQuery, err.Error(), "")
 			return false
 		}
-		return ss.runQuery(ctx, bound)
+		return ss.runQuery(ctx, bound, trace)
 	case wire.FrameOption:
 		key, val, err := wire.DecodeOption(f.Payload)
 		if err != nil {
@@ -240,8 +240,9 @@ func (ss *session) queryTimeout() time.Duration {
 }
 
 // runQuery executes text and streams the result, returning true when the
-// session must end (transport failure).
-func (ss *session) runQuery(ctx context.Context, text string) bool {
+// session must end (transport failure). trace is the client-stamped trace
+// id (0 = unstamped; the server allocates one when tracing is enabled).
+func (ss *session) runQuery(ctx context.Context, text string, trace uint64) bool {
 	ss.s.queries.Inc()
 	opts := ss.queryOptions()
 	if d := ss.queryTimeout(); d > 0 {
@@ -250,23 +251,40 @@ func (ss *session) runQuery(ctx context.Context, text string) bool {
 		defer cancel()
 	}
 
+	// Root span for the whole server-side life of the query; the queue
+	// child covers admission so queue wait and shed decisions are visible
+	// in the trace. A nil tracer (metrics disabled) no-ops throughout.
+	tracer := ss.s.cfg.Engine.Tracer()
+	if trace == 0 {
+		trace = tracer.NextTraceID()
+	}
+	root := tracer.Start(trace, "query")
+	queue := root.Child("queue")
 	release, err := ss.s.admit(ctx)
 	if err != nil {
 		if errors.Is(err, errShedQueueFull) || errors.Is(err, errShedQueueWait) {
+			queue.End("shed: " + err.Error())
+			root.End("shed")
 			// A shed leaves the session usable: the client should back off
 			// for the hinted interval and retry on the same connection.
 			ss.writeErrorRetry(wire.CodeBusy, "server overloaded", err.Error(), ss.s.cfg.RetryAfterHint)
 			return false
 		}
+		queue.End("deadline expired")
+		root.End("error")
 		ss.writeError(wire.CodeTimeout, "query deadline expired while queued for admission", err.Error())
 		return false
 	}
+	queue.End("admitted")
 	defer release()
 
+	opts.Trace = trace
+	opts.Parent = root.ID()
 	start := time.Now()
 	res, err := ss.s.cfg.Engine.QueryWith(ctx, text, opts)
 	ss.s.queryNS.Observe(time.Since(start))
 	if err != nil {
+		root.End("error: " + err.Error())
 		ss.s.qErrors.Inc()
 		code := wire.CodeQuery
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -275,6 +293,8 @@ func (ss *session) runQuery(ctx context.Context, text string) bool {
 		ss.writeError(code, err.Error(), "")
 		return false
 	}
+	root.Account(res.Res)
+	root.End(fmt.Sprintf("rows=%d", len(res.Rows)+len(res.Molecules)))
 
 	cols, rows := res.Columns, res.Rows
 	if len(res.Molecules) > 0 && len(rows) == 0 {
@@ -316,6 +336,8 @@ func (ss *session) runQuery(ctx context.Context, text string) bool {
 		Rows:      uint64(len(rows)),
 		Molecules: uint64(len(res.Molecules)),
 		Elapsed:   time.Since(start),
+		Trace:     res.Trace,
+		Res:       res.Res,
 	}
 	return ss.writeFrame(wire.FrameResultDone, wire.EncodeResultDone(done)) != nil
 }

@@ -265,8 +265,9 @@ func (h *Heap) forceFlush(p *Page) error {
 	return h.pool.flushFrameLocked(p)
 }
 
-// readOverflowChain reassembles an overflow record.
-func (h *Heap) readOverflowChain(first PageID, total uint32) ([]byte, error) {
+// readOverflowChain reassembles an overflow record, charging the pages it
+// touches to acc (nil = uncharged).
+func (h *Heap) readOverflowChain(first PageID, total uint32, acc *obs.Resources) ([]byte, error) {
 	h.met.overflowWalks.Inc()
 	pages := uint64(0)
 	out := make([]byte, 0, total)
@@ -291,6 +292,7 @@ func (h *Heap) readOverflowChain(first PageID, total uint32) ([]byte, error) {
 		return nil, fmt.Errorf("storage: overflow chain yielded %d bytes, header says %d", len(out), total)
 	}
 	h.met.overflowLen.Record(pages)
+	acc.Add(obs.Resources{Pages: pages})
 	return out, nil
 }
 
@@ -354,18 +356,29 @@ func (h *Heap) insertPhysical(rec []byte) (RID, error) {
 // Fetch returns the record payload stored at rid (following forwarding and
 // reassembling overflow chains). The returned slice is always a copy.
 func (h *Heap) Fetch(rid RID) ([]byte, error) {
+	return h.FetchAcc(rid, nil)
+}
+
+// FetchAcc is Fetch with exact page accounting: every page the record
+// fetch touches (home, forwarding hops, overflow-chain pages) is charged
+// to acc. The count is logical — pages the buffer pool had cached still
+// count — so it is a deterministic function of the record layout, which
+// is what makes serial and parallel query accounting comparable.
+func (h *Heap) FetchAcc(rid RID, acc *obs.Resources) ([]byte, error) {
 	h.met.fetches.Inc()
-	data, _, err := h.fetchResolved(rid)
+	data, _, err := h.fetchResolved(rid, acc)
 	return data, err
 }
 
 // fetchResolved returns the payload plus the physical location it ended up
-// reading from (after following at most one forwarding hop).
-func (h *Heap) fetchResolved(rid RID) ([]byte, RID, error) {
+// reading from (after following at most one forwarding hop). Pages touched
+// are charged to acc (nil = uncharged).
+func (h *Heap) fetchResolved(rid RID, acc *obs.Resources) ([]byte, RID, error) {
 	p, err := h.pool.Fetch(rid.Page)
 	if err != nil {
 		return nil, NilRID, err
 	}
+	acc.Add(obs.Resources{Pages: 1})
 	raw, err := p.ReadRecord(rid.Slot)
 	if err != nil {
 		h.pool.Unpin(p)
@@ -380,7 +393,7 @@ func (h *Heap) fetchResolved(rid RID) ([]byte, RID, error) {
 		target := UnpackRID(binary.LittleEndian.Uint64(raw[1:]))
 		h.pool.Unpin(p)
 		h.met.forwardHops.Inc()
-		return h.fetchResolved(target)
+		return h.fetchResolved(target, acc)
 	}
 	body := raw[1:]
 	if flag&flagMoved != 0 {
@@ -390,7 +403,7 @@ func (h *Heap) fetchResolved(rid RID) ([]byte, RID, error) {
 		total := binary.LittleEndian.Uint32(body)
 		first := PageID(binary.LittleEndian.Uint32(body[4:]))
 		h.pool.Unpin(p)
-		data, err := h.readOverflowChain(first, total)
+		data, err := h.readOverflowChain(first, total, acc)
 		return data, rid, err
 	}
 	out := make([]byte, len(body))
@@ -1090,7 +1103,7 @@ func (h *Heap) Scan(fn func(rid RID, data []byte) (bool, error)) error {
 			if flag&flagOverflow != 0 {
 				total := binary.LittleEndian.Uint32(raw[1:])
 				first := PageID(binary.LittleEndian.Uint32(raw[5:]))
-				data, err = h.readOverflowChain(first, total)
+				data, err = h.readOverflowChain(first, total, nil)
 				if err != nil {
 					h.pool.Unpin(p)
 					return err
@@ -1139,7 +1152,7 @@ func (h *Heap) Scan(fn func(rid RID, data []byte) (bool, error)) error {
 		}
 		h.pool.Unpin(p)
 		for _, rid := range stubs {
-			data, _, err := h.fetchResolved(rid)
+			data, _, err := h.fetchResolved(rid, nil)
 			if err != nil {
 				return err
 			}

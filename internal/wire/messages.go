@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"tcodm/internal/obs"
 	"tcodm/internal/value"
 )
 
@@ -89,6 +90,41 @@ func DecodeQuery(p []byte) (string, error) {
 	return text, err
 }
 
+// EncodeQueryTrace builds a Query payload stamped with a trace id. The id
+// is an optional trailing uvarint, omitted when zero, so version-1
+// decoders — which read the text from the front and ignore trailing
+// bytes — parse the payload unchanged and see "untraced".
+func EncodeQueryTrace(text string, trace uint64) []byte {
+	dst := AppendString(nil, text)
+	if trace > 0 {
+		dst = binary.AppendUvarint(dst, trace)
+	}
+	return dst
+}
+
+// DecodeQueryTrace parses a Query payload including the optional trace id
+// (0 when absent).
+func DecodeQueryTrace(p []byte) (string, uint64, error) {
+	text, n, err := ReadString(p)
+	if err != nil {
+		return "", 0, err
+	}
+	trace, err := readTrailingTrace(p[n:])
+	return text, trace, err
+}
+
+// readTrailingTrace decodes the optional trailing trace-id uvarint.
+func readTrailingTrace(p []byte) (uint64, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	t, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, fmt.Errorf("wire: corrupt trace id")
+	}
+	return t, nil
+}
+
 // EncodeExec builds an Exec payload: statement text plus bound parameters
 // in record encoding.
 func EncodeExec(text string, params []value.V) []byte {
@@ -102,26 +138,47 @@ func EncodeExec(text string, params []value.V) []byte {
 
 // DecodeExec parses an Exec payload.
 func DecodeExec(p []byte) (string, []value.V, error) {
+	text, params, _, err := DecodeExecTrace(p)
+	return text, params, err
+}
+
+// EncodeExecTrace builds an Exec payload stamped with a trace id, encoded
+// as an optional trailing uvarint exactly like EncodeQueryTrace.
+func EncodeExecTrace(text string, params []value.V, trace uint64) []byte {
+	dst := EncodeExec(text, params)
+	if trace > 0 {
+		dst = binary.AppendUvarint(dst, trace)
+	}
+	return dst
+}
+
+// DecodeExecTrace parses an Exec payload including the optional trace id
+// (0 when absent).
+func DecodeExecTrace(p []byte) (string, []value.V, uint64, error) {
 	text, n, err := ReadString(p)
 	if err != nil {
-		return "", nil, err
+		return "", nil, 0, err
 	}
 	p = p[n:]
 	count, sz, err := readCount(p, 1)
 	if err != nil {
-		return "", nil, err
+		return "", nil, 0, err
 	}
 	p = p[sz:]
 	params := make([]value.V, 0, count)
 	for i := 0; i < count; i++ {
 		v, used, err := value.DecodeRecord(p)
 		if err != nil {
-			return "", nil, fmt.Errorf("wire: parameter %d: %w", i+1, err)
+			return "", nil, 0, fmt.Errorf("wire: parameter %d: %w", i+1, err)
 		}
 		p = p[used:]
 		params = append(params, v)
 	}
-	return text, params, nil
+	trace, err := readTrailingTrace(p)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return text, params, trace, nil
 }
 
 // EncodeOption builds an Option payload: key and value strings.
@@ -227,6 +284,14 @@ type ResultDone struct {
 	Rows      uint64 // total rows streamed
 	Molecules uint64 // molecules summarized (SELECT ALL)
 	Elapsed   time.Duration
+
+	// Trace is the trace id the query ran under and Res its exact resource
+	// totals. Both travel as an optional trailing block (trace id plus the
+	// four resource uvarints), omitted when the query was untraced with
+	// zero resources — version-1 decoders ignore trailing bytes and see
+	// untraced results with no accounting.
+	Trace uint64
+	Res   obs.Resources
 }
 
 // EncodeResultDone builds a ResultDone payload.
@@ -234,7 +299,15 @@ func EncodeResultDone(d ResultDone) []byte {
 	dst := AppendString(nil, d.Plan)
 	dst = binary.AppendUvarint(dst, d.Rows)
 	dst = binary.AppendUvarint(dst, d.Molecules)
-	return binary.AppendUvarint(dst, uint64(d.Elapsed.Nanoseconds()))
+	dst = binary.AppendUvarint(dst, uint64(d.Elapsed.Nanoseconds()))
+	if d.Trace != 0 || !d.Res.IsZero() {
+		dst = binary.AppendUvarint(dst, d.Trace)
+		dst = binary.AppendUvarint(dst, d.Res.Pages)
+		dst = binary.AppendUvarint(dst, d.Res.WALBytes)
+		dst = binary.AppendUvarint(dst, d.Res.ChainSteps)
+		dst = binary.AppendUvarint(dst, d.Res.Atoms)
+	}
+	return dst
 }
 
 // DecodeResultDone parses a ResultDone payload.
@@ -259,6 +332,18 @@ func DecodeResultDone(p []byte) (ResultDone, error) {
 		return d, fmt.Errorf("wire: corrupt result summary")
 	}
 	d.Elapsed = time.Duration(ns)
+	if p = p[sz:]; len(p) > 0 {
+		// The trailing trace/resources block is all-or-nothing: five
+		// uvarints, present together.
+		for _, field := range []*uint64{&d.Trace, &d.Res.Pages, &d.Res.WALBytes, &d.Res.ChainSteps, &d.Res.Atoms} {
+			v, sz := binary.Uvarint(p)
+			if sz <= 0 {
+				return d, fmt.Errorf("wire: corrupt trace block")
+			}
+			*field = v
+			p = p[sz:]
+		}
+	}
 	return d, nil
 }
 

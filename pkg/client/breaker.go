@@ -89,10 +89,11 @@ func (b *breaker) success() {
 }
 
 // failure records a transport failure, opening the circuit at the
-// threshold and re-opening it when a half-open probe fails.
-func (b *breaker) failure() {
+// threshold and re-opening it when a half-open probe fails. Reports
+// whether this failure opened (or re-opened) the circuit.
+func (b *breaker) failure() bool {
 	if b.threshold <= 0 {
-		return
+		return false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -103,7 +104,9 @@ func (b *breaker) failure() {
 			b.opens.Inc()
 		}
 		b.setState(breakerOpen)
+		return true
 	}
+	return false
 }
 
 // setState transitions with the gauge in lockstep; callers hold b.mu.

@@ -60,6 +60,11 @@ type Config struct {
 
 	JitterSeed int64         // seeds backoff jitter; 0 derives from the clock
 	Metrics    *obs.Registry // optional metrics sink (nil = no metrics)
+
+	// Logf, when set, receives one line per retry and breaker decision.
+	// Every line carries the call's trace id, so a retried query's
+	// attempts correlate with the server-side span trees. Nil disables.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +134,8 @@ type Result struct {
 	Plan      string
 	Molecules uint64        // molecules summarized (SELECT ALL)
 	Elapsed   time.Duration // server-side execution + streaming time
+	Trace     uint64        // trace id the query ran under (0 = untraced)
+	Res       obs.Resources // exact server-side resource totals
 }
 
 // errClosed reports a call on a closed client; never retried.
@@ -211,35 +218,61 @@ func (c *Client) Close() error {
 
 // Query runs a TMQL statement on a pooled connection, retrying
 // transparently on transport failures and server sheds (TMQL over the
-// wire is read-only, so re-running is always safe).
+// wire is read-only, so re-running is always safe). The call is stamped
+// with a client-allocated trace id, reused across every retry, so all of
+// a logical call's attempts share one server-side trace.
 func (c *Client) Query(text string) (*Result, error) {
-	return c.doRetry(func(cn *conn) (*Result, error) {
-		return cn.query(wire.FrameQuery, wire.EncodeQuery(text))
+	trace := c.nextTrace()
+	return c.doRetry(trace, func(cn *conn) (*Result, error) {
+		return cn.query(wire.FrameQuery, wire.EncodeQueryTrace(text, trace))
 	})
 }
 
 // Exec runs parameterized TMQL: $1..$n placeholders in text bind to
-// params server-side. Retries like Query.
+// params server-side. Retries and traces like Query.
 func (c *Client) Exec(text string, params ...value.V) (*Result, error) {
-	return c.doRetry(func(cn *conn) (*Result, error) {
-		return cn.query(wire.FrameExec, wire.EncodeExec(text, params))
+	trace := c.nextTrace()
+	return c.doRetry(trace, func(cn *conn) (*Result, error) {
+		return cn.query(wire.FrameExec, wire.EncodeExecTrace(text, params, trace))
 	})
 }
 
 // Ping round-trips a liveness probe on a pooled connection.
 func (c *Client) Ping() error {
-	_, err := c.doRetry(func(cn *conn) (*Result, error) {
+	_, err := c.doRetry(0, func(cn *conn) (*Result, error) {
 		return nil, cn.ping()
 	})
 	return err
 }
 
+// nextTrace allocates a client-side trace id from the seeded jitter rng:
+// reproducible under a fixed JitterSeed (chaos runs), nonzero so servers
+// never mistake a stamped call for an untraced one.
+func (c *Client) nextTrace() uint64 {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	for {
+		if t := c.rng.Uint64(); t != 0 {
+			return t
+		}
+	}
+}
+
+// logf emits one optional client log line (retry/breaker decisions).
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
 // doRetry runs one read-only call with the automatic retry loop, the
-// retry budget, and the circuit breaker.
-func (c *Client) doRetry(fn func(*conn) (*Result, error)) (*Result, error) {
+// retry budget, and the circuit breaker. trace is the call's trace id
+// (0 for pings), carried into every log line for correlation.
+func (c *Client) doRetry(trace uint64, fn func(*conn) (*Result, error)) (*Result, error) {
 	backoff := c.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		if err := c.brk.allow(); err != nil {
+			c.logf("client: trace=%d rejected: %v", trace, err)
 			return nil, err
 		}
 		res, err := c.withConn(fn)
@@ -251,16 +284,21 @@ func (c *Client) doRetry(fn func(*conn) (*Result, error)) (*Result, error) {
 		if errors.As(err, &se) {
 			c.brk.success() // the server answered: the transport works
 		} else if !errors.Is(err, errClosed) {
-			c.brk.failure()
+			if c.brk.failure() {
+				c.logf("client: trace=%d breaker opened after %v", trace, err)
+			}
 		}
 		if attempt >= c.cfg.QueryRetries || !retryable(err) {
 			return nil, err
 		}
 		if c.budget.Add(-1) < 0 {
 			c.retryGiveups.Inc()
+			c.logf("client: trace=%d retry budget exhausted after %v", trace, err)
 			return nil, err
 		}
-		if !c.sleep(c.retryDelay(backoff, err)) {
+		delay := c.retryDelay(backoff, err)
+		c.logf("client: trace=%d attempt %d failed (%v); retrying in %s", trace, attempt+1, err, delay)
+		if !c.sleep(delay) {
 			return nil, errClosed
 		}
 		c.retries.Inc()
@@ -324,7 +362,7 @@ func (c *Client) Session() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{cn: cn}, nil
+	return &Session{cn: cn, c: c}, nil
 }
 
 func (c *Client) withConn(fn func(*conn) (*Result, error)) (*Result, error) {

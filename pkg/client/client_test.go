@@ -3,9 +3,12 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"os"
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -429,5 +432,116 @@ func TestChaosQueriesNoLeaks(t *testing.T) {
 				startGoroutines, runtime.NumGoroutine(), startFDs, openFDs(t))
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRetryLogCarriesTraceID: one logical call keeps one trace id across
+// retries, the id lands in every Logf line, and the server-reported trace
+// and resource totals surface on the Result.
+func TestRetryLogCarriesTraceID(t *testing.T) {
+	var tracesMu sync.Mutex
+	var traces []uint64 // trace id decoded from each received Query frame
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var count atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				f, err := wire.ReadFrame(c)
+				if err != nil || f.Type != wire.FrameHello {
+					return
+				}
+				wire.WriteFrame(c, wire.FrameWelcome, wire.EncodeWelcome("fake", 1))
+				for {
+					f, err := wire.ReadFrame(c)
+					if err != nil {
+						return
+					}
+					if f.Type != wire.FrameQuery {
+						continue
+					}
+					_, trace, err := wire.DecodeQueryTrace(f.Payload)
+					if err != nil {
+						t.Errorf("decoding traced query: %v", err)
+						return
+					}
+					tracesMu.Lock()
+					traces = append(traces, trace)
+					tracesMu.Unlock()
+					if count.Add(1) == 1 {
+						// First attempt sheds: the client must retry with the
+						// SAME trace id (one logical call, one trace).
+						wire.WriteFrame(c, wire.FrameError, wire.EncodeErrorRetry(wire.CodeBusy, "overloaded", "", 5))
+						continue
+					}
+					wire.WriteFrame(c, wire.FrameResultHeader, wire.EncodeResultHeader([]string{"n"}))
+					wire.WriteFrame(c, wire.FrameResultRows, wire.EncodeResultRows([][]value.V{{value.Int(1)}}))
+					wire.WriteFrame(c, wire.FrameResultDone, wire.EncodeResultDone(wire.ResultDone{
+						Rows: 1, Trace: trace, Res: obs.Resources{Atoms: 1, Pages: 2},
+					}))
+				}
+			}()
+		}
+	}()
+
+	var logMu sync.Mutex
+	var logLines []string
+	cl, err := New(Config{
+		Addr:         ln.Addr().String(),
+		RetryBackoff: time.Millisecond,
+		JitterSeed:   3,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logLines = append(logLines, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	res, err := cl.Query(`SELECT (n) FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == 0 {
+		t.Fatal("Result.Trace is 0; the client must stamp every query")
+	}
+	if res.Res.Atoms != 1 || res.Res.Pages != 2 {
+		t.Fatalf("Result.Res = %s, want the server-reported totals", res.Res)
+	}
+
+	tracesMu.Lock()
+	defer tracesMu.Unlock()
+	if len(traces) != 2 {
+		t.Fatalf("server saw %d queries, want 2", len(traces))
+	}
+	if traces[0] == 0 || traces[0] != traces[1] {
+		t.Fatalf("retry changed the trace id: %d then %d", traces[0], traces[1])
+	}
+	if traces[0] != res.Trace {
+		t.Fatalf("wire trace %d != Result.Trace %d", traces[0], res.Trace)
+	}
+
+	logMu.Lock()
+	defer logMu.Unlock()
+	if len(logLines) == 0 {
+		t.Fatal("no Logf lines for a retried query")
+	}
+	want := fmt.Sprintf("trace=%d", res.Trace)
+	for i, line := range logLines {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line %d %q missing %q", i, line, want)
+		}
 	}
 }

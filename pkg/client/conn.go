@@ -79,6 +79,8 @@ func (cn *conn) query(typ byte, payload []byte) (*Result, error) {
 			res.Plan = done.Plan
 			res.Molecules = done.Molecules
 			res.Elapsed = done.Elapsed
+			res.Trace = done.Trace
+			res.Res = done.Res
 			if done.Rows != uint64(len(res.Rows)) {
 				return nil, fmt.Errorf("client: result stream lost rows: got %d, server sent %d", len(res.Rows), done.Rows)
 			}
@@ -127,20 +129,29 @@ func (cn *conn) option(key, val string) (string, error) {
 // use; a Session serializes its statements like any database session.
 type Session struct {
 	cn     *conn
+	c      *Client // trace-id source; nil = statements run untraced
 	closed bool
 }
 
 // ID returns the server-assigned session id.
 func (s *Session) ID() uint64 { return s.cn.sessionID }
 
+// nextTrace allocates a trace id from the owning client (0 when detached).
+func (s *Session) nextTrace() uint64 {
+	if s.c == nil {
+		return 0
+	}
+	return s.c.nextTrace()
+}
+
 // Query runs a TMQL statement under the session's defaults.
 func (s *Session) Query(text string) (*Result, error) {
-	return s.cn.query(wire.FrameQuery, wire.EncodeQuery(text))
+	return s.cn.query(wire.FrameQuery, wire.EncodeQueryTrace(text, s.nextTrace()))
 }
 
 // Exec runs parameterized TMQL under the session's defaults.
 func (s *Session) Exec(text string, params ...value.V) (*Result, error) {
-	return s.cn.query(wire.FrameExec, wire.EncodeExec(text, params))
+	return s.cn.query(wire.FrameExec, wire.EncodeExecTrace(text, params, s.nextTrace()))
 }
 
 // Option sets one session option and returns the server's effective value.

@@ -102,6 +102,7 @@ func main() {
 		{"R-T6", func() (*experiments.Table, error) { return experiments.RT6Overhead(s, dir) }},
 		{"R-T7", func() (*experiments.Table, error) { return experiments.RT7WireOverhead(s, *remote) }},
 		{"R-T9", func() (*experiments.Table, error) { return experiments.RT9ParallelScan(s, cores) }},
+		{"R-T10", func() (*experiments.Table, error) { return experiments.RT10ReadReplicas(s, dir) }},
 	}
 	suiteStart := time.Now()
 	for _, e := range suite {

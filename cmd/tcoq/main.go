@@ -34,6 +34,7 @@ func main() {
 	dbPath := flag.String("db", "", "database file (empty = in-memory)")
 	oneShot := flag.String("c", "", "execute one query and exit")
 	remote := flag.String("remote", "", "connect to a tcoserve instance at this address instead of opening a database")
+	readOnly := flag.Bool("ro", false, "open the database read-only: no writer lease, safe alongside a live writer or follower")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
 	slow := flag.Duration("slow", 0, "log queries at or above this duration (0 = off)")
 	workers := flag.Int("workers", 0, "per-query worker goroutines (0 = GOMAXPROCS, 1 = serial)")
@@ -44,7 +45,10 @@ func main() {
 		return
 	}
 
-	db, err := core.Open(core.Options{Path: *dbPath, TimeIndex: true, SlowQueryThreshold: *slow, QueryWorkers: *workers})
+	if *readOnly && *dbPath == "" {
+		fatal(fmt.Errorf("-ro requires -db: only a file-backed database can be opened read-only"))
+	}
+	db, err := core.Open(core.Options{Path: *dbPath, ReadOnly: *readOnly, TimeIndex: true, SlowQueryThreshold: *slow, QueryWorkers: *workers})
 	if err != nil {
 		fatal(err)
 	}

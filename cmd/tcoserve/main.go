@@ -5,6 +5,13 @@
 //	tcoserve -db design.tdb -addr :7483
 //	tcoserve -load personnel -addr :7483 -debug-addr localhost:6060
 //
+// A file-backed server is also a replication leader: followers subscribe
+// to its WAL with -follow and serve read-only queries at a replicated
+// watermark.
+//
+//	tcoserve -db leader.tdb -addr :7483                 # leader
+//	tcoserve -db replica.tdb -follow host:7483 -addr :7484
+//
 // SIGTERM or SIGINT starts a graceful drain: the listener closes, busy
 // sessions finish their current statement, and the process exits once
 // every session is gone (or -drain-timeout forces the issue).
@@ -12,6 +19,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +29,7 @@ import (
 
 	"tcodm/internal/core"
 	"tcodm/internal/obs"
+	"tcodm/internal/repl"
 	"tcodm/internal/schema"
 	"tcodm/internal/server"
 	"tcodm/internal/workload"
@@ -29,6 +38,7 @@ import (
 func main() {
 	dbPath := flag.String("db", "", "database file (empty = in-memory)")
 	addr := flag.String("addr", ":7483", "listen address")
+	follow := flag.String("follow", "", "run as a read replica of this leader address (requires -db)")
 	load := flag.String("load", "", "seed an in-memory database with a synthetic workload: personnel|cad")
 	maxConns := flag.Int("max-conns", 64, "concurrent session limit")
 	queryTimeout := flag.Duration("query-timeout", 0, "server-wide per-query cap (0 = unlimited)")
@@ -44,34 +54,8 @@ func main() {
 	workers := flag.Int("workers", 0, "per-query worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	db, err := core.Open(core.Options{Path: *dbPath, TimeIndex: true, SlowQueryThreshold: *slow, QueryWorkers: *workers})
-	if err != nil {
-		fatal(err)
-	}
-	defer db.Close()
-	if db.Recovered {
-		rs := db.RecoveryStats()
-		fmt.Printf("(crash recovery: replayed %d of %d log records, %d committed, %d torn bytes truncated)\n",
-			rs.Replayed, rs.Records, rs.Committed, rs.TornBytes)
-	}
-	if *load != "" {
-		n, err := seed(db, *load)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("(seeded %s workload: %d atoms)\n", *load, n)
-	}
-	if *debugAddr != "" {
-		db.PublishDebugVars()
-		dbg, err := obs.StartDebugServer(*debugAddr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("(debug server on http://%s/debug/vars)\n", dbg.Addr())
-	}
-
-	srv, err := server.New(server.Config{
-		Engine:         db,
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	cfg := server.Config{
 		Addr:           *addr,
 		MaxConns:       *maxConns,
 		QueryTimeout:   *queryTimeout,
@@ -81,14 +65,88 @@ func main() {
 		RetryAfterHint: *retryAfter,
 		MaxResultRows:  *maxResultRows,
 		MaxResultBytes: *maxResultBytes,
-		Logf:           func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
-	})
-	if err != nil {
-		fatal(err)
+		Logf:           logf,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()
+
+	var db *core.Engine
+	var fol *repl.Follower
+	if *follow != "" {
+		// Replica mode: a local follower database kept converged with the
+		// leader's WAL, served read-only.
+		if *dbPath == "" {
+			fatal(errors.New("-follow requires -db: replicas are file-backed"))
+		}
+		if *load != "" {
+			fatal(errors.New("-follow and -load are mutually exclusive: a replica's data comes from its leader"))
+		}
+		var err error
+		fol, err = repl.StartFollower(repl.FollowerConfig{
+			Leader: *follow,
+			Path:   *dbPath,
+			Open:   core.Options{SlowQueryThreshold: *slow, QueryWorkers: *workers},
+			Logf:   logf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		db = fol.Engine()
+		cfg.Staleness = fol.Staleness
+		fmt.Printf("(replica of %s, watermark LSN %d)\n", *follow, fol.Watermark())
+	} else {
+		var err error
+		db, err = core.Open(core.Options{Path: *dbPath, TimeIndex: true, SlowQueryThreshold: *slow, QueryWorkers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		if db.Recovered {
+			rs := db.RecoveryStats()
+			fmt.Printf("(crash recovery: replayed %d of %d log records, %d committed, %d torn bytes truncated)\n",
+				rs.Replayed, rs.Records, rs.Committed, rs.TornBytes)
+		}
+		if *load != "" {
+			n, err := seed(db, *load)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(seeded %s workload: %d atoms)\n", *load, n)
+		}
+		if *dbPath != "" {
+			// A file-backed leader serves replication subscriptions; an
+			// in-memory engine has no WAL to ship.
+			cfg.Repl = &repl.Source{Engine: db, Logf: logf}
+		}
+	}
+	defer func() { db.Close() }()
+	if *debugAddr != "" {
+		db.PublishDebugVars()
+		dbg, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(debug server on http://%s/debug/vars)\n", dbg.Addr())
+	}
+
+	cfg.Engine = db
+	srv, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if fol != nil {
+		// Snapshot bootstraps swap the engine under the server; the closed
+		// old engine is what the deferred Close sees, so track the newest.
+		fol.SetOnSwap(func(old, next *core.Engine) {
+			srv.SwapEngine(next)
+			if *debugAddr != "" {
+				next.PublishDebugVars()
+			}
+			db = next
+		})
+		go fol.Run(ctx)
+	}
+
 	served := make(chan error, 1)
 	go func() { served <- srv.ListenAndServe() }()
 

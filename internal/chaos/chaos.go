@@ -811,6 +811,10 @@ func buildScenarios(e *env, c2s, s2c int64) []scenario {
 		})
 	}
 
+	// Replication faults: WAL shipping under partition, crash, restart,
+	// and degraded links — convergence and the TT-prefix property.
+	scs = append(scs, replScenarios(e)...)
+
 	return scs
 }
 

@@ -1,0 +1,493 @@
+package chaos
+
+// Replication chaos: the leader/follower WAL-shipping pipeline driven
+// through the same netfault proxy as the query scenarios. The contract
+// mirrors the paper's transaction-time semantics — a follower is always
+// a consistent transaction-time PREFIX of the leader: convergence is
+// checked with logical store digests, and the prefix property is checked
+// by replaying the leader's log group-by-group and comparing every
+// intermediate follower state against the leader "as of" the follower's
+// clock.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"tcodm/internal/core"
+	"tcodm/internal/netfault"
+	"tcodm/internal/repl"
+	"tcodm/internal/schema"
+	"tcodm/internal/server"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+	"tcodm/internal/wal"
+	"tcodm/internal/wire"
+)
+
+// replQuery is the probe every replication scenario compares across the
+// leader/follower pair. The explicit AT pins valid time so both sides
+// slice identically regardless of their clocks.
+const replQuery = `SELECT (Emp.name, Emp.salary) FROM Emp WHERE Emp.salary >= 0 AT 0`
+
+// replLab is one leader: a file-backed engine behind a real wire server
+// with replication enabled, plus a commit driver.
+type replLab struct {
+	dir    string
+	leader *core.Engine
+	srv    *server.Server
+	ln     net.Listener
+	served chan error
+	seq    int
+}
+
+func openReplLeader(path string) (*core.Engine, error) {
+	eng, err := core.Open(core.Options{Path: path, TimeIndex: true})
+	if err != nil {
+		return nil, err
+	}
+	// A reopened leader already has the type; only define it once.
+	if err := eng.DefineAtomType(schema.AtomType{
+		Name: "Emp",
+		Attrs: []schema.Attribute{
+			{Name: "name", Kind: value.KindString, Required: true},
+			{Name: "salary", Kind: value.KindInt, Temporal: true},
+		},
+	}); err != nil && !isExists(err) {
+		eng.Close()
+		return nil, err
+	}
+	return eng, nil
+}
+
+func isExists(err error) bool {
+	return err != nil && bytes.Contains([]byte(err.Error()), []byte("already defined"))
+}
+
+func newReplLab() (*replLab, error) {
+	dir, err := os.MkdirTemp("", "tcochaos-repl-")
+	if err != nil {
+		return nil, err
+	}
+	l := &replLab{dir: dir}
+	if l.leader, err = openReplLeader(filepath.Join(dir, "leader")); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	if err := l.startServer(); err != nil {
+		l.leader.Close()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *replLab) startServer() error {
+	srv, err := server.New(server.Config{
+		Engine: l.leader,
+		Banner: "tcochaos-repl",
+		Repl:   &repl.Source{Engine: l.leader, Heartbeat: 20 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	l.srv, l.ln, l.served = srv, ln, served
+	return nil
+}
+
+func (l *replLab) stopServer() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	l.srv.Shutdown(ctx)
+	<-l.served
+}
+
+func (l *replLab) addr() string { return l.ln.Addr().String() }
+
+func (l *replLab) close() {
+	l.stopServer()
+	l.leader.Close()
+	os.RemoveAll(l.dir)
+}
+
+// commit appends n single-insert transactions to the leader.
+func (l *replLab) commit(n int) error {
+	for i := 0; i < n; i++ {
+		l.seq++
+		tx, err := l.leader.Begin()
+		if err != nil {
+			return err
+		}
+		if _, err := tx.Insert("Emp", map[string]value.V{
+			"name":   value.String_(fmt.Sprintf("e%04d", l.seq)),
+			"salary": value.Int(int64(1000 + l.seq)),
+		}, 0); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// follower starts a replica of the lab's leader, dialing addr (usually a
+// netfault proxy in front of the leader server).
+func (l *replLab) follower(addr func() string, path string) (*repl.Follower, context.CancelFunc, error) {
+	f, err := repl.StartFollower(repl.FollowerConfig{
+		Leader: "lab",
+		Path:   path,
+		Dial: func(ctx context.Context, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr())
+		},
+		ReadTimeout: time.Second,
+		Backoff:     20 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go f.Run(ctx)
+	return f, cancel, nil
+}
+
+// waitReplConverged polls until the follower's watermark reaches the
+// leader's appended LSN and the logical store digests agree.
+func (l *replLab) waitReplConverged(f *repl.Follower, out *outcome) bool {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.Watermark() == l.leader.Log().AppendedLSN() {
+			ld, err := l.leader.DigestStore()
+			if err != nil {
+				out.bad("leader digest: %v", err)
+				return false
+			}
+			fd, err := f.Engine().DigestStore()
+			if err == nil && bytes.Equal(ld, fd) {
+				return true
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	out.bad("follower stuck at watermark %d, leader at %d", f.Watermark(), l.leader.Log().AppendedLSN())
+	return false
+}
+
+// replScenario wraps a scenario body with lab setup/teardown.
+func replScenario(body func(l *replLab, out *outcome)) func(e *env) outcome {
+	return func(e *env) outcome {
+		var out outcome
+		out.verdict = verdictOK
+		l, err := newReplLab()
+		if err != nil {
+			out.verdict = verdictError
+			out.bad("repl lab: %v", err)
+			return out
+		}
+		defer l.close()
+		body(l, &out)
+		if len(out.violations) > 0 {
+			out.verdict = verdictError
+		}
+		return out
+	}
+}
+
+// replScenarios is the replication fault family.
+func replScenarios(e *env) []scenario {
+	var scs []scenario
+	add := func(name string, short bool, run func(e *env) outcome) {
+		scs = append(scs, scenario{name: name, short: short, run: run})
+	}
+
+	// Clean link: stream, converge, and stay converged across later commits.
+	add("repl-converge-direct", true, replScenario(func(l *replLab, out *outcome) {
+		if err := l.commit(20); err != nil {
+			out.bad("commit: %v", err)
+			return
+		}
+		f, cancel, err := l.follower(l.addr, filepath.Join(l.dir, "f1"))
+		if err != nil {
+			out.bad("follower: %v", err)
+			return
+		}
+		defer func() { cancel(); f.Close() }()
+		if !l.waitReplConverged(f, out) {
+			return
+		}
+		if s := f.Staleness(); s > 5*time.Second {
+			out.bad("caught-up follower reports staleness %v", s)
+		}
+		if err := l.commit(10); err != nil {
+			out.bad("commit: %v", err)
+			return
+		}
+		l.waitReplConverged(f, out)
+	}))
+
+	// Degraded links: chunked and slow streams must still converge — the
+	// frame layer owns reassembly, replication only sees whole frames.
+	links := []struct {
+		name  string
+		short bool
+		sc    netfault.Script
+	}{
+		{"chunked", true, netfault.Script{
+			Read:  netfault.PipeScript{ChunkMax: 3},
+			Write: netfault.PipeScript{ChunkMax: 7},
+		}},
+		{"slow", false, netfault.Script{
+			Write: netfault.PipeScript{Latency: time.Millisecond, Jitter: 2 * time.Millisecond, ChunkMax: 256},
+		}},
+	}
+	for _, lk := range links {
+		lk := lk
+		add("repl-link-"+lk.name, lk.short, replScenario(func(l *replLab, out *outcome) {
+			proxy, err := netfault.NewProxy(l.addr(), 1, func(int) netfault.Script { return lk.sc })
+			if err != nil {
+				out.bad("proxy: %v", err)
+				return
+			}
+			defer proxy.Close()
+			if err := l.commit(15); err != nil {
+				out.bad("commit: %v", err)
+				return
+			}
+			f, cancel, err := l.follower(proxy.Addr, filepath.Join(l.dir, "f1"))
+			if err != nil {
+				out.bad("follower: %v", err)
+				return
+			}
+			defer func() { cancel(); f.Close() }()
+			if !l.waitReplConverged(f, out) {
+				return
+			}
+			if err := l.commit(15); err != nil {
+				out.bad("commit: %v", err)
+				return
+			}
+			l.waitReplConverged(f, out)
+		}))
+	}
+
+	// Partition: the first subscription is reset mid-stream; the follower
+	// must redial and converge from its watermark — no restart, no resync
+	// from scratch.
+	add("repl-partition-heals", true, replScenario(func(l *replLab, out *outcome) {
+		proxy, err := netfault.NewProxy(l.addr(), 2, func(i int) netfault.Script {
+			if i == 0 {
+				return netfault.Script{Write: netfault.PipeScript{ResetAt: 2000}}
+			}
+			return netfault.Script{}
+		})
+		if err != nil {
+			out.bad("proxy: %v", err)
+			return
+		}
+		defer proxy.Close()
+		if err := l.commit(30); err != nil {
+			out.bad("commit: %v", err)
+			return
+		}
+		f, cancel, err := l.follower(proxy.Addr, filepath.Join(l.dir, "f1"))
+		if err != nil {
+			out.bad("follower: %v", err)
+			return
+		}
+		defer func() { cancel(); f.Close() }()
+		if !l.waitReplConverged(f, out) {
+			return
+		}
+		if proxy.Accepted() < 2 {
+			out.bad("converged without reconnecting through the reset (%d accepts)", proxy.Accepted())
+		}
+	}))
+
+	// Follower crash mid-replay: kill the follower while the stream is
+	// live, restart on the same directory. The restarted watermark must
+	// not regress (replicated state is durable), and it must converge.
+	add("repl-follower-crash-mid-replay", true, replScenario(func(l *replLab, out *outcome) {
+		if err := l.commit(40); err != nil {
+			out.bad("commit: %v", err)
+			return
+		}
+		fpath := filepath.Join(l.dir, "f1")
+		f, cancel, err := l.follower(l.addr, fpath)
+		if err != nil {
+			out.bad("follower: %v", err)
+			return
+		}
+		// Wait for replay to be underway (not necessarily done), then kill.
+		deadline := time.Now().Add(10 * time.Second)
+		for f.Watermark() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		wm := f.Watermark()
+		if wm == 0 {
+			out.bad("follower never started applying")
+			cancel()
+			f.Close()
+			return
+		}
+		cancel()
+		f.Close()
+
+		if err := l.commit(10); err != nil {
+			out.bad("commit: %v", err)
+			return
+		}
+		f2, cancel2, err := l.follower(l.addr, fpath)
+		if err != nil {
+			out.bad("restarted follower: %v", err)
+			return
+		}
+		defer func() { cancel2(); f2.Close() }()
+		if got := f2.Engine().Watermark(); got < wm {
+			out.bad("watermark regressed across restart: %d -> %d", wm, got)
+		}
+		l.waitReplConverged(f2, out)
+	}))
+
+	// Leader restart: the leader process goes away and comes back on a new
+	// port; the follower redials (through the address indirection) and
+	// converges on the post-restart history.
+	add("repl-leader-restart", false, replScenario(func(l *replLab, out *outcome) {
+		var addr atomic.Value
+		addr.Store(l.addr())
+		if err := l.commit(10); err != nil {
+			out.bad("commit: %v", err)
+			return
+		}
+		f, cancel, err := l.follower(func() string { return addr.Load().(string) }, filepath.Join(l.dir, "f1"))
+		if err != nil {
+			out.bad("follower: %v", err)
+			return
+		}
+		defer func() { cancel(); f.Close() }()
+		if !l.waitReplConverged(f, out) {
+			return
+		}
+
+		l.stopServer()
+		if err := l.leader.Close(); err != nil {
+			out.bad("leader close: %v", err)
+			return
+		}
+		l.leader, err = openReplLeader(filepath.Join(l.dir, "leader"))
+		if err != nil {
+			out.bad("leader reopen: %v", err)
+			return
+		}
+		if err := l.startServer(); err != nil {
+			out.bad("leader restart: %v", err)
+			return
+		}
+		addr.Store(l.addr())
+		if err := l.commit(10); err != nil {
+			out.bad("commit after restart: %v", err)
+			return
+		}
+		l.waitReplConverged(f, out)
+	}))
+
+	// Watermark consistency (the TT-prefix property): replay the leader's
+	// log commit group by commit group into an engine-level follower. After
+	// every group the follower must answer the probe exactly as the leader
+	// does "as of" the follower's clock — a replica is never a smeared
+	// state, always a clean transaction-time prefix. Pure in-process
+	// replay: fully deterministic, no network.
+	add("repl-watermark-consistency", true, func(e *env) outcome {
+		var out outcome
+		out.verdict = verdictOK
+		dir, err := os.MkdirTemp("", "tcochaos-repl-wm-")
+		if err != nil {
+			out.verdict = verdictError
+			out.bad("tempdir: %v", err)
+			return out
+		}
+		defer os.RemoveAll(dir)
+		leader, err := openReplLeader(filepath.Join(dir, "leader"))
+		if err != nil {
+			out.verdict = verdictError
+			out.bad("leader: %v", err)
+			return out
+		}
+		defer leader.Close()
+		// A burst of commits, then group-wise replay.
+		lab := &replLab{leader: leader}
+		if err := lab.commit(25); err != nil {
+			out.verdict = verdictError
+			out.bad("commit: %v", err)
+			return out
+		}
+		cur := leader.Log().Cursor(1)
+		recs, err := cur.Read(1 << 20)
+		if err != nil {
+			out.verdict = verdictError
+			out.bad("cursor: %v", err)
+			return out
+		}
+		fw, err := core.Open(core.Options{Path: filepath.Join(dir, "follower"), Follower: true})
+		if err != nil {
+			out.verdict = verdictError
+			out.bad("follower engine: %v", err)
+			return out
+		}
+		defer fw.Close()
+
+		group := recs[:0:0]
+		for _, r := range recs {
+			group = append(group, r)
+			if r.Op != wal.OpCommit {
+				continue
+			}
+			if _, err := fw.ApplyReplicated(group); err != nil {
+				out.bad("apply group ending at LSN %d: %v", r.LSN, err)
+				break
+			}
+			group = group[:0]
+			t := fw.Now()
+			if t == 0 {
+				// Only schema groups applied so far: the follower clock has
+				// not advanced, and TT 0 is the "latest" sentinel, not a
+				// point — nothing to compare yet.
+				continue
+			}
+			fres, err := fw.Query(replQuery)
+			if err != nil {
+				out.bad("follower query at watermark %d: %v", fw.Watermark(), err)
+				break
+			}
+			tt := temporal.Instant(t)
+			lres, err := leader.QueryWith(context.Background(), replQuery, core.QueryOptions{TT: &tt})
+			if err != nil {
+				out.bad("leader asof %v: %v", t, err)
+				break
+			}
+			if !bytes.Equal(wire.EncodeResultRows(fres.Rows), wire.EncodeResultRows(lres.Rows)) {
+				out.bad("PREFIX VIOLATION at watermark %d: follower state is not the leader asof %v (%d vs %d rows)",
+					fw.Watermark(), t, len(fres.Rows), len(lres.Rows))
+				break
+			}
+		}
+		if len(out.violations) > 0 {
+			out.verdict = verdictError
+		}
+		return out
+	})
+
+	return scs
+}

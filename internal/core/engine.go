@@ -62,6 +62,17 @@ type Options struct {
 	// merge (results are byte-identical to serial execution). 0 defaults
 	// to GOMAXPROCS; 1 forces the exact serial path.
 	QueryWorkers int
+	// ReadOnly opens the database without the writer lease, sharing the
+	// directory with a live writer process. All mutation entry points
+	// return ErrReadOnly; recovery replay and other internal writes land
+	// in an in-memory overlay and never reach the files.
+	ReadOnly bool
+	// Follower marks this engine as a replication follower: it owns its
+	// directory (writable, leased) but refuses user transactions — its
+	// only write path is ApplyReplicated. Time and value indexes are
+	// force-disabled (they cannot be maintained incrementally from the
+	// log without risking stale under-approximate candidate sets).
+	Follower bool
 }
 
 // Engine is one open database.
@@ -83,6 +94,12 @@ type Engine struct {
 	catalogRID storage.RID
 	closed     bool
 	diskClean  bool // on-disk meta currently carries the clean mark
+
+	// lease is the exclusive writer lock (nil for read-only and in-memory
+	// engines); watermark is the highest replicated LSN a follower's store
+	// reflects, advanced only by ApplyReplicated.
+	lease     *lease
+	watermark uint64
 
 	// Recovered reports whether opening required crash recovery.
 	Recovered bool
@@ -138,10 +155,43 @@ func Open(opts Options) (*Engine, error) {
 		e.queryRuns = e.metrics.Counter("query.runs")
 	}
 
+	if opts.ReadOnly && opts.Follower {
+		return nil, fmt.Errorf("core: ReadOnly and Follower are mutually exclusive open modes")
+	}
+	if (opts.ReadOnly || opts.Follower) && opts.Path == "" {
+		return nil, fmt.Errorf("core: read-only and follower modes require a database path")
+	}
+	if opts.Follower {
+		// A follower cannot maintain these incrementally from the log;
+		// stale entries would under-approximate query candidate sets.
+		opts.TimeIndex = false
+		opts.ValueIndex = false
+		e.opts = opts
+	}
+
 	var err error
-	if opts.Path == "" {
+	switch {
+	case opts.Path == "":
 		e.dev = storage.NewMemDevice()
-	} else {
+	case opts.ReadOnly:
+		// No lease: share the directory with a live writer. All writes the
+		// engine performs internally (recovery replay, torn-page
+		// quarantine, meta re-marking) land in the overlay.
+		ro, err := openReadOnlyDevice(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+		e.dev = newOverlayDevice(ro)
+		e.log, err = wal.Open(opts.Path+".wal", wal.Options{ReadOnly: true})
+		if err != nil {
+			e.dev.Close()
+			return nil, err
+		}
+	default:
+		e.lease, err = acquireLease(opts.Path)
+		if err != nil {
+			return nil, err
+		}
 		openDev := opts.OpenDevice
 		if openDev == nil {
 			openDev = func(p string) (storage.Device, error) { return storage.OpenFileDevice(p) }
@@ -152,6 +202,7 @@ func Open(opts Options) (*Engine, error) {
 		}
 		e.dev, err = openDev(opts.Path)
 		if err != nil {
+			e.lease.release()
 			return nil, err
 		}
 		// A database is born when its meta page (with magic) lands; FlushAll
@@ -162,16 +213,19 @@ func Open(opts Options) (*Engine, error) {
 			buf := make([]byte, storage.PageSize)
 			if err := e.dev.ReadPage(0, buf); err != nil {
 				e.dev.Close()
+				e.lease.release()
 				return nil, err
 			}
 			if allZero(buf) {
 				e.dev.Close()
 				if err := os.Remove(opts.Path); err != nil {
+					e.lease.release()
 					return nil, fmt.Errorf("core: wiping half-born database: %w", err)
 				}
 				os.Remove(opts.Path + ".wal")
 				e.dev, err = openDev(opts.Path)
 				if err != nil {
+					e.lease.release()
 					return nil, err
 				}
 			}
@@ -179,6 +233,7 @@ func Open(opts Options) (*Engine, error) {
 		e.log, err = openWAL(opts.Path+".wal", wal.Options{SyncOnCommit: opts.SyncOnCommit})
 		if err != nil {
 			e.dev.Close()
+			e.lease.release()
 			return nil, err
 		}
 	}
@@ -231,8 +286,10 @@ func Open(opts Options) (*Engine, error) {
 		}
 	}
 
-	// Mark the database dirty on disk so a crash triggers recovery.
-	if opts.Path != "" {
+	// Mark the database dirty on disk so a crash triggers recovery. A
+	// read-only open leaves the file exactly as found (the mark would only
+	// land in the overlay anyway).
+	if opts.Path != "" && !opts.ReadOnly {
 		if err := e.persistMeta(false); err != nil {
 			e.closeFiles()
 			return nil, err
@@ -241,6 +298,11 @@ func Open(opts Options) (*Engine, error) {
 			e.closeFiles()
 			return nil, err
 		}
+	}
+	if opts.Follower && e.log != nil {
+		// Everything in the local log is already applied (recovery replayed
+		// any unapplied suffix above): the store reflects exactly this LSN.
+		e.watermark = e.log.AppendedLSN()
 	}
 	return e, nil
 }
@@ -286,6 +348,14 @@ func (e *Engine) recoverOrLoad() error {
 	e.opts.SegmentCap = meta.SegmentCap
 	e.opts.TimeIndex = meta.TimeIndex
 	e.opts.ValueIndex = meta.ValueIndex
+	if e.opts.Follower {
+		// The directory may carry a leader's meta (snapshot bootstrap);
+		// follower mode overrides its index flags unconditionally.
+		e.opts.TimeIndex = false
+		e.opts.ValueIndex = false
+		meta.TimeIndex = false
+		meta.ValueIndex = false
+	}
 	e.clock.Advance(meta.Clock)
 	e.pool.SetFreePages(meta.FreePages)
 	if e.log != nil {
@@ -432,6 +502,9 @@ func (e *Engine) persistMeta(clean bool) error {
 func (e *Engine) Checkpoint() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	return e.checkpointLocked()
 }
 
@@ -463,6 +536,10 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	if e.opts.ReadOnly {
+		// Nothing to persist: every internal write went to the overlay.
+		return e.closeFiles()
+	}
 	if err := e.checkpointLocked(); err != nil {
 		e.closeFiles()
 		return err
@@ -494,6 +571,9 @@ func (e *Engine) closeFiles() error {
 		if err := e.dev.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if err := e.lease.release(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }
@@ -546,6 +626,9 @@ func (e *Engine) DefineMoleculeType(m schema.MoleculeType) error {
 func (e *Engine) ddl(mutate func(*schema.Schema) error) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.opts.ReadOnly || e.opts.Follower {
+		return ErrReadOnly
+	}
 	next := e.schema.Clone()
 	if err := mutate(next); err != nil {
 		return err
@@ -591,6 +674,10 @@ func (e *Engine) Begin() (*Txn, error) {
 	if e.closed {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("core: database closed")
+	}
+	if e.opts.ReadOnly || e.opts.Follower {
+		e.mu.Unlock()
+		return nil, ErrReadOnly
 	}
 	// Re-mark the database dirty before the first write after a
 	// checkpoint, so a crash triggers recovery.

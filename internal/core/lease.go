@@ -1,0 +1,51 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// ErrLocked reports that another process holds the writer lease on a
+// database directory. Read-only opens (Options.ReadOnly) skip the lease and
+// can share the directory with a live writer.
+var ErrLocked = errors.New("core: database is locked by another process")
+
+// lease is an advisory exclusive writer lock on Path+".lock", held for the
+// lifetime of a writable engine. It is what makes a follower and an
+// inspection shell safe on the same directory: exactly one process may
+// mutate the store, everyone else must open read-only.
+type lease struct {
+	f    *os.File
+	path string
+}
+
+// acquireLease takes the exclusive flock for path, failing fast with
+// ErrLocked when another process holds it.
+func acquireLease(path string) (*lease, error) {
+	lockPath := path + ".lock"
+	f, err := os.OpenFile(lockPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening writer lease %s: %w", lockPath, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, fmt.Errorf("%w (lease file %s)", ErrLocked, lockPath)
+		}
+		return nil, fmt.Errorf("core: locking writer lease %s: %w", lockPath, err)
+	}
+	return &lease{f: f, path: lockPath}, nil
+}
+
+// release drops the lease. The lock file is left behind (removing it would
+// race a concurrent acquirer); flock state dies with the descriptor.
+func (l *lease) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

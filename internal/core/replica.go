@@ -1,0 +1,323 @@
+// Replication and read-only support: the engine-side half of the WAL-
+// shipping subsystem (internal/repl drives the network protocol).
+//
+//   - Read-only opens run the whole engine — including crash-recovery
+//     replay — against a copy-on-write overlay device, so nothing ever
+//     reaches the shared file. No writer lease is taken.
+//   - Follower opens are writable (the follower owns its directory and
+//     holds its lease) but refuse user transactions; their only write path
+//     is ApplyReplicated, which appends shipped commit groups to the local
+//     WAL and replays them through the idempotent redo path.
+//   - Snapshot streams a point-in-time copy of the store for follower
+//     bootstrap; DigestStore hashes the logical store content, the
+//     convergence check of the replication chaos harness.
+package core
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"tcodm/internal/schema"
+	"tcodm/internal/storage"
+	"tcodm/internal/wal"
+)
+
+// ErrReadOnly reports a write attempted through a read-only or follower
+// engine. Followers accept writes only from the replication stream; route
+// user writes to the leader.
+var ErrReadOnly = errors.New("core: database opened read-only")
+
+// --- read-only device plumbing ---------------------------------------------
+
+// roFileDevice is a page device over a file opened without write access.
+// Unlike storage.OpenFileDevice it never repairs a torn tail page (that
+// would mutate a file another process owns); a trailing partial page is
+// simply not visible.
+type roFileDevice struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages storage.PageID
+}
+
+func openReadOnlyDevice(path string) (*roFileDevice, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: open read-only device: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: stat read-only device: %w", err)
+	}
+	return &roFileDevice{f: f, pages: storage.PageID(info.Size() / storage.PageSize)}, nil
+}
+
+func (d *roFileDevice) ReadPage(id storage.PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id >= d.pages {
+		return fmt.Errorf("core: read of page %d beyond device end %d", id, d.pages)
+	}
+	_, err := d.f.ReadAt(buf, int64(id)*storage.PageSize)
+	return err
+}
+
+func (d *roFileDevice) WritePage(id storage.PageID, buf []byte) error {
+	return fmt.Errorf("core: write to read-only device")
+}
+
+func (d *roFileDevice) NumPages() storage.PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pages
+}
+
+func (d *roFileDevice) Sync() error  { return nil }
+func (d *roFileDevice) Close() error { return d.f.Close() }
+
+// overlayDevice absorbs every write into memory, reading through to the
+// base for untouched pages. It is what lets a read-only open reuse the
+// stock engine paths — recovery replay, index rebuild, meta re-marking —
+// unchanged: they all "write", and none of it reaches the file.
+type overlayDevice struct {
+	mu    sync.Mutex
+	base  storage.Device
+	mem   map[storage.PageID][]byte
+	pages storage.PageID
+}
+
+func newOverlayDevice(base storage.Device) *overlayDevice {
+	return &overlayDevice{base: base, mem: map[storage.PageID][]byte{}, pages: base.NumPages()}
+}
+
+func (d *overlayDevice) ReadPage(id storage.PageID, buf []byte) error {
+	d.mu.Lock()
+	if p, ok := d.mem[id]; ok {
+		copy(buf, p)
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+	return d.base.ReadPage(id, buf)
+}
+
+func (d *overlayDevice) WritePage(id storage.PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id > d.pages {
+		return fmt.Errorf("core: overlay write to page %d would leave a hole (device has %d)", id, d.pages)
+	}
+	d.mem[id] = append([]byte(nil), buf...)
+	if id == d.pages {
+		d.pages++
+	}
+	return nil
+}
+
+func (d *overlayDevice) NumPages() storage.PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pages
+}
+
+func (d *overlayDevice) Sync() error  { return nil }
+func (d *overlayDevice) Close() error { return d.base.Close() }
+
+// --- follower apply ---------------------------------------------------------
+
+// ApplyReplicated durably appends shipped WAL commit groups to the
+// follower's local log and replays them into the store, maintaining the
+// primary and type indexes incrementally and reloading the schema when the
+// batch rewrites the catalog. Groups already applied (reconnect overlap)
+// are skipped. Returns the new watermark: the highest LSN the store now
+// reflects.
+func (e *Engine) ApplyReplicated(recs []wal.Record) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, fmt.Errorf("core: database closed")
+	}
+	if !e.opts.Follower {
+		return 0, fmt.Errorf("core: ApplyReplicated on a non-follower engine")
+	}
+	if len(recs) == 0 {
+		return e.watermark, nil
+	}
+	// Same dirty-marking discipline as Begin: the meta page must carry the
+	// dirty flag on disk before any replayed page can reach the device.
+	if e.diskClean && e.opts.Path != "" {
+		if err := e.persistMeta(false); err != nil {
+			return 0, err
+		}
+		if err := e.pool.FlushPage(0); err != nil {
+			return 0, err
+		}
+	}
+	e.diskClean = false
+	// Local WAL first: once appended, a crash at any point replays these
+	// groups through stock recovery — the follower is just a crash-safe
+	// engine whose "user" is the leader's log.
+	fresh, err := e.log.AppendGroups(recs)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range fresh {
+		switch r.Op {
+		case wal.OpHeapInsert:
+			if err := e.heap.RedoInsert(r.RID, r.Data, r.LSN); err != nil {
+				return 0, fmt.Errorf("core: apply LSN %d: %w", r.LSN, err)
+			}
+			if err := e.atoms.NoteInsert(r.RID, r.Data); err != nil {
+				return 0, fmt.Errorf("core: index note at LSN %d: %w", r.LSN, err)
+			}
+		case wal.OpHeapUpdate:
+			if err := e.heap.RedoUpdate(r.RID, r.Data, r.LSN); err != nil {
+				return 0, fmt.Errorf("core: apply LSN %d: %w", r.LSN, err)
+			}
+			if r.RID == e.catalogRID {
+				next, err := schema.Unmarshal(r.Data)
+				if err != nil {
+					return 0, fmt.Errorf("core: replicated catalog at LSN %d: %w", r.LSN, err)
+				}
+				e.schema = next
+				e.atoms.SetSchema(next)
+			} else if err := e.atoms.NoteUpdate(r.RID, r.Data); err != nil {
+				return 0, fmt.Errorf("core: index note at LSN %d: %w", r.LSN, err)
+			}
+		case wal.OpHeapDelete:
+			// The pre-image names the index entries the delete invalidates;
+			// deletes are logged without data, so fetch it before applying.
+			old, ferr := e.heap.Fetch(r.RID)
+			if err := e.heap.RedoDelete(r.RID, r.LSN); err != nil {
+				return 0, fmt.Errorf("core: apply LSN %d: %w", r.LSN, err)
+			}
+			if ferr == nil {
+				if err := e.atoms.NoteDelete(r.RID, old); err != nil {
+					return 0, fmt.Errorf("core: index note at LSN %d: %w", r.LSN, err)
+				}
+			}
+		case wal.OpCommit:
+			// Group boundary; nothing to apply.
+		default:
+			return 0, fmt.Errorf("core: unknown replicated op %d at LSN %d", r.Op, r.LSN)
+		}
+	}
+	// Replayed versions carry the leader's transaction times; the local
+	// clock must not lag them or default reads would miss applied state.
+	e.clock.Advance(e.atoms.MaxTransactionTime())
+	e.watermark = e.log.AppendedLSN()
+	return e.watermark, nil
+}
+
+// Watermark returns the highest LSN this store reflects: the replication
+// watermark on a follower, the appended LSN on a leader, 0 for an
+// in-memory engine (no log, no LSNs).
+func (e *Engine) Watermark() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.opts.Follower {
+		return e.watermark
+	}
+	if e.log != nil {
+		return e.log.AppendedLSN()
+	}
+	return 0
+}
+
+// IsFollower reports whether this engine applies a replication stream.
+func (e *Engine) IsFollower() bool { return e.opts.Follower }
+
+// IsReadOnly reports whether this engine refuses user writes.
+func (e *Engine) IsReadOnly() bool { return e.opts.ReadOnly || e.opts.Follower }
+
+// --- snapshot + digest ------------------------------------------------------
+
+// Snapshot checkpoints the store and streams a point-in-time copy to w,
+// holding the writer lock throughout (writes stall for the duration; the
+// follower count makes that a rare, explicit cost). offer is called once
+// before the first byte with the LSN the log stream resumes from and the
+// exact byte size; the SHA-256 digest of the streamed bytes is returned
+// for end-to-end verification.
+func (e *Engine) Snapshot(offer func(startLSN, size uint64) error, w io.Writer) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("core: database closed")
+	}
+	if e.log == nil {
+		return nil, fmt.Errorf("core: in-memory database cannot be snapshotted (no log)")
+	}
+	// After a checkpoint the device alone is the complete store: every
+	// page is flushed, the meta is clean, and the log is empty.
+	if err := e.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	n := e.dev.NumPages()
+	size := uint64(n) * storage.PageSize
+	if err := offer(e.log.NextLSN(), size); err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	out := io.MultiWriter(w, h)
+	buf := make([]byte, storage.PageSize)
+	for id := storage.PageID(0); id < n; id++ {
+		if err := e.dev.ReadPage(id, buf); err != nil {
+			return nil, fmt.Errorf("core: snapshot page %d: %w", id, err)
+		}
+		if _, err := out.Write(buf); err != nil {
+			return nil, fmt.Errorf("core: snapshot write: %w", err)
+		}
+	}
+	return h.Sum(nil), nil
+}
+
+// DigestStore hashes the logical store content: every live record in home-
+// RID order with its resolved payload. Leader and follower digests are
+// equal exactly when they answer every query identically — physical page
+// images may differ (index pages are unlogged, locally-allocated state,
+// and the two sides make independent record-relocation decisions), which
+// is why convergence is defined over this digest and not file bytes. The
+// scan's visit order itself leaks placement (relocated records surface in
+// a second pass), so records are sorted by home RID before hashing.
+func (e *Engine) DigestStore() ([]byte, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	type rec struct {
+		rid  storage.RID
+		data []byte
+	}
+	var recs []rec
+	err := e.heap.Scan(func(rid storage.RID, data []byte) (bool, error) {
+		recs = append(recs, rec{rid: rid, data: data})
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].rid.Pack() < recs[j].rid.Pack() })
+	h := sha256.New()
+	var scratch [12]byte
+	for _, r := range recs {
+		packRIDLen(scratch[:], r.rid, len(r.data))
+		h.Write(scratch[:])
+		h.Write(r.data)
+	}
+	return h.Sum(nil), nil
+}
+
+// packRIDLen encodes (rid, payload length) into buf — the record framing
+// of the store digest.
+func packRIDLen(buf []byte, rid storage.RID, n int) {
+	v := rid.Pack()
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (56 - 8*i))
+	}
+	for i := 0; i < 4; i++ {
+		buf[8+i] = byte(uint32(n) >> (24 - 8*i))
+	}
+}

@@ -1,0 +1,352 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcodm/internal/core"
+	"tcodm/internal/obs"
+	"tcodm/internal/wal"
+	"tcodm/internal/wire"
+)
+
+// FollowerConfig parameterizes a Follower. Leader and Path are required.
+type FollowerConfig struct {
+	Leader string // leader wire address, e.g. "leader:7483"
+	Path   string // local database file (owned by this follower)
+
+	// Open is the option template for the local engine; Path and Follower
+	// are overridden, and follower mode force-disables the time and value
+	// indexes regardless of what it says.
+	Open core.Options
+
+	// Dial replaces the default TCP dialer (fault-injection seam).
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+
+	// OnSwap fires after a snapshot bootstrap replaced the engine — the
+	// serving layer must stop routing queries to old (already closed) and
+	// start using next.
+	OnSwap func(old, next *core.Engine)
+
+	ReadTimeout time.Duration // max silence from the leader (default 10s)
+	Backoff     time.Duration // reconnect delay after a failure (default 500ms)
+
+	Logf func(format string, args ...any)
+}
+
+// Follower owns a replica database: it maintains the connection to the
+// leader, applies the shipped log, installs bootstrap snapshots, and
+// tracks how fresh the local store is.
+type Follower struct {
+	cfg FollowerConfig
+
+	mu  sync.RWMutex // guards eng across snapshot swaps
+	eng *core.Engine
+
+	// freshAsOf is the wall-clock instant (unix nanos) at which the store
+	// was last known to be caught up with the leader; 0 = never. Staleness
+	// is measured from it locally, so leader and follower clocks need not
+	// agree.
+	freshAsOf atomic.Int64
+
+	watermarkG *obs.Gauge
+	lagLSNs    *obs.Gauge
+	lagMS      *obs.Gauge
+	applied    *obs.Counter
+	reconnects *obs.Counter
+	bootstraps *obs.Counter
+}
+
+// StartFollower opens (creating if absent) the local replica database. A
+// fresh directory is valid: the first subscription starts at LSN 1 and the
+// leader either streams its whole log or interposes a snapshot.
+func StartFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Leader == "" || cfg.Path == "" {
+		return nil, fmt.Errorf("repl: follower needs Leader and Path")
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 10 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 500 * time.Millisecond
+	}
+	f := &Follower{cfg: cfg}
+	eng, err := f.openEngine()
+	if err != nil {
+		return nil, err
+	}
+	f.setEngine(eng)
+	return f, nil
+}
+
+func (f *Follower) openEngine() (*core.Engine, error) {
+	opts := f.cfg.Open
+	opts.Path = f.cfg.Path
+	opts.Follower = true
+	opts.ReadOnly = false
+	return core.Open(opts)
+}
+
+func (f *Follower) setEngine(eng *core.Engine) {
+	f.mu.Lock()
+	f.eng = eng
+	reg := eng.Metrics()
+	f.watermarkG = reg.Gauge("repl.watermark_lsn")
+	f.lagLSNs = reg.Gauge("repl.lag_lsns")
+	f.lagMS = reg.Gauge("repl.lag_ms")
+	f.applied = reg.Counter("repl.records_applied")
+	f.reconnects = reg.Counter("repl.reconnects")
+	f.bootstraps = reg.Counter("repl.snapshot_bootstraps")
+	f.watermarkG.Set(int64(eng.Watermark()))
+	f.mu.Unlock()
+}
+
+// SetOnSwap installs the snapshot-swap callback after construction — the
+// serving layer that needs it usually does not exist yet when the
+// follower starts. Must be called before Run.
+func (f *Follower) SetOnSwap(fn func(old, next *core.Engine)) { f.cfg.OnSwap = fn }
+
+// Engine returns the current local engine. The pointer is invalidated by
+// a snapshot bootstrap — long-lived holders must use OnSwap.
+func (f *Follower) Engine() *core.Engine {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.eng
+}
+
+// Watermark returns the highest replicated LSN the local store reflects.
+func (f *Follower) Watermark() uint64 { return f.Engine().Watermark() }
+
+// Staleness reports how long ago the store was last known to be caught up
+// with the leader. A connected, keeping-up follower reads on the order of
+// the leader's heartbeat interval; a partitioned one grows without bound;
+// a follower that has never reached the leader returns a year.
+func (f *Follower) Staleness() time.Duration {
+	at := f.freshAsOf.Load()
+	if at == 0 {
+		return 365 * 24 * time.Hour
+	}
+	return time.Since(time.Unix(0, at))
+}
+
+// Close shuts the local engine down.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eng.Close()
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+func (f *Follower) dial(ctx context.Context) (net.Conn, error) {
+	if f.cfg.Dial != nil {
+		return f.cfg.Dial(ctx, f.cfg.Leader)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", f.cfg.Leader)
+}
+
+// Run replicates until ctx is cancelled, reconnecting with backoff across
+// leader restarts and network faults. It returns ctx.Err() — every other
+// failure is retried, because a follower's job is to converge eventually.
+func (f *Follower) Run(ctx context.Context) error {
+	for {
+		if err := f.runOnce(ctx); err != nil && ctx.Err() == nil {
+			f.logf("repl: stream to %s failed: %v (retrying in %s)", f.cfg.Leader, err, f.cfg.Backoff)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(f.cfg.Backoff):
+		}
+		f.reconnects.Inc()
+	}
+}
+
+// runOnce runs one subscription: dial, handshake, subscribe from the
+// current watermark, then apply frames until something breaks.
+func (f *Follower) runOnce(ctx context.Context) error {
+	conn, err := f.dial(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	conn.SetWriteDeadline(time.Now().Add(f.cfg.ReadTimeout))
+	if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello("tcodm-repl")); err != nil {
+		return err
+	}
+	fr, err := f.readFrame(conn, br)
+	if err != nil {
+		return err
+	}
+	if fr.Type != wire.FrameWelcome {
+		return fmt.Errorf("repl: expected Welcome, got frame 0x%02x", fr.Type)
+	}
+	from := f.Engine().Watermark() + 1
+	conn.SetWriteDeadline(time.Now().Add(f.cfg.ReadTimeout))
+	if err := wire.WriteFrame(conn, wire.FrameSubscribe, wire.EncodeSubscribe(from)); err != nil {
+		return err
+	}
+	f.logf("repl: subscribed to %s from LSN %d", f.cfg.Leader, from)
+
+	for {
+		fr, err := f.readFrame(conn, br)
+		if err != nil {
+			return err
+		}
+		switch fr.Type {
+		case wire.FrameLogBatch:
+			recs, _, err := wal.DecodeRecordStream(fr.Payload)
+			if err != nil {
+				return fmt.Errorf("repl: corrupt log batch: %w", err)
+			}
+			wm, err := f.Engine().ApplyReplicated(recs)
+			if err != nil {
+				return fmt.Errorf("repl: apply: %w", err)
+			}
+			f.applied.Add(uint64(len(recs)))
+			f.watermarkG.Set(int64(wm))
+		case wire.FrameWatermark:
+			lsn, _, err := wire.DecodeWatermark(fr.Payload)
+			if err != nil {
+				return err
+			}
+			wm := f.Engine().Watermark()
+			lag := int64(0)
+			if lsn > wm {
+				lag = int64(lsn - wm)
+			}
+			f.lagLSNs.Set(lag)
+			if lag == 0 {
+				// Caught up as of this heartbeat's arrival; staleness is
+				// measured from here on our own clock.
+				f.freshAsOf.Store(time.Now().UnixNano())
+			}
+			f.lagMS.Set(int64(f.Staleness() / time.Millisecond))
+		case wire.FrameSnapshotOffer:
+			startLSN, size, err := wire.DecodeSnapshotOffer(fr.Payload)
+			if err != nil {
+				return err
+			}
+			if err := f.bootstrap(conn, br, startLSN, size); err != nil {
+				return fmt.Errorf("repl: snapshot bootstrap: %w", err)
+			}
+		case wire.FrameError:
+			code, msg, detail, _ := wire.DecodeError(fr.Payload)
+			return fmt.Errorf("repl: leader error %d: %s (%s)", code, msg, detail)
+		default:
+			return fmt.Errorf("repl: unexpected frame 0x%02x on replication stream", fr.Type)
+		}
+	}
+}
+
+func (f *Follower) readFrame(conn net.Conn, br *bufio.Reader) (wire.Frame, error) {
+	conn.SetReadDeadline(time.Now().Add(f.cfg.ReadTimeout))
+	return wire.ReadFrame(br)
+}
+
+// bootstrap receives a snapshot into a temp file, verifies the size and
+// digest, and swaps the local database underneath the serving layer: the
+// old engine closes (releasing its writer lease), the snapshot is renamed
+// into place, the stale local log is dropped, and a fresh follower engine
+// opens at the snapshot's LSN. Queries racing the swap fail with
+// "database closed" until OnSwap installs the new engine — a bounded,
+// explicit window, never a wrong answer.
+func (f *Follower) bootstrap(conn net.Conn, br *bufio.Reader, startLSN, size uint64) error {
+	f.logf("repl: receiving snapshot (start LSN %d, %d bytes)", startLSN, size)
+	tmpPath := f.cfg.Path + ".snap"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath)
+	h := sha256.New()
+	var got uint64
+	var digest []byte
+recv:
+	for {
+		fr, err := f.readFrame(conn, br)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		switch fr.Type {
+		case wire.FrameSnapshotChunk:
+			if _, err := tmp.Write(fr.Payload); err != nil {
+				tmp.Close()
+				return err
+			}
+			h.Write(fr.Payload)
+			got += uint64(len(fr.Payload))
+		case wire.FrameSnapshotDone:
+			digest, err = wire.DecodeSnapshotDone(fr.Payload)
+			if err != nil {
+				tmp.Close()
+				return err
+			}
+			break recv
+		default:
+			tmp.Close()
+			return fmt.Errorf("unexpected frame 0x%02x inside snapshot", fr.Type)
+		}
+	}
+	if got != size {
+		tmp.Close()
+		return fmt.Errorf("snapshot promised %d bytes, received %d", size, got)
+	}
+	if !bytes.Equal(h.Sum(nil), digest) {
+		tmp.Close()
+		return fmt.Errorf("snapshot digest mismatch")
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+
+	f.mu.Lock()
+	old := f.eng
+	if err := old.Close(); err != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("closing old engine: %w", err)
+	}
+	if err := os.Rename(tmpPath, f.cfg.Path); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	// The local log predates the snapshot; the stream resumes at startLSN.
+	if err := os.Remove(f.cfg.Path + ".wal"); err != nil && !os.IsNotExist(err) {
+		f.mu.Unlock()
+		return err
+	}
+	f.mu.Unlock()
+	next, err := f.openEngine()
+	if err != nil {
+		return fmt.Errorf("opening bootstrapped engine: %w", err)
+	}
+	f.setEngine(next)
+	f.bootstraps.Inc()
+	if f.cfg.OnSwap != nil {
+		f.cfg.OnSwap(old, next)
+	}
+	f.logf("repl: snapshot installed, resuming at LSN %d", startLSN)
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package repl implements WAL-shipping replication: a leader streams
+// committed log records to followers, which replay them through the
+// engine's idempotent redo path and serve read-only queries pinned at a
+// monotonic replication watermark.
+//
+// The protocol rides the wire-v2 frame layer. A follower connects like any
+// client (Hello/Welcome), then sends Subscribe(fromLSN) and the connection
+// becomes a one-way stream: LogBatch frames carry committed commit groups
+// in the WAL's stream encoding, Watermark frames carry the leader's
+// appended LSN and clock (sent after every batch and as an idle
+// heartbeat), and when the requested LSN has been truncated away by a
+// checkpoint the leader interposes SnapshotOffer/SnapshotChunk/
+// SnapshotDone — a full device copy the follower installs before the log
+// stream resumes.
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"tcodm/internal/core"
+	"tcodm/internal/wal"
+	"tcodm/internal/wire"
+)
+
+// Source streams the leader's WAL to subscribed followers. One Source
+// serves any number of concurrent subscriptions; each Serve call owns its
+// connection for the connection's lifetime.
+type Source struct {
+	Engine *core.Engine
+
+	Batch        int           // records per LogBatch (default 512)
+	Heartbeat    time.Duration // idle Watermark cadence (default 500ms)
+	ChunkSize    int           // snapshot chunk payload bytes (default 256 KiB)
+	WriteTimeout time.Duration // per-frame write deadline (default 30s)
+
+	Logf func(format string, args ...any)
+}
+
+func (s *Source) batch() int {
+	if s.Batch > 0 {
+		return s.Batch
+	}
+	return 512
+}
+
+func (s *Source) heartbeat() time.Duration {
+	if s.Heartbeat > 0 {
+		return s.Heartbeat
+	}
+	return 500 * time.Millisecond
+}
+
+func (s *Source) chunkSize() int {
+	if s.ChunkSize > 0 {
+		return s.ChunkSize
+	}
+	return 256 << 10
+}
+
+func (s *Source) writeTimeout() time.Duration {
+	if s.WriteTimeout > 0 {
+		return s.WriteTimeout
+	}
+	return 30 * time.Second
+}
+
+func (s *Source) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Source) writeFrame(conn net.Conn, typ byte, payload []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+	return wire.WriteFrame(conn, typ, payload)
+}
+
+// Serve streams the log to one follower, starting at fromLSN, until the
+// connection dies, the follower sends anything (the stream is one-way —
+// inbound bytes are a protocol violation), or ctx is cancelled. An engine
+// without a log (in-memory) cannot replicate; the error travels to the
+// follower as an Error frame.
+func (s *Source) Serve(ctx context.Context, conn net.Conn, fromLSN uint64) error {
+	eng := s.Engine
+	log := eng.Log()
+	if log == nil {
+		s.writeFrame(conn, wire.FrameError, wire.EncodeError(wire.CodeQuery,
+			"replication requires a file-backed database", "leader runs in-memory (no log)"))
+		return errors.New("repl: in-memory engine cannot replicate")
+	}
+
+	reg := eng.Metrics()
+	subscribers := reg.Gauge("repl.subscribers")
+	batchesSent := reg.Counter("repl.batches_sent")
+	recordsSent := reg.Counter("repl.records_sent")
+	snapshotsSent := reg.Counter("repl.snapshots_sent")
+	subscribers.Add(1)
+	defer subscribers.Add(-1)
+
+	// Any inbound traffic — including EOF — ends the subscription. This is
+	// also how a vanished follower is noticed while the leader is idle.
+	dead := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		conn.SetReadDeadline(time.Time{})
+		conn.Read(buf)
+		close(dead)
+	}()
+
+	s.logf("repl: subscriber %s from LSN %d", conn.RemoteAddr(), fromLSN)
+	cur := log.Cursor(fromLSN)
+	hb := time.NewTicker(s.heartbeat())
+	defer hb.Stop()
+	var streamBuf []byte
+	for {
+		// Fetch the wake channel before reading: a commit landing between
+		// the read and the select must not be sleep-missed.
+		watch := log.AppendWatch()
+		recs, err := cur.Read(s.batch())
+		if errors.Is(err, wal.ErrGap) {
+			// The follower's position has been checkpointed away; reseed it
+			// with a full snapshot, then resume the stream where the
+			// snapshot's log begins.
+			start, serr := s.sendSnapshot(conn)
+			if serr != nil {
+				return serr
+			}
+			snapshotsSent.Inc()
+			cur = log.Cursor(start)
+			continue
+		}
+		if err != nil {
+			s.writeFrame(conn, wire.FrameError, wire.EncodeError(wire.CodeQuery, "log stream failed", err.Error()))
+			return err
+		}
+		if len(recs) > 0 {
+			streamBuf = wal.AppendRecordStream(streamBuf[:0], recs)
+			if err := s.writeFrame(conn, wire.FrameLogBatch, streamBuf); err != nil {
+				return err
+			}
+			batchesSent.Inc()
+			recordsSent.Add(uint64(len(recs)))
+			if err := s.sendWatermark(conn); err != nil {
+				return err
+			}
+			continue // drain the backlog before sleeping
+		}
+		select {
+		case <-watch:
+		case <-hb.C:
+			if err := s.sendWatermark(conn); err != nil {
+				return err
+			}
+		case <-dead:
+			s.logf("repl: subscriber %s gone", conn.RemoteAddr())
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (s *Source) sendWatermark(conn net.Conn) error {
+	lsn := s.Engine.Log().AppendedLSN()
+	return s.writeFrame(conn, wire.FrameWatermark, wire.EncodeWatermark(lsn, uint64(s.Engine.Now())))
+}
+
+// sendSnapshot checkpoints the engine and streams the full device:
+// SnapshotOffer (start LSN + exact size), ChunkSize'd SnapshotChunk
+// frames, then SnapshotDone carrying the stream's SHA-256. Returns the LSN
+// the log stream resumes from.
+func (s *Source) sendSnapshot(conn net.Conn) (uint64, error) {
+	s.logf("repl: sending snapshot to %s", conn.RemoteAddr())
+	var start uint64
+	cw := &chunkWriter{src: s, conn: conn, buf: make([]byte, 0, s.chunkSize())}
+	digest, err := s.Engine.Snapshot(func(lsn, size uint64) error {
+		start = lsn
+		return s.writeFrame(conn, wire.FrameSnapshotOffer, wire.EncodeSnapshotOffer(lsn, size))
+	}, cw)
+	if err != nil {
+		return 0, fmt.Errorf("repl: snapshot: %w", err)
+	}
+	if err := cw.flush(); err != nil {
+		return 0, err
+	}
+	if err := s.writeFrame(conn, wire.FrameSnapshotDone, wire.EncodeSnapshotDone(digest)); err != nil {
+		return 0, err
+	}
+	return start, nil
+}
+
+// chunkWriter re-frames a byte stream into SnapshotChunk frames.
+type chunkWriter struct {
+	src  *Source
+	conn net.Conn
+	buf  []byte
+}
+
+func (w *chunkWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		room := cap(w.buf) - len(w.buf)
+		if room == 0 {
+			if err := w.flush(); err != nil {
+				return 0, err
+			}
+			room = cap(w.buf)
+		}
+		if room > len(p) {
+			room = len(p)
+		}
+		w.buf = append(w.buf, p[:room]...)
+		p = p[room:]
+	}
+	return n, nil
+}
+
+func (w *chunkWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	err := w.src.writeFrame(w.conn, wire.FrameSnapshotChunk, w.buf)
+	w.buf = w.buf[:0]
+	return err
+}

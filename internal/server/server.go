@@ -25,6 +25,7 @@ import (
 
 	"tcodm/internal/core"
 	"tcodm/internal/obs"
+	"tcodm/internal/repl"
 	"tcodm/internal/wire"
 )
 
@@ -55,6 +56,14 @@ type Config struct {
 	// A blown budget is a query error (CodeQuery): retrying cannot help.
 	MaxResultRows  int // rows per result
 	MaxResultBytes int // encoded result-row payload bytes per result
+
+	// Repl, when set, serves replication subscriptions (FrameSubscribe):
+	// the leader side of WAL shipping. Nil refuses subscriptions.
+	Repl *repl.Source
+	// Staleness, when set, marks this server as a replica and reports how
+	// far behind the leader it currently is — the "max_staleness" session
+	// option gates queries on it with CodeStale. Nil on leaders.
+	Staleness func() time.Duration
 
 	Logf func(format string, args ...any) // optional diagnostics sink
 }
@@ -92,7 +101,11 @@ func (c Config) withDefaults() Config {
 
 // Server serves wire-protocol sessions against one engine.
 type Server struct {
-	cfg      Config
+	cfg Config
+	// eng is the serving engine. It starts as cfg.Engine and is replaced
+	// by SwapEngine when a follower re-bootstraps from a snapshot; every
+	// query captures it once so a single statement never straddles a swap.
+	eng      atomic.Pointer[core.Engine]
 	baseCtx  context.Context
 	cancel   context.CancelFunc
 	wg       sync.WaitGroup
@@ -135,7 +148,7 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := cfg.Engine.Metrics()
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		baseCtx:     ctx,
 		cancel:      cancel,
@@ -156,7 +169,21 @@ func New(cfg Config) (*Server, error) {
 		budgetRows:  reg.Counter("server.budget_rows"),
 		budgetBytes: reg.Counter("server.budget_bytes"),
 		deadlineErr: reg.Counter("server.deadline_err"),
-	}, nil
+	}
+	s.eng.Store(cfg.Engine)
+	return s, nil
+}
+
+// engine returns the currently serving engine.
+func (s *Server) engine() *core.Engine { return s.eng.Load() }
+
+// SwapEngine atomically replaces the serving engine and returns the old
+// one. Used when a follower re-bootstraps from a leader snapshot: the old
+// engine is already closed, and queries that captured it mid-swap fail
+// with a plain error — never a wrong answer. Server metrics stay bound to
+// the original engine's registry.
+func (s *Server) SwapEngine(next *core.Engine) *core.Engine {
+	return s.eng.Swap(next)
 }
 
 // Shed errors returned by admit; both travel to the client as CodeBusy

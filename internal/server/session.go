@@ -31,13 +31,18 @@ type session struct {
 	// pin, overriding tt until "end". Queries repeat exactly.
 	pinned *temporal.Instant
 
-	timeout time.Duration // per-query cap (intersected with cfg.QueryTimeout)
-	slow    time.Duration // per-session slow-log threshold
-	batch   int           // rows per ResultRows frame
+	timeout  time.Duration // per-query cap (intersected with cfg.QueryTimeout)
+	slow     time.Duration // per-session slow-log threshold
+	batch    int           // rows per ResultRows frame
+	maxStale time.Duration // replica staleness bound; queries beyond it get CodeStale
 
 	muState    chan struct{} // 1-token mutex; select-free hand-rolled to keep drain lock tiny
 	busy       bool
 	drainAfter bool
+	// subscriber marks a connection handed to the replication source: it
+	// never returns to the frame loop, so drain must close it outright
+	// instead of waiting for the "current frame" to finish.
+	subscriber bool
 
 	deadlineErrLogged bool // first SetDeadline failure logged; the rest just count
 }
@@ -56,9 +61,9 @@ func (ss *session) unlock() { ss.muState <- struct{}{} }
 func (ss *session) drain() {
 	ss.lock()
 	ss.drainAfter = true
-	idle := !ss.busy
+	disconnect := !ss.busy || ss.subscriber
 	ss.unlock()
-	if idle {
+	if disconnect {
 		ss.conn.Close()
 	}
 }
@@ -157,6 +162,23 @@ func (ss *session) handle(ctx context.Context, f wire.Frame) bool {
 		return ss.writeFrame(wire.FrameAck, wire.EncodeAck(ack)) != nil
 	case wire.FramePing:
 		return ss.writeFrame(wire.FramePong, f.Payload) != nil
+	case wire.FrameSubscribe:
+		from, err := wire.DecodeSubscribe(f.Payload)
+		if err != nil {
+			ss.writeError(wire.CodeProtocol, "malformed Subscribe", err.Error())
+			return true
+		}
+		if ss.s.cfg.Repl == nil {
+			ss.writeError(wire.CodeQuery, "replication not enabled on this server", "")
+			return true
+		}
+		// The connection becomes a one-way log stream owned by the
+		// replication source; it never returns to the session loop.
+		ss.lock()
+		ss.subscriber = true
+		ss.unlock()
+		ss.s.cfg.Repl.Serve(ctx, ss.conn, from)
+		return true
 	case wire.FrameClose:
 		return true
 	default:
@@ -201,10 +223,28 @@ func (ss *session) setOption(key, val string) (string, error) {
 		}
 		ss.batch = n
 		return strconv.Itoa(n), nil
+	case "max_staleness":
+		// Replica-only freshness bound: a query on a session with this set
+		// is refused with CodeStale when the replica has not heard a
+		// caught-up heartbeat within the bound — the client falls back to
+		// the leader instead of reading arbitrarily old state.
+		if ss.s.cfg.Staleness == nil {
+			return "", fmt.Errorf("option max_staleness: this server is not a replica")
+		}
+		if val == "" || val == "0" {
+			ss.maxStale = 0
+			return "0s", nil
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return "", fmt.Errorf("option max_staleness: want a duration like 500ms, got %q", val)
+		}
+		ss.maxStale = d
+		return d.String(), nil
 	case "begin":
 		// Pin the read view at the engine's current transaction time.
 		// Until "end", every statement sees this exact snapshot.
-		now := ss.s.cfg.Engine.Now()
+		now := ss.s.engine().Now()
 		ss.pinned = &now
 		return strconv.FormatInt(int64(now), 10), nil
 	case "end":
@@ -244,6 +284,19 @@ func (ss *session) queryTimeout() time.Duration {
 // id (0 = unstamped; the server allocates one when tracing is enabled).
 func (ss *session) runQuery(ctx context.Context, text string, trace uint64) bool {
 	ss.s.queries.Inc()
+	// One engine pointer for the whole statement: a replica re-bootstrap
+	// swapping the engine mid-query turns into a plain error on the old
+	// (closed) engine, never a half-old half-new answer.
+	eng := ss.s.engine()
+	if ss.maxStale > 0 && ss.s.cfg.Staleness != nil {
+		if lag := ss.s.cfg.Staleness(); lag > ss.maxStale {
+			ss.s.qErrors.Inc()
+			ss.writeError(wire.CodeStale,
+				fmt.Sprintf("replica is %s behind, session max_staleness is %s", lag.Truncate(time.Millisecond), ss.maxStale),
+				"retry on the leader or relax max_staleness")
+			return false
+		}
+	}
 	opts := ss.queryOptions()
 	if d := ss.queryTimeout(); d > 0 {
 		var cancel context.CancelFunc
@@ -254,7 +307,7 @@ func (ss *session) runQuery(ctx context.Context, text string, trace uint64) bool
 	// Root span for the whole server-side life of the query; the queue
 	// child covers admission so queue wait and shed decisions are visible
 	// in the trace. A nil tracer (metrics disabled) no-ops throughout.
-	tracer := ss.s.cfg.Engine.Tracer()
+	tracer := eng.Tracer()
 	if trace == 0 {
 		trace = tracer.NextTraceID()
 	}
@@ -281,7 +334,7 @@ func (ss *session) runQuery(ctx context.Context, text string, trace uint64) bool
 	opts.Trace = trace
 	opts.Parent = root.ID()
 	start := time.Now()
-	res, err := ss.s.cfg.Engine.QueryWith(ctx, text, opts)
+	res, err := eng.QueryWith(ctx, text, opts)
 	ss.s.queryNS.Observe(time.Since(start))
 	if err != nil {
 		root.End("error: " + err.Error())
@@ -338,6 +391,9 @@ func (ss *session) runQuery(ctx context.Context, text string, trace uint64) bool
 		Elapsed:   time.Since(start),
 		Trace:     res.Trace,
 		Res:       res.Res,
+		// The LSN this answer reflects: the replication watermark on a
+		// follower, the appended LSN on a leader, 0 (omitted) in-memory.
+		Watermark: eng.Watermark(),
 	}
 	return ss.writeFrame(wire.FrameResultDone, wire.EncodeResultDone(done)) != nil
 }

@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tcodm/internal/storage"
+)
+
+// Record stream encoding — the payload of a replication LogBatch frame.
+// Uvarint-based (unlike the fixed-width on-disk framing) because batches
+// cross the wire: [count][per record: lsn, txn, op byte, packed rid,
+// dataLen, data]. The frame layer's CRC trailer covers integrity; decode
+// still guards every length against the remaining bytes so a hostile or
+// corrupt payload cannot force a huge allocation.
+
+// minStreamRecord is the smallest possible encoded record (five 1-byte
+// uvarints), used to bound the count a payload could plausibly hold.
+const minStreamRecord = 5
+
+// AppendRecordStream appends the stream encoding of recs to dst.
+func AppendRecordStream(dst []byte, recs []Record) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(recs)))
+	for _, r := range recs {
+		dst = binary.AppendUvarint(dst, r.LSN)
+		dst = binary.AppendUvarint(dst, r.Txn)
+		dst = append(dst, byte(r.Op))
+		dst = binary.AppendUvarint(dst, r.RID.Pack())
+		dst = binary.AppendUvarint(dst, uint64(len(r.Data)))
+		dst = append(dst, r.Data...)
+	}
+	return dst
+}
+
+// DecodeRecordStream decodes a record stream produced by AppendRecordStream
+// and returns any bytes that follow it. Trailing bytes are returned, not
+// rejected: frame payloads embed the stream first so future protocol
+// revisions can append fields that old decoders skip (the same discipline
+// the wire package uses).
+func DecodeRecordStream(b []byte) ([]Record, []byte, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("wal: stream: bad record count")
+	}
+	b = b[n:]
+	if count > uint64(len(b)/minStreamRecord)+1 {
+		return nil, nil, fmt.Errorf("wal: stream: record count %d exceeds payload", count)
+	}
+	recs := make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var r Record
+		var err error
+		if r.LSN, b, err = streamUvarint(b); err != nil {
+			return nil, nil, fmt.Errorf("wal: stream: record %d lsn: %w", i, err)
+		}
+		if r.Txn, b, err = streamUvarint(b); err != nil {
+			return nil, nil, fmt.Errorf("wal: stream: record %d txn: %w", i, err)
+		}
+		if len(b) == 0 {
+			return nil, nil, fmt.Errorf("wal: stream: record %d truncated at op", i)
+		}
+		r.Op = Op(b[0])
+		b = b[1:]
+		var packed uint64
+		if packed, b, err = streamUvarint(b); err != nil {
+			return nil, nil, fmt.Errorf("wal: stream: record %d rid: %w", i, err)
+		}
+		r.RID = storage.UnpackRID(packed)
+		var dlen uint64
+		if dlen, b, err = streamUvarint(b); err != nil {
+			return nil, nil, fmt.Errorf("wal: stream: record %d data length: %w", i, err)
+		}
+		if dlen > uint64(len(b)) {
+			return nil, nil, fmt.Errorf("wal: stream: record %d data length %d exceeds payload", i, dlen)
+		}
+		r.Data = append([]byte(nil), b[:dlen]...)
+		b = b[dlen:]
+		recs = append(recs, r)
+	}
+	return recs, b, nil
+}
+
+func streamUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated uvarint")
+	}
+	return v, b[n:], nil
+}

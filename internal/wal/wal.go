@@ -52,6 +52,12 @@ type Options struct {
 	// When false, commits are durable only at the next checkpoint or
 	// explicit sync — the classic group-commit trade-off.
 	SyncOnCommit bool
+
+	// ReadOnly opens the log for inspection only: appends, truncations
+	// (including torn-tail repair during Replay) and checkpoints fail or
+	// are skipped. A read-only WAL never mutates the file, so it is safe
+	// on a directory another process is writing.
+	ReadOnly bool
 }
 
 // File is the byte-level handle a WAL runs on. *os.File implements it; the
@@ -80,6 +86,10 @@ type WAL struct {
 	txn     uint64   // active transaction (0 = none)
 	pending []Record // buffered records of the active transaction
 	size    int64    // current file size
+
+	truncations uint64        // checkpoint epoch: bumped whenever the file is truncated to 0
+	truncLSN    uint64        // highest LSN removed by the last checkpoint
+	notify      chan struct{} // closed when new records reach the file
 
 	met walMetrics
 }
@@ -131,10 +141,21 @@ func (w *WAL) syncLocked() error {
 	return nil
 }
 
-// Open opens (creating if absent) the log file at path.
+// Open opens (creating if absent) the log file at path. With opts.ReadOnly
+// the file is opened without write access and never created — a missing log
+// reads as empty (the clean-shutdown state it represents).
 func Open(path string, opts Options) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	flags := os.O_RDWR | os.O_CREATE
+	if opts.ReadOnly {
+		flags = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
+		if opts.ReadOnly && os.IsNotExist(err) {
+			w := OpenFile(emptyFile{}, 0, opts)
+			w.path = path
+			return w, nil
+		}
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
 	info, err := f.Stat()
@@ -146,6 +167,20 @@ func Open(path string, opts Options) (*WAL, error) {
 	w.path = path
 	return w, nil
 }
+
+// emptyFile backs a read-only WAL whose log file does not exist: all reads
+// see an empty log, all mutations fail.
+type emptyFile struct{}
+
+func (emptyFile) ReadAt(p []byte, off int64) (int, error) { return 0, io.EOF }
+func (emptyFile) WriteAt(p []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("wal: log file does not exist (read-only)")
+}
+func (emptyFile) Sync() error { return nil }
+func (emptyFile) Truncate(size int64) error {
+	return fmt.Errorf("wal: log file does not exist (read-only)")
+}
+func (emptyFile) Close() error { return nil }
 
 // OpenFile wraps an already-open log file handle of the given current size.
 // It is the injection seam for tests that need to interpose on the log's
@@ -166,6 +201,9 @@ func (w *WAL) SetNextLSN(lsn uint64) {
 	if w.nextLSN-1 > w.appended {
 		w.appended = w.nextLSN - 1
 		w.durable = w.appended
+		// Those LSNs were assigned before this file (or before its last
+		// checkpoint), so no cursor can read them back out of it.
+		w.truncLSN = w.appended
 	}
 }
 
@@ -229,6 +267,9 @@ func (w *WAL) buffer(op Op, rid storage.RID, data []byte) uint64 {
 func (w *WAL) Commit() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.opts.ReadOnly {
+		return fmt.Errorf("wal: commit on read-only log")
+	}
 	if w.txn == 0 {
 		return fmt.Errorf("wal: commit without active transaction")
 	}
@@ -262,6 +303,7 @@ func (w *WAL) Commit() error {
 	}
 	w.txn = 0
 	w.pending = w.pending[:0]
+	w.wakeLocked()
 	return nil
 }
 
@@ -298,6 +340,9 @@ func (w *WAL) EnsureDurable(lsn uint64) error {
 func (w *WAL) Checkpoint() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.opts.ReadOnly {
+		return fmt.Errorf("wal: checkpoint on read-only log")
+	}
 	if w.txn != 0 {
 		return fmt.Errorf("wal: checkpoint during active transaction %d", w.txn)
 	}
@@ -310,6 +355,8 @@ func (w *WAL) Checkpoint() error {
 	w.size = 0
 	w.durable = w.nextLSN - 1
 	w.appended = w.nextLSN - 1
+	w.truncations++
+	w.truncLSN = w.appended
 	return nil
 }
 
@@ -425,15 +472,22 @@ func (w *WAL) Replay(h *storage.Heap) (RecoveryStats, error) {
 	var torn int64
 	if validEnd < w.size {
 		torn = w.size - validEnd
-		if err := w.f.Truncate(validEnd); err != nil {
-			w.mu.Unlock()
-			return RecoveryStats{}, fmt.Errorf("wal: truncating torn tail: %w", err)
+		if w.opts.ReadOnly {
+			// Leave the torn tail in place: a read-only opener must not
+			// mutate a file another process may still own. Replay still
+			// ignores the tail (readAllLocked stops at it).
+			w.size = validEnd
+		} else {
+			if err := w.f.Truncate(validEnd); err != nil {
+				w.mu.Unlock()
+				return RecoveryStats{}, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			if err := w.f.Sync(); err != nil {
+				w.mu.Unlock()
+				return RecoveryStats{}, fmt.Errorf("wal: sync after tail truncation: %w", err)
+			}
+			w.size = validEnd
 		}
-		if err := w.f.Sync(); err != nil {
-			w.mu.Unlock()
-			return RecoveryStats{}, fmt.Errorf("wal: sync after tail truncation: %w", err)
-		}
-		w.size = validEnd
 	}
 	w.mu.Unlock()
 	stats := RecoveryStats{Records: len(records), TornBytes: torn}
@@ -468,5 +522,15 @@ func (w *WAL) Replay(h *storage.Heap) (RecoveryStats, error) {
 		stats.Replayed++
 	}
 	w.SetNextLSN(stats.MaxLSN + 1)
+	if len(records) > 0 {
+		// The file still holds these records: cursors may read from the
+		// first one onward, so pull the gap floor back below it (SetNextLSN
+		// conservatively assumed nothing in the file was readable).
+		w.mu.Lock()
+		if records[0].LSN-1 < w.truncLSN {
+			w.truncLSN = records[0].LSN - 1
+		}
+		w.mu.Unlock()
+	}
 	return stats, nil
 }

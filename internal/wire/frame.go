@@ -63,6 +63,9 @@ const (
 	FramePing byte = 0x05
 	// FrameClose announces an orderly client shutdown (empty payload).
 	FrameClose byte = 0x06
+	// FrameSubscribe asks the server to switch this connection into a
+	// replication feed starting at a given LSN (see internal/repl).
+	FrameSubscribe byte = 0x07
 
 	// FrameWelcome acknowledges Hello: server banner + session id.
 	FrameWelcome byte = 0x20
@@ -78,6 +81,20 @@ const (
 	FramePong byte = 0x25
 	// FrameAck acknowledges an Option, echoing the effective value.
 	FrameAck byte = 0x26
+	// FrameLogBatch carries whole WAL commit groups to a subscriber.
+	FrameLogBatch byte = 0x27
+	// FrameWatermark reports the leader's appended LSN and clock — sent
+	// after each batch and as an idle heartbeat so followers can measure
+	// staleness even when no writes are happening.
+	FrameWatermark byte = 0x28
+	// FrameSnapshotOffer tells a subscriber its requested LSN is gone
+	// (checkpoint-truncated) and a full snapshot follows.
+	FrameSnapshotOffer byte = 0x29
+	// FrameSnapshotChunk carries one bounded run of snapshot bytes.
+	FrameSnapshotChunk byte = 0x2A
+	// FrameSnapshotDone ends a snapshot; log batches follow from the
+	// offer's start LSN.
+	FrameSnapshotDone byte = 0x2B
 )
 
 // Error codes carried by FrameError.
@@ -96,6 +113,12 @@ const (
 	CodeVersion uint16 = 5
 	// CodeBusy: the server's connection limit is reached; dial again later.
 	CodeBusy uint16 = 6
+	// CodeStale: a follower cannot satisfy the session's max-staleness
+	// bound; retry on the leader or relax the bound.
+	CodeStale uint16 = 7
+	// CodeReadOnly: the statement writes but this server is a read-only
+	// follower; send writes to the leader.
+	CodeReadOnly uint16 = 8
 )
 
 // Frame is one decoded protocol frame.

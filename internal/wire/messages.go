@@ -292,6 +292,14 @@ type ResultDone struct {
 	// untraced results with no accounting.
 	Trace uint64
 	Res   obs.Resources
+
+	// Watermark is the replication watermark LSN the serving store had
+	// applied when the query ran: 0 on a leader (or pre-replication
+	// server), the follower's applied LSN on a replica. It travels as one
+	// more optional trailing uvarint after the trace block; when present
+	// the trace block is always emitted (zeros included) so the field
+	// positions stay unambiguous. Older decoders ignore it.
+	Watermark uint64
 }
 
 // EncodeResultDone builds a ResultDone payload.
@@ -300,12 +308,15 @@ func EncodeResultDone(d ResultDone) []byte {
 	dst = binary.AppendUvarint(dst, d.Rows)
 	dst = binary.AppendUvarint(dst, d.Molecules)
 	dst = binary.AppendUvarint(dst, uint64(d.Elapsed.Nanoseconds()))
-	if d.Trace != 0 || !d.Res.IsZero() {
+	if d.Trace != 0 || !d.Res.IsZero() || d.Watermark != 0 {
 		dst = binary.AppendUvarint(dst, d.Trace)
 		dst = binary.AppendUvarint(dst, d.Res.Pages)
 		dst = binary.AppendUvarint(dst, d.Res.WALBytes)
 		dst = binary.AppendUvarint(dst, d.Res.ChainSteps)
 		dst = binary.AppendUvarint(dst, d.Res.Atoms)
+	}
+	if d.Watermark != 0 {
+		dst = binary.AppendUvarint(dst, d.Watermark)
 	}
 	return dst
 }
@@ -343,6 +354,13 @@ func DecodeResultDone(p []byte) (ResultDone, error) {
 			*field = v
 			p = p[sz:]
 		}
+	}
+	if len(p) > 0 {
+		v, sz := binary.Uvarint(p)
+		if sz <= 0 {
+			return d, fmt.Errorf("wire: corrupt watermark")
+		}
+		d.Watermark = v
 	}
 	return d, nil
 }
@@ -402,4 +420,89 @@ func DecodeErrorRetry(p []byte) (code uint16, msg, detail string, retryAfterMs u
 		retryAfterMs = uint32(r)
 	}
 	return uint16(c), msg, detail, retryAfterMs, nil
+}
+
+// --- replication -----------------------------------------------------------
+//
+// The replication frame family (Subscribe, LogBatch, Watermark, Snapshot*)
+// follows the same trailing-field discipline as the rest of the protocol:
+// fixed fields decode from the front, unknown trailing bytes are ignored,
+// so either end can be upgraded first. LogBatch payloads are a WAL record
+// stream (internal/wal.AppendRecordStream) and SnapshotChunk payloads are
+// raw store bytes; both are opaque at this layer.
+
+// EncodeSubscribe builds a Subscribe payload: the first LSN the follower
+// still needs (its own next LSN after local recovery).
+func EncodeSubscribe(fromLSN uint64) []byte {
+	return binary.AppendUvarint(nil, fromLSN)
+}
+
+// DecodeSubscribe parses a Subscribe payload.
+func DecodeSubscribe(p []byte) (uint64, error) {
+	lsn, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, fmt.Errorf("wire: corrupt subscribe LSN")
+	}
+	return lsn, nil
+}
+
+// EncodeWatermark builds a Watermark payload: the leader's highest
+// appended LSN and its transaction-time clock at that point. Sent after
+// every log batch and as an idle heartbeat, it is what lets a follower
+// *know* it is caught up (and how far behind it is when it is not).
+func EncodeWatermark(lsn, clock uint64) []byte {
+	dst := binary.AppendUvarint(nil, lsn)
+	return binary.AppendUvarint(dst, clock)
+}
+
+// DecodeWatermark parses a Watermark payload.
+func DecodeWatermark(p []byte) (lsn, clock uint64, err error) {
+	lsn, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, 0, fmt.Errorf("wire: corrupt watermark LSN")
+	}
+	p = p[sz:]
+	clock, sz = binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, 0, fmt.Errorf("wire: corrupt watermark clock")
+	}
+	return lsn, clock, nil
+}
+
+// EncodeSnapshotOffer builds a SnapshotOffer payload: the LSN log batches
+// will resume from once the snapshot is applied, and the snapshot's total
+// byte size (chunks follow until SnapshotDone).
+func EncodeSnapshotOffer(startLSN, size uint64) []byte {
+	dst := binary.AppendUvarint(nil, startLSN)
+	return binary.AppendUvarint(dst, size)
+}
+
+// DecodeSnapshotOffer parses a SnapshotOffer payload.
+func DecodeSnapshotOffer(p []byte) (startLSN, size uint64, err error) {
+	startLSN, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, 0, fmt.Errorf("wire: corrupt snapshot start LSN")
+	}
+	p = p[sz:]
+	size, sz = binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, 0, fmt.Errorf("wire: corrupt snapshot size")
+	}
+	return startLSN, size, nil
+}
+
+// EncodeSnapshotDone builds a SnapshotDone payload: the SHA-256 digest of
+// the snapshot bytes, so the follower can verify the transfer before
+// trusting the store it is about to open.
+func EncodeSnapshotDone(digest []byte) []byte {
+	return AppendString(nil, string(digest))
+}
+
+// DecodeSnapshotDone parses a SnapshotDone payload.
+func DecodeSnapshotDone(p []byte) ([]byte, error) {
+	s, _, err := ReadString(p)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
 }

@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"tcodm/internal/obs"
+)
+
+func TestReplicationFrameRoundTrip(t *testing.T) {
+	p := EncodeSubscribe(42)
+	lsn, err := DecodeSubscribe(p)
+	if err != nil || lsn != 42 {
+		t.Fatalf("Subscribe round trip = %d, %v", lsn, err)
+	}
+
+	p = EncodeWatermark(1234, 9876)
+	wm, clock, err := DecodeWatermark(p)
+	if err != nil || wm != 1234 || clock != 9876 {
+		t.Fatalf("Watermark round trip = %d, %d, %v", wm, clock, err)
+	}
+
+	p = EncodeSnapshotOffer(77, 1<<20)
+	start, size, err := DecodeSnapshotOffer(p)
+	if err != nil || start != 77 || size != 1<<20 {
+		t.Fatalf("SnapshotOffer round trip = %d, %d, %v", start, size, err)
+	}
+
+	digest := bytes.Repeat([]byte{0xAB}, 32)
+	p = EncodeSnapshotDone(digest)
+	got, err := DecodeSnapshotDone(p)
+	if err != nil || !bytes.Equal(got, digest) {
+		t.Fatalf("SnapshotDone round trip = %x, %v", got, err)
+	}
+}
+
+func TestReplicationFramesRejectTruncation(t *testing.T) {
+	if _, err := DecodeSubscribe(nil); err == nil {
+		t.Error("DecodeSubscribe accepted empty payload")
+	}
+	if _, _, err := DecodeWatermark(EncodeWatermark(5, 6)[:1]); err == nil {
+		t.Error("DecodeWatermark accepted truncated payload")
+	}
+	if _, _, err := DecodeSnapshotOffer(nil); err == nil {
+		t.Error("DecodeSnapshotOffer accepted empty payload")
+	}
+	if _, err := DecodeSnapshotDone([]byte{0xFF}); err == nil {
+		t.Error("DecodeSnapshotDone accepted corrupt payload")
+	}
+}
+
+// TestReplicationFramesIgnoreTrailing checks the trailing-field discipline:
+// a future revision may append fields, and today's decoders must not choke.
+func TestReplicationFramesIgnoreTrailing(t *testing.T) {
+	p := append(EncodeSubscribe(42), 0x01, 0x02)
+	if lsn, err := DecodeSubscribe(p); err != nil || lsn != 42 {
+		t.Fatalf("Subscribe with trailing bytes = %d, %v", lsn, err)
+	}
+	p = append(EncodeWatermark(7, 8), 0x09)
+	if wm, clock, err := DecodeWatermark(p); err != nil || wm != 7 || clock != 8 {
+		t.Fatalf("Watermark with trailing bytes = %d, %d, %v", wm, clock, err)
+	}
+}
+
+func TestResultDoneWatermark(t *testing.T) {
+	// Watermark alone forces the trace block out as zeros, keeping field
+	// positions unambiguous.
+	d := ResultDone{Plan: "scan", Rows: 3, Elapsed: 5, Watermark: 99}
+	got, err := DecodeResultDone(EncodeResultDone(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Watermark != 99 || got.Trace != 0 || !got.Res.IsZero() {
+		t.Fatalf("decoded = %+v", got)
+	}
+
+	// Watermark together with a full trace block.
+	d = ResultDone{
+		Plan: "scan", Rows: 3, Elapsed: 5, Trace: 11,
+		Res:       obs.Resources{Pages: 1, WALBytes: 2, ChainSteps: 3, Atoms: 4},
+		Watermark: 1234,
+	}
+	got, err = DecodeResultDone(EncodeResultDone(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatalf("decoded %+v, want %+v", got, d)
+	}
+
+	// Absent watermark decodes as zero (old encoder, new decoder).
+	d = ResultDone{Plan: "scan", Rows: 1, Trace: 7, Res: obs.Resources{Pages: 2}}
+	got, err = DecodeResultDone(EncodeResultDone(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Watermark != 0 {
+		t.Fatalf("watermark fabricated: %+v", got)
+	}
+}

@@ -36,7 +36,21 @@ import (
 
 // Config parameterizes a Client. Addr is required.
 type Config struct {
-	Addr         string
+	Addr string // leader address: writes, sessions, and fallback reads
+
+	// Replicas are read-only follower addresses. When non-empty, Query and
+	// Exec round-robin across them and fall back to the leader when a
+	// replica is unreachable or refuses with CodeStale. Sessions and Pings
+	// always use the leader. Each address must be distinct from Addr and
+	// from each other.
+	Replicas []string
+
+	// MaxStaleness bounds how far behind a replica may serve reads: it is
+	// set as the "max_staleness" session option on every replica
+	// connection, and a replica that cannot honor it answers CodeStale,
+	// which routes the query to the leader. 0 = any staleness is fine.
+	MaxStaleness time.Duration
+
 	Banner       string        // sent in the Hello frame
 	DialTimeout  time.Duration // per-attempt dial timeout (default 5s)
 	DialRetries  int           // extra attempts after a transient failure (default 3, -1 disables)
@@ -136,12 +150,68 @@ type Result struct {
 	Elapsed   time.Duration // server-side execution + streaming time
 	Trace     uint64        // trace id the query ran under (0 = untraced)
 	Res       obs.Resources // exact server-side resource totals
+	// Watermark is the highest WAL LSN the answering server's store
+	// reflected when the query ran: on a replica it tells the caller
+	// exactly how fresh the read was; on a leader it is the commit horizon.
+	Watermark uint64
 }
 
 // errClosed reports a call on a closed client; never retried.
 var errClosed = errors.New("client: closed")
 
-// Client is a pooled connection to one server.
+// ConfigError reports an invalid Config field, caught at New rather than
+// surfacing later as a confusing dial failure.
+type ConfigError struct {
+	Field  string // "Addr" or "Replicas[i]"
+	Value  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("client: config %s = %q: %s", e.Field, e.Value, e.Reason)
+}
+
+// validateAddrs checks the address set: the leader address is required and
+// well-formed, every replica address is well-formed, and no address —
+// leader included — appears twice (a duplicate silently doubles that
+// server's read share and usually means a copy-paste slip).
+func validateAddrs(cfg Config) error {
+	check := func(field, addr string) error {
+		if addr == "" {
+			return &ConfigError{Field: field, Value: addr, Reason: "address is empty"}
+		}
+		if _, _, err := net.SplitHostPort(addr); err != nil {
+			return &ConfigError{Field: field, Value: addr, Reason: "want host:port: " + err.Error()}
+		}
+		return nil
+	}
+	if err := check("Addr", cfg.Addr); err != nil {
+		return err
+	}
+	seen := map[string]string{cfg.Addr: "Addr"}
+	for i, r := range cfg.Replicas {
+		field := fmt.Sprintf("Replicas[%d]", i)
+		if err := check(field, r); err != nil {
+			return err
+		}
+		if prev, dup := seen[r]; dup {
+			return &ConfigError{Field: field, Value: r, Reason: "duplicates " + prev}
+		}
+		seen[r] = field
+	}
+	return nil
+}
+
+// endpoint is one server address with its own idle-connection pool.
+type endpoint struct {
+	addr    string
+	replica bool
+	mu      sync.Mutex
+	idle    []*conn
+}
+
+// Client is a pooled client over one leader and any number of read
+// replicas.
 type Client struct {
 	cfg    Config
 	ctx    context.Context // done at Close: interrupts every backoff sleep
@@ -149,21 +219,25 @@ type Client struct {
 	brk    *breaker
 	budget atomic.Int64 // remaining automatic retries; negative = exhausted
 
+	leader   *endpoint
+	replicas []*endpoint
+	rr       atomic.Uint32 // read round-robin position
+
 	rngMu sync.Mutex
 	rng   *rand.Rand // jitter source; seeded for reproducible chaos runs
 
 	mu     sync.Mutex
-	idle   []*conn
 	closed bool
 
 	retries      *obs.Counter // client.retry
 	retryGiveups *obs.Counter // client.retry_budget_exhausted
+	fallbacks    *obs.Counter // client.replica_fallback
 }
 
 // New creates a client for cfg.Addr. No connection is made until first use.
 func New(cfg Config) (*Client, error) {
-	if cfg.Addr == "" {
-		return nil, errors.New("client: Config.Addr is required")
+	if err := validateAddrs(cfg); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	seed := cfg.JitterSeed
@@ -177,8 +251,13 @@ func New(cfg Config) (*Client, error) {
 		cancel:       cancel,
 		brk:          newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown, cfg.Metrics),
 		rng:          rand.New(rand.NewSource(seed)),
+		leader:       &endpoint{addr: cfg.Addr},
 		retries:      cfg.Metrics.Counter("client.retry"),
 		retryGiveups: cfg.Metrics.Counter("client.retry_budget_exhausted"),
+		fallbacks:    cfg.Metrics.Counter("client.replica_fallback"),
+	}
+	for _, r := range cfg.Replicas {
+		c.replicas = append(c.replicas, &endpoint{addr: r, replica: true})
 	}
 	if cfg.RetryBudget < 0 {
 		c.budget.Store(1 << 62) // effectively unlimited
@@ -206,12 +285,16 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error {
 	c.cancel()
 	c.mu.Lock()
-	idle := c.idle
-	c.idle = nil
 	c.closed = true
 	c.mu.Unlock()
-	for _, cn := range idle {
-		cn.close()
+	for _, ep := range append([]*endpoint{c.leader}, c.replicas...) {
+		ep.mu.Lock()
+		idle := ep.idle
+		ep.idle = nil
+		ep.mu.Unlock()
+		for _, cn := range idle {
+			cn.close()
+		}
 	}
 	return nil
 }
@@ -265,17 +348,43 @@ func (c *Client) logf(format string, args ...any) {
 	}
 }
 
+// nextReplica picks the next read endpoint round-robin.
+func (c *Client) nextReplica() *endpoint {
+	n := c.rr.Add(1)
+	return c.replicas[int(n-1)%len(c.replicas)]
+}
+
+// fallbackToLeader reports whether a failed replica attempt should be
+// redirected to the leader: the replica refused for staleness or read-only
+// reasons, or the transport to it failed. Query-level errors are the
+// query's own fault and would fail identically on the leader.
+func fallbackToLeader(err error) bool {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Code == wire.CodeStale || se.Code == wire.CodeReadOnly
+	}
+	return !errors.Is(err, errClosed) && !errors.Is(err, ErrBreakerOpen)
+}
+
 // doRetry runs one read-only call with the automatic retry loop, the
 // retry budget, and the circuit breaker. trace is the call's trace id
-// (0 for pings), carried into every log line for correlation.
+// (0 for pings), carried into every log line for correlation. With
+// replicas configured the first attempt goes to the next read replica;
+// a stale or unreachable replica redirects the call to the leader for
+// the remaining attempts.
 func (c *Client) doRetry(trace uint64, fn func(*conn) (*Result, error)) (*Result, error) {
 	backoff := c.cfg.RetryBackoff
+	useLeader := len(c.replicas) == 0
 	for attempt := 0; ; attempt++ {
 		if err := c.brk.allow(); err != nil {
 			c.logf("client: trace=%d rejected: %v", trace, err)
 			return nil, err
 		}
-		res, err := c.withConn(fn)
+		ep := c.leader
+		if !useLeader {
+			ep = c.nextReplica()
+		}
+		res, err := c.withConn(ep, fn)
 		if err == nil {
 			c.brk.success()
 			return res, nil
@@ -283,12 +392,23 @@ func (c *Client) doRetry(trace uint64, fn func(*conn) (*Result, error)) (*Result
 		var se *ServerError
 		if errors.As(err, &se) {
 			c.brk.success() // the server answered: the transport works
-		} else if !errors.Is(err, errClosed) {
+		} else if !errors.Is(err, errClosed) && ep == c.leader {
+			// Replica transport failures do not trip the breaker: the
+			// leader may be fine, and fallback is about to try it.
 			if c.brk.failure() {
 				c.logf("client: trace=%d breaker opened after %v", trace, err)
 			}
 		}
-		if attempt >= c.cfg.QueryRetries || !retryable(err) {
+		canRetry := retryable(err)
+		fellBack := false
+		if !useLeader && fallbackToLeader(err) {
+			useLeader = true
+			canRetry = true
+			fellBack = true
+			c.fallbacks.Inc()
+			c.logf("client: trace=%d replica %s failed (%v); falling back to leader", trace, ep.addr, err)
+		}
+		if attempt >= c.cfg.QueryRetries || !canRetry {
 			return nil, err
 		}
 		if c.budget.Add(-1) < 0 {
@@ -297,6 +417,11 @@ func (c *Client) doRetry(trace uint64, fn func(*conn) (*Result, error)) (*Result
 			return nil, err
 		}
 		delay := c.retryDelay(backoff, err)
+		if fellBack && se != nil {
+			// A staleness refusal says nothing about the leader's health;
+			// redirect immediately instead of backing off.
+			delay = 0
+		}
 		c.logf("client: trace=%d attempt %d failed (%v); retrying in %s", trace, attempt+1, err, delay)
 		if !c.sleep(delay) {
 			return nil, errClosed
@@ -354,19 +479,21 @@ func (c *Client) sleep(d time.Duration) bool {
 	}
 }
 
-// Session returns a dedicated connection for stateful use. Its Close
-// closes the underlying connection rather than pooling it, because
-// session options would leak into unrelated queries.
+// Session returns a dedicated connection for stateful use, always on the
+// leader (session state — pins, time defaults — must see every commit the
+// moment it lands). Its Close closes the underlying connection rather
+// than pooling it, because session options would leak into unrelated
+// queries.
 func (c *Client) Session() (*Session, error) {
-	cn, err := c.dialRetry()
+	cn, err := c.dialRetry(c.leader)
 	if err != nil {
 		return nil, err
 	}
 	return &Session{cn: cn, c: c}, nil
 }
 
-func (c *Client) withConn(fn func(*conn) (*Result, error)) (*Result, error) {
-	cn, err := c.get()
+func (c *Client) withConn(ep *endpoint, fn func(*conn) (*Result, error)) (*Result, error) {
+	cn, err := c.get(ep)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +502,7 @@ func (c *Client) withConn(fn func(*conn) (*Result, error)) (*Result, error) {
 		cn.close()
 		return res, err
 	}
-	c.put(cn)
+	c.put(ep, cn)
 	return res, err
 }
 
@@ -390,37 +517,42 @@ func isSessionUsable(err error) bool {
 	return false
 }
 
-func (c *Client) get() (*conn, error) {
+func (c *Client) get(ep *endpoint) (*conn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, errClosed
 	}
-	if n := len(c.idle); n > 0 {
-		cn := c.idle[n-1]
-		c.idle = c.idle[:n-1]
-		c.mu.Unlock()
+	c.mu.Unlock()
+	ep.mu.Lock()
+	if n := len(ep.idle); n > 0 {
+		cn := ep.idle[n-1]
+		ep.idle = ep.idle[:n-1]
+		ep.mu.Unlock()
 		return cn, nil
 	}
-	c.mu.Unlock()
-	return c.dialRetry()
+	ep.mu.Unlock()
+	return c.dialRetry(ep)
 }
 
-func (c *Client) put(cn *conn) {
+func (c *Client) put(ep *endpoint, cn *conn) {
 	c.mu.Lock()
-	if !c.closed && len(c.idle) < c.cfg.PoolSize {
-		c.idle = append(c.idle, cn)
-		c.mu.Unlock()
+	closed := c.closed
+	c.mu.Unlock()
+	ep.mu.Lock()
+	if !closed && len(ep.idle) < c.cfg.PoolSize {
+		ep.idle = append(ep.idle, cn)
+		ep.mu.Unlock()
 		return
 	}
-	c.mu.Unlock()
+	ep.mu.Unlock()
 	cn.close()
 }
 
 // dialRetry dials with the handshake, retrying transient failures. The
 // backoff sleep aborts as soon as the client closes — a Close must never
 // wait out a retry schedule.
-func (c *Client) dialRetry() (*conn, error) {
+func (c *Client) dialRetry(ep *endpoint) (*conn, error) {
 	backoff := c.cfg.RetryBackoff
 	var last error
 	for attempt := 0; attempt <= c.cfg.DialRetries; attempt++ {
@@ -430,7 +562,7 @@ func (c *Client) dialRetry() (*conn, error) {
 			}
 			backoff *= 2
 		}
-		cn, err := c.dial()
+		cn, err := c.dial(ep)
 		if err == nil {
 			return cn, nil
 		}
@@ -439,7 +571,7 @@ func (c *Client) dialRetry() (*conn, error) {
 			break
 		}
 	}
-	return nil, fmt.Errorf("client: dial %s: %w", c.cfg.Addr, last)
+	return nil, fmt.Errorf("client: dial %s: %w", ep.addr, last)
 }
 
 // isTransientDial reports whether retrying the dial could help: the
@@ -460,8 +592,11 @@ func isTransientDial(err error) bool {
 }
 
 // dial makes one connection attempt including the Hello/Welcome handshake.
-func (c *Client) dial() (*conn, error) {
-	raw, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+// Replica connections additionally set the "max_staleness" session option
+// when the config bounds staleness, so the server sheds too-stale reads
+// with CodeStale before running them.
+func (c *Client) dial(ep *endpoint) (*conn, error) {
+	raw, err := net.DialTimeout("tcp", ep.addr, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -483,6 +618,12 @@ func (c *Client) dial() (*conn, error) {
 			return nil, err
 		}
 		cn.sessionID = sid
+		if ep.replica && c.cfg.MaxStaleness > 0 {
+			if _, err := cn.option("max_staleness", c.cfg.MaxStaleness.String()); err != nil {
+				cn.close()
+				return nil, fmt.Errorf("client: setting max_staleness on %s: %w", ep.addr, err)
+			}
+		}
 		return cn, nil
 	case wire.FrameError:
 		cn.close()

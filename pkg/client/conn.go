@@ -81,6 +81,7 @@ func (cn *conn) query(typ byte, payload []byte) (*Result, error) {
 			res.Elapsed = done.Elapsed
 			res.Trace = done.Trace
 			res.Res = done.Res
+			res.Watermark = done.Watermark
 			if done.Rows != uint64(len(res.Rows)) {
 				return nil, fmt.Errorf("client: result stream lost rows: got %d, server sent %d", len(res.Rows), done.Rows)
 			}

@@ -103,6 +103,7 @@ func main() {
 		{"R-T7", func() (*experiments.Table, error) { return experiments.RT7WireOverhead(s, *remote) }},
 		{"R-T9", func() (*experiments.Table, error) { return experiments.RT9ParallelScan(s, cores) }},
 		{"R-T10", func() (*experiments.Table, error) { return experiments.RT10ReadReplicas(s, dir) }},
+		{"R-T11", func() (*experiments.Table, error) { return experiments.RT11Tiering(s, dir) }},
 	}
 	suiteStart := time.Now()
 	for _, e := range suite {

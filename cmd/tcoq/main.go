@@ -26,6 +26,7 @@ import (
 	"tcodm/internal/obs"
 	"tcodm/internal/query"
 	"tcodm/internal/schema"
+	"tcodm/internal/temporal"
 	"tcodm/internal/workload"
 	"tcodm/pkg/client"
 )
@@ -113,6 +114,10 @@ func main() {
 				continue
 			}
 			fmt.Printf("vacuumed %d superseded versions\n", removed)
+		case strings.HasPrefix(line, ".compact"):
+			runTiering(db, strings.Fields(line), false)
+		case strings.HasPrefix(line, ".archive"):
+			runTiering(db, strings.Fields(line), true)
 		case strings.HasPrefix(line, "."):
 			fmt.Println("unknown command; try .help")
 		default:
@@ -171,6 +176,39 @@ func printTrace(db *core.Engine, fields []string, lastTrace uint64) {
 	fmt.Print(obs.FormatTrace(evs))
 }
 
+// runTiering drives the history-tiering pipeline from the shell: .compact
+// coalesces adjacent equal-valued closed steps in place; .archive also
+// migrates transaction-closed versions into the cold archive file. An
+// optional argument bounds the pass to versions closed before that
+// transaction instant (default: the current instant).
+func runTiering(db *core.Engine, fields []string, archive bool) {
+	before := db.Now()
+	if len(fields) > 1 {
+		n, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Println("usage: .compact [tt] / .archive [tt]")
+			return
+		}
+		before = temporal.Instant(n)
+	}
+	if archive {
+		res, err := db.Archive(before)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("compacted %d steps, archived %d versions (archive file: %d bytes)\n",
+			res.Compacted, res.Archived, db.Stats().ArchiveBytes)
+		return
+	}
+	merged, err := db.Compact(before)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("compacted %d steps\n", merged)
+}
+
 func help() {
 	fmt.Print(`TMQL:
   SELECT ALL FROM <Molecule> [WHERE ...] [AT t] [ASOF t]
@@ -187,6 +225,8 @@ Shell commands:
   .load personnel    load the synthetic personnel workload (defines its schema)
   .load cad          load the synthetic design workload
   .vacuum            purge versions superseded before the current instant
+  .compact [tt]      coalesce equal-valued closed history steps (default bound: now)
+  .archive [tt]      compact, then migrate closed versions into the cold archive
   .quit
 `)
 }

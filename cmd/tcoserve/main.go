@@ -32,6 +32,7 @@ import (
 	"tcodm/internal/repl"
 	"tcodm/internal/schema"
 	"tcodm/internal/server"
+	"tcodm/internal/temporal"
 	"tcodm/internal/workload"
 )
 
@@ -52,6 +53,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
 	workers := flag.Int("workers", 0, "per-query worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	archiveEvery := flag.Duration("archive-every", 0, "period between background history-tiering passes (0 = off; leader only)")
+	archiveHot := flag.Uint64("archive-hot", 4096, "transaction instants each tiering pass keeps in the hot store")
 	flag.Parse()
 
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
@@ -120,6 +123,37 @@ func main() {
 		}
 	}
 	defer func() { db.Close() }()
+	if *archiveEvery > 0 {
+		if fol != nil {
+			fatal(errors.New("-archive-every requires a leader: followers refuse local transactions (they replicate the leader's tiering runs)"))
+		}
+		// Background tiering: every pass compacts closed history steps and
+		// migrates versions transaction-closed more than -archive-hot
+		// instants ago into the cold archive file.
+		go func() {
+			t := time.NewTicker(*archiveEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					now := db.Now()
+					if now <= temporal.Instant(*archiveHot) {
+						continue
+					}
+					res, err := db.Archive(now - temporal.Instant(*archiveHot))
+					if err != nil {
+						logf("tiering pass: %v", err)
+						continue
+					}
+					if res.Compacted+res.Archived > 0 {
+						logf("tiering pass: compacted %d steps, archived %d versions", res.Compacted, res.Archived)
+					}
+				}
+			}
+		}()
+	}
 	if *debugAddr != "" {
 		db.PublishDebugVars()
 		dbg, err := obs.StartDebugServer(*debugAddr)

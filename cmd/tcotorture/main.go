@@ -93,6 +93,35 @@ func main() {
 			failed = true
 			fmt.Printf("  VIOLATION: %s\n", v)
 		}
+
+		// Archive-migration matrix: power cuts during the tiering cut-over,
+		// torn WAL tails, torn archive tails.
+		arcDir, err := os.MkdirTemp("", "tcotorture-arc")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcotorture: %v\n", err)
+			os.Exit(1)
+		}
+		arc, err := fault.RunArchive(fault.Config{
+			Strategy:  strat,
+			Seed:      *seed,
+			Cuts:      *cuts,
+			PoolPages: 16,
+			Dir:       arcDir,
+			Logf:      logf,
+		})
+		os.RemoveAll(arcDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcotorture: %s archive: %v\n", strat, err)
+			os.Exit(1)
+		}
+		results[strat.String()+"-archive"] = arc
+		total += arc.Scenarios
+		fmt.Printf("%-10s %4d archive scenarios: %d recovered, %d refused, %d clean, %d violations\n",
+			strat, arc.Scenarios, arc.Recovered, arc.Refused, arc.Clean, len(arc.Violations))
+		for _, v := range arc.Violations {
+			failed = true
+			fmt.Printf("  VIOLATION: %s\n", v)
+		}
 	}
 	fmt.Printf("total: %d scenarios\n", total)
 	if failed {

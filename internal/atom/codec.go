@@ -192,11 +192,13 @@ func decodeAtomBody(src []byte) (*Atom, int, error) {
 	return a, off, nil
 }
 
-// EncodeFull serializes an atom with its entire history (embedded
-// strategy).
+// EncodeFull serializes an atom with its entire hot history (embedded
+// strategy). A non-zero archive pointer rides as a fixed trailer; atoms
+// without archived history encode byte-identically to the legacy format.
 func EncodeFull(a *Atom) []byte {
 	dst := []byte{recFullAtom}
-	return encodeAtomBody(dst, a, nil)
+	dst = encodeAtomBody(dst, a, nil)
+	return appendArcTrailer(dst, a.Arc)
 }
 
 // DecodeFull deserializes an EncodeFull record.
@@ -204,8 +206,14 @@ func DecodeFull(src []byte) (*Atom, error) {
 	if len(src) == 0 || src[0] != recFullAtom {
 		return nil, fmt.Errorf("atom: not a full-atom record")
 	}
-	a, _, err := decodeAtomBody(src[1:])
-	return a, err
+	a, n, err := decodeAtomBody(src[1:])
+	if err != nil {
+		return nil, err
+	}
+	if a.Arc, err = decodeArcTrailer(src[1+n:]); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // SepHeader is the separated-strategy current record's header: where the
@@ -227,7 +235,8 @@ func EncodeCurrent(a *Atom, h SepHeader) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, h.Head.Pack())
 	dst = binary.LittleEndian.AppendUint32(dst, h.HeadCount)
 	dst = temporal.AppendInstant(dst, h.Watermark)
-	return encodeAtomBody(dst, a, Version.currentShaped)
+	dst = encodeAtomBody(dst, a, Version.currentShaped)
+	return appendArcTrailer(dst, a.Arc)
 }
 
 // DecodeCurrent deserializes an EncodeCurrent record.
@@ -243,8 +252,14 @@ func DecodeCurrent(src []byte) (*Atom, SepHeader, error) {
 		return nil, SepHeader{}, err
 	}
 	h.Watermark = wm
-	a, _, err := decodeAtomBody(src[21:])
-	return a, h, err
+	a, n, err := decodeAtomBody(src[21:])
+	if err != nil {
+		return nil, SepHeader{}, err
+	}
+	if a.Arc, err = decodeArcTrailer(src[21+n:]); err != nil {
+		return nil, SepHeader{}, err
+	}
+	return a, h, nil
 }
 
 // HistoryEntry is one archived version inside a history segment: the
@@ -322,6 +337,9 @@ type Snapshot struct {
 	Vals     map[string]value.V
 	Sets     map[string][]value.V
 	BackRefs map[string][]value.ID
+	// Arc points at the chain's archived prefix. It lives only on the
+	// oldest (boundary) snapshot — the one with Prev == NilRID.
+	Arc ArcPtr
 }
 
 // EncodeSnapshot serializes a tuple-strategy snapshot.
@@ -370,7 +388,7 @@ func EncodeSnapshot(s *Snapshot) []byte {
 			dst = binary.LittleEndian.AppendUint64(dst, uint64(id))
 		}
 	}
-	return dst
+	return appendArcTrailer(dst, s.Arc)
 }
 
 func sortedKeys(m map[string]value.V) []string {
@@ -493,6 +511,9 @@ func DecodeSnapshot(src []byte) (*Snapshot, error) {
 			off += 8
 		}
 		s.BackRefs[k] = ids
+	}
+	if s.Arc, err = decodeArcTrailer(src[off:]); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

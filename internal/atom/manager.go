@@ -80,22 +80,24 @@ type Stats struct {
 // and decode-latency histograms fire once per full materialization, which
 // is already a multi-page operation.
 type atomMetrics struct {
-	fastLoads    *obs.Counter
-	fullLoads    *obs.Counter
-	segmentReads *obs.Counter
-	snapshotHops *obs.Counter
-	chainDepth   *obs.Histogram // segments (or snapshots) walked per full load
-	decodeNS     *obs.Histogram // full-history materialization latency
+	fastLoads        *obs.Counter
+	fullLoads        *obs.Counter
+	segmentReads     *obs.Counter
+	snapshotHops     *obs.Counter
+	archivedVersions *obs.Counter   // versions migrated to the cold archive
+	chainDepth       *obs.Histogram // segments (or snapshots) walked per full load
+	decodeNS         *obs.Histogram // full-history materialization latency
 }
 
 func standaloneAtomMetrics() atomMetrics {
 	return atomMetrics{
-		fastLoads:    obs.NewCounter(),
-		fullLoads:    obs.NewCounter(),
-		segmentReads: obs.NewCounter(),
-		snapshotHops: obs.NewCounter(),
-		chainDepth:   obs.NewHistogram(),
-		decodeNS:     obs.NewHistogram(),
+		fastLoads:        obs.NewCounter(),
+		fullLoads:        obs.NewCounter(),
+		segmentReads:     obs.NewCounter(),
+		snapshotHops:     obs.NewCounter(),
+		archivedVersions: obs.NewCounter(),
+		chainDepth:       obs.NewHistogram(),
+		decodeNS:         obs.NewHistogram(),
 	}
 }
 
@@ -115,6 +117,7 @@ type Manager struct {
 	nextID   uint64
 	met      atomMetrics
 	idxUndo  IndexUndo
+	arc      ArchiveSink // cold archive (nil until SetArchive)
 	// maxTrans is the largest transaction-time instant seen by the last
 	// RebuildIndexes scan. After recovery the engine clock must advance
 	// past it, or post-recovery commits would reuse transaction times
@@ -256,12 +259,13 @@ func (m *Manager) SetMetrics(reg *obs.Registry) {
 		return
 	}
 	m.met = atomMetrics{
-		fastLoads:    reg.Counter("atom.fast_loads"),
-		fullLoads:    reg.Counter("atom.full_loads"),
-		segmentReads: reg.Counter("atom.segment_reads"),
-		snapshotHops: reg.Counter("atom.snapshot_hops"),
-		chainDepth:   reg.Histogram("atom.chain_depth"),
-		decodeNS:     reg.Histogram("atom.decode_ns"),
+		fastLoads:        reg.Counter("atom.fast_loads"),
+		fullLoads:        reg.Counter("atom.full_loads"),
+		segmentReads:     reg.Counter("atom.segment_reads"),
+		snapshotHops:     reg.Counter("atom.snapshot_hops"),
+		archivedVersions: reg.Counter("atom.archived_versions"),
+		chainDepth:       reg.Histogram("atom.chain_depth"),
+		decodeNS:         reg.Histogram("atom.decode_ns"),
 	}
 }
 

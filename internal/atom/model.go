@@ -62,6 +62,10 @@ type Atom struct {
 	Lifespan temporal.Element
 	Attrs    []AttrData
 	BackRefs map[string][]Version
+	// Arc points at the atom's archived (cold-tiered) history; zero when
+	// every version is still in the hot store. Mutations re-encode it
+	// untouched — only ArchiveOlderThan moves it.
+	Arc ArcPtr
 }
 
 // NewAtom builds an empty atom shaped by its schema type.

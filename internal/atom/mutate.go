@@ -313,7 +313,15 @@ func (m *Manager) separatedMutateFull(id value.ID, rid storage.RID, apply func(*
 	if _, err := apply(a); err != nil {
 		return err
 	}
-	// Re-split into current-shaped versions and history entries.
+	return m.separatedRewrite(rid, a, hdr.Head)
+}
+
+// separatedRewrite persists a fully-materialized atom under the separated
+// mapping: re-split into current-shaped versions and history entries, free
+// the old chain rooted at oldHead, write a fresh one in segment-sized
+// pieces, and update the current record. Shared by retroactive mutations
+// and the archival cut-over.
+func (m *Manager) separatedRewrite(rid storage.RID, a *Atom, oldHead storage.RID) error {
 	var hist []HistoryEntry
 	watermark := temporal.Beginning
 	for i := range a.Attrs {
@@ -350,7 +358,7 @@ func (m *Manager) separatedMutateFull(id value.ID, rid storage.RID, apply func(*
 		}
 	}
 	// Free the old chain, then write a fresh one in segment-sized pieces.
-	for seg := hdr.Head; seg.IsValid(); {
+	for seg := oldHead; seg.IsValid(); {
 		data, err := m.heap.Fetch(seg)
 		if err != nil {
 			return err

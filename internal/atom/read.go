@@ -85,35 +85,58 @@ func (m *Manager) Load(id value.ID) (*Atom, error) {
 	return m.LoadAcc(id, nil)
 }
 
-// LoadAcc is Load with exact resource accounting (see StateAtAcc).
+// LoadAcc is Load with exact resource accounting (see StateAtAcc). The
+// result is full-fidelity: archived history is always merged back in (index
+// rebuilds and molecule materialization depend on seeing everything).
 func (m *Manager) LoadAcc(id value.ID, acc *obs.Resources) (*Atom, error) {
-	rid, err := m.homeRID(id)
+	if m.opts.Strategy == StrategyTuple {
+		rid, err := m.homeRID(id)
+		if err != nil {
+			return nil, err
+		}
+		return m.tupleLoad(rid, acc)
+	}
+	a, _, _, err := m.loadHot(id, acc)
 	if err != nil {
 		return nil, err
+	}
+	if err := m.arcLoadInto(a, acc); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// loadHot materializes the complete hot-store atom (embedded/separated),
+// reconciled against the schema but WITHOUT archived history. Maintenance
+// paths (vacuum, compaction pre-scans) need exactly the hot state; query
+// paths merge the archive afterwards when (and only when) the question
+// reaches below the watermark.
+func (m *Manager) loadHot(id value.ID, acc *obs.Resources) (*Atom, storage.RID, SepHeader, error) {
+	rid, err := m.homeRID(id)
+	if err != nil {
+		return nil, storage.NilRID, SepHeader{}, err
 	}
 	switch m.opts.Strategy {
 	case StrategyEmbedded:
 		m.met.fullLoads.Inc()
 		data, err := m.heap.FetchAcc(rid, acc)
 		if err != nil {
-			return nil, err
+			return nil, storage.NilRID, SepHeader{}, err
 		}
 		a, err := DecodeFull(data)
 		if err != nil {
-			return nil, err
+			return nil, storage.NilRID, SepHeader{}, err
 		}
-		return m.reconcile(a), nil
+		return m.reconcile(a), rid, SepHeader{}, nil
 	case StrategySeparated:
 		m.met.fullLoads.Inc()
-		a, _, err := m.loadSeparatedFull(rid, acc)
+		a, hdr, err := m.loadSeparatedFull(rid, acc)
 		if err != nil {
-			return nil, err
+			return nil, storage.NilRID, SepHeader{}, err
 		}
-		return m.reconcile(a), nil
-	case StrategyTuple:
-		return m.tupleLoad(rid, acc)
+		return m.reconcile(a), rid, hdr, nil
 	default:
-		return nil, fmt.Errorf("atom: unknown strategy %d", m.opts.Strategy)
+		return nil, storage.NilRID, SepHeader{}, fmt.Errorf("atom: loadHot unsupported for strategy %s", m.opts.Strategy)
 	}
 }
 
@@ -141,7 +164,13 @@ func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant, acc *obs.Resourc
 		if err != nil {
 			return nil, err
 		}
-		return m.reconcile(a), nil
+		a = m.reconcile(a)
+		if arcNeeded(a.Arc, effectiveTT(tt)) {
+			if err := m.arcLoadInto(a, acc); err != nil {
+				return nil, err
+			}
+		}
+		return a, nil
 	case StrategySeparated:
 		data, err := m.heap.FetchAcc(rid, acc)
 		if err != nil {
@@ -165,7 +194,13 @@ func (m *Manager) loadFor(id value.ID, vt, tt temporal.Instant, acc *obs.Resourc
 		if err != nil {
 			return nil, err
 		}
-		return m.reconcile(full), nil
+		full = m.reconcile(full)
+		if arcNeeded(full.Arc, effectiveTT(tt)) {
+			if err := m.arcLoadInto(full, acc); err != nil {
+				return nil, err
+			}
+		}
+		return full, nil
 	default:
 		return nil, fmt.Errorf("atom: loadFor unsupported for strategy %s", m.opts.Strategy)
 	}
@@ -235,13 +270,20 @@ func (m *Manager) History(id value.ID, attr string, tt temporal.Instant) ([]Vers
 }
 
 // HistoryAcc is History with exact resource accounting (see StateAtAcc).
+// History at tt at or above the archive watermark is answered entirely from
+// the hot store; only questions reaching below it pay for archive reads.
 func (m *Manager) HistoryAcc(id value.ID, attr string, tt temporal.Instant, acc *obs.Resources) ([]Version, error) {
 	if m.opts.Strategy == StrategyTuple {
 		return m.tupleHistory(id, attr, tt, acc)
 	}
-	a, err := m.LoadAcc(id, acc)
+	a, _, _, err := m.loadHot(id, acc)
 	if err != nil {
 		return nil, err
+	}
+	if arcNeeded(a.Arc, effectiveTT(tt)) {
+		if err := m.arcLoadInto(a, acc); err != nil {
+			return nil, err
+		}
 	}
 	ad := a.Attr(attr)
 	if ad == nil {
@@ -314,6 +356,22 @@ func (m *Manager) tupleStateAt(id value.ID, vt, tt temporal.Instant, acc *obs.Re
 		}
 		rid = snap.Prev
 	}
+	// The hot chain bottomed out; when the question reaches below the
+	// archive watermark the walk continues through the archived prefix,
+	// newest-first, exactly as it would have through the pre-archival chain.
+	if first != nil && arcNeeded(first.Arc, ett) {
+		arch, err := m.arcSnapChain(first.Arc, acc)
+		if err != nil {
+			return nil, err
+		}
+		for i := len(arch) - 1; i >= 0; i-- {
+			s := arch[i]
+			first = s
+			if s.TransFrom <= ett && s.ValidFrom <= vt {
+				return m.reconcileState(stateFromSnapshot(s, true)), nil
+			}
+		}
+	}
 	// vt precedes the atom's first version: it does not exist yet.
 	if first == nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
@@ -361,10 +419,30 @@ func stateFromSnapshot(s *Snapshot, alive bool) *State {
 	return st
 }
 
+// tupleChainMerged returns the snapshot chain oldest-first, prepending the
+// archived prefix when needed: always when all is set (full-fidelity loads),
+// otherwise only when a question at effective transaction time ett reaches
+// below the archive watermark.
+func (m *Manager) tupleChainMerged(rid storage.RID, ett temporal.Instant, all bool, acc *obs.Resources) ([]*Snapshot, error) {
+	chain, err := m.tupleChain(rid, acc)
+	if err != nil || len(chain) == 0 {
+		return chain, err
+	}
+	p := chain[0].Arc
+	if p.IsZero() || (!all && !arcNeeded(p, ett)) {
+		return chain, nil
+	}
+	arch, err := m.arcSnapChain(p, acc)
+	if err != nil {
+		return nil, err
+	}
+	return append(arch, chain...), nil
+}
+
 // tupleLoad reconstructs a full atom (with step-function histories) from
-// the snapshot chain.
+// the snapshot chain, archived prefix included.
 func (m *Manager) tupleLoad(rid storage.RID, acc *obs.Resources) (*Atom, error) {
-	snaps, err := m.tupleChain(rid, acc)
+	snaps, err := m.tupleChainMerged(rid, temporal.Beginning, true, acc)
 	if err != nil {
 		return nil, err
 	}
@@ -458,11 +536,11 @@ func (m *Manager) tupleHistory(id value.ID, attr string, tt temporal.Instant, ac
 	if err != nil {
 		return nil, err
 	}
-	snaps, err := m.tupleChain(rid, acc)
+	ett := effectiveTT(tt)
+	snaps, err := m.tupleChainMerged(rid, ett, false, acc)
 	if err != nil {
 		return nil, err
 	}
-	ett := effectiveTT(tt)
 	var out []Version
 	for i, s := range snaps {
 		if s.TransFrom > ett || s.Deleted {

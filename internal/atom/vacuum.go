@@ -38,12 +38,32 @@ func (m *Manager) vacuumAtom(id value.ID, beforeTT temporal.Instant) (int, error
 	if m.opts.Strategy == StrategyTuple {
 		return m.tupleVacuum(id, beforeTT)
 	}
+	// Probe on a throwaway load first: an atom with nothing dead is skipped
+	// without a rewrite — no dirty pages, no WAL bytes. The probe pays a
+	// read the rewrite would have paid anyway.
+	probe, _, _, err := m.loadHot(id, nil)
+	if err != nil {
+		return 0, err
+	}
+	if countDead(probe, beforeTT) == 0 && !(!probe.Arc.IsZero() && beforeTT >= probe.Arc.WM) {
+		return 0, nil
+	}
 	removed := 0
 	// A span starting at Beginning forces the separated strategy onto its
 	// full-materialization path, so filtering sees every version.
-	err := m.mutate(id, temporal.Open(temporal.Beginning), func(a *Atom) ([]Version, error) {
+	err = m.mutate(id, temporal.Open(temporal.Beginning), func(a *Atom) ([]Version, error) {
 		dead := func(v Version) bool {
 			return !v.Trans.IsOpenEnded() && v.Trans.To <= beforeTT
+		}
+		// Archived versions are by construction dead before the archive
+		// watermark: a vacuum bound at or past it purges them too. Merge
+		// them back so the dead filter below counts and drops them, and
+		// clear the pointer — the archive blocks become unreferenced.
+		if !a.Arc.IsZero() && beforeTT >= a.Arc.WM {
+			if err := m.arcLoadInto(a, nil); err != nil {
+				return nil, err
+			}
+			a.Arc = ArcPtr{}
 		}
 		for i := range a.Attrs {
 			ad := &a.Attrs[i]
@@ -77,6 +97,26 @@ func (m *Manager) vacuumAtom(id value.ID, beforeTT temporal.Instant) (int, error
 	return removed, err
 }
 
+// countDead counts hot versions no query at tt >= beforeTT can see.
+func countDead(a *Atom, beforeTT temporal.Instant) int {
+	n := 0
+	for i := range a.Attrs {
+		for _, v := range a.Attrs[i].Versions {
+			if deadBefore(v, beforeTT) {
+				n++
+			}
+		}
+	}
+	for _, vs := range a.BackRefs {
+		for _, v := range vs {
+			if deadBefore(v, beforeTT) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // tupleVacuum rewrites the snapshot chain, dropping records no query with
 // tt >= beforeTT can reach. Under tuple versioning each snapshot doubles
 // as a valid-time version, so a record stays reachable at tt = Now for old
@@ -89,9 +129,26 @@ func (m *Manager) tupleVacuum(id value.ID, beforeTT temporal.Instant) (int, erro
 	if err != nil {
 		return 0, err
 	}
-	chain, err := m.tupleChain(rid, nil) // oldest first
+	chain, err := m.tupleChain(rid, nil) // oldest first, hot records only
 	if err != nil {
 		return 0, err
+	}
+	// Archived snapshots are superseded below the archive watermark: a
+	// vacuum bound at or past it purges them too — merge them into the
+	// rewrite (the keep rule below rejects them all) and drop the pointer.
+	// Below the watermark the archive is out of vacuum's reach; the pointer
+	// must survive the rewrite on the new oldest snapshot.
+	carryArc := ArcPtr{}
+	if len(chain) > 0 && !chain[0].Arc.IsZero() {
+		if beforeTT >= chain[0].Arc.WM {
+			arch, err := m.arcSnapChain(chain[0].Arc, nil)
+			if err != nil {
+				return 0, err
+			}
+			chain = append(arch, chain...)
+		} else {
+			carryArc = chain[0].Arc
+		}
 	}
 	keep := make([]bool, len(chain))
 	keep[len(chain)-1] = true // the newest is always visible
@@ -124,6 +181,8 @@ func (m *Manager) tupleVacuum(id value.ID, beforeTT temporal.Instant) (int, erro
 		}
 		cp := *snap
 		cp.Prev = prev
+		cp.Arc = carryArc
+		carryArc = ArcPtr{} // only the oldest kept snapshot carries it
 		newRID, err := m.heap.Insert(EncodeSnapshot(&cp))
 		if err != nil {
 			return 0, err

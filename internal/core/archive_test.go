@@ -1,0 +1,435 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcodm/internal/atom"
+	"tcodm/internal/query"
+	"tcodm/internal/temporal"
+	"tcodm/internal/value"
+)
+
+// buildDeepHistory commits one schema, one employee, and n salary updates,
+// returning the atom id, a watermark inside the history (the TT after the
+// n/2-th update), and the highest transaction time used.
+func buildDeepHistory(t *testing.T, e *Engine, n int) (value.ID, temporal.Instant, temporal.Instant) {
+	t.Helper()
+	defineTestSchema(t, e)
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := tx.Insert("Emp", map[string]value.V{
+		"name": value.String_("deep"), "salary": value.Int(0),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var wm, maxTT temporal.Instant
+	for i := 1; i <= n; i++ {
+		tx, err := e.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Small value domain: adjacent equal-valued runs give stage-one
+		// compaction something to coalesce.
+		if err := tx.Set(emp, "salary", value.Int(int64(i%4)), temporal.Instant(i)); err != nil {
+			t.Fatal(err)
+		}
+		maxTT = tx.TT()
+		if i == n/2 {
+			wm = tx.TT() + 1
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return emp, wm, maxTT
+}
+
+// engineFingerprint renders states and histories across a grid that spans
+// both sides of the watermark — the byte-identity tiering must preserve at
+// tt >= wm and archival alone (no vacuum) preserves even below it.
+func engineFingerprint(t *testing.T, e *Engine, id value.ID, maxTT temporal.Instant) string {
+	t.Helper()
+	var sb strings.Builder
+	tts := []temporal.Instant{maxTT / 2, maxTT - 3, maxTT, atom.Now}
+	for _, tt := range tts {
+		for _, vt := range []temporal.Instant{0, 3, 7, 11, 15, 100} {
+			st, err := e.StateAt(id, vt, tt)
+			if err != nil {
+				t.Fatalf("StateAt(%v,%v): %v", vt, tt, err)
+			}
+			fmt.Fprintf(&sb, "%v,%v: %v %v\n", vt, tt, st.Alive, st.Vals)
+		}
+		hist, err := e.History(id, "salary", tt)
+		if err != nil {
+			t.Fatalf("History(%v): %v", tt, err)
+		}
+		fmt.Fprintf(&sb, "hist@%v: %v\n", tt, hist)
+	}
+	return sb.String()
+}
+
+func TestEngineArchiveAcrossStrategies(t *testing.T) {
+	for _, strat := range []atom.Strategy{atom.StrategyEmbedded, atom.StrategySeparated, atom.StrategyTuple} {
+		t.Run(strat.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "db")
+			e, err := Open(Options{Path: path, Strategy: strat, TimeIndex: strat != atom.StrategyTuple})
+			if err != nil {
+				t.Fatal(err)
+			}
+			emp, wm, maxTT := buildDeepHistory(t, e, 16)
+			before := engineFingerprint(t, e, emp, maxTT)
+
+			res, err := e.Archive(wm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Archived == 0 && strat != atom.StrategyTuple {
+				t.Errorf("nothing archived below watermark %v", wm)
+			}
+			if got := engineFingerprint(t, e, emp, maxTT); got != before {
+				t.Fatalf("answers changed after Archive:\nbefore:\n%s\nafter:\n%s", before, got)
+			}
+			if res.Archived > 0 && e.Stats().ArchiveBytes <= 8 {
+				t.Errorf("archived %d versions but archive holds no blocks", res.Archived)
+			}
+
+			// Clean shutdown and reopen: the archive file persists and the
+			// pointer-holding hot records resolve into it.
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			e2, err := Open(Options{Path: path})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e2.Close()
+			if e2.Recovered {
+				t.Error("clean reopen required recovery")
+			}
+			if got := engineFingerprint(t, e2, emp, maxTT); got != before {
+				t.Fatalf("answers changed across clean reopen")
+			}
+		})
+	}
+}
+
+func TestEngineArchiveCrashRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db")
+	e, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, wm, maxTT := buildDeepHistory(t, e, 16)
+	res, err := e.Archive(wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Archived == 0 {
+		t.Fatal("nothing archived; the crash test would be vacuous")
+	}
+	before := engineFingerprint(t, e, emp, maxTT)
+
+	// Crash without checkpoint: the heap pages and the archive's committed
+	// size never reached the meta — recovery must replay the migration from
+	// the WAL, including every archive frame.
+	if err := e.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e2.Recovered {
+		t.Error("open after crash did not recover")
+	}
+	if got := engineFingerprint(t, e2, emp, maxTT); got != before {
+		t.Fatalf("answers changed across crash recovery")
+	}
+
+	// Crash again before checkpointing: double recovery replays the same
+	// archive frames onto the same offsets — byte-identical overwrites.
+	if err := e2.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	e3, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	if !e3.Recovered {
+		t.Error("second open after crash did not recover")
+	}
+	if got := engineFingerprint(t, e3, emp, maxTT); got != before {
+		t.Fatalf("answers changed across double recovery")
+	}
+	// And the store still archives: a later watermark migrates the next band.
+	if _, err := e3.Archive(maxTT); err != nil {
+		t.Fatalf("re-archive after double recovery: %v", err)
+	}
+	if got := engineFingerprint(t, e3, emp, maxTT); got != before {
+		t.Fatalf("answers changed after post-recovery re-archive")
+	}
+}
+
+// TestVacuumNoopSkipsRewrite is the regression test for the no-op fast
+// path: a vacuum that has nothing to remove must not rewrite any atom — its
+// WAL footprint is exactly an empty transaction's (one commit record).
+func TestVacuumNoopSkipsRewrite(t *testing.T) {
+	for _, strat := range []atom.Strategy{atom.StrategyEmbedded, atom.StrategySeparated, atom.StrategyTuple} {
+		t.Run(strat.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "db")
+			e, err := Open(Options{Path: path, Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			_, wm, _ := buildDeepHistory(t, e, 8)
+			if _, err := e.Vacuum(wm); err != nil {
+				t.Fatal(err)
+			}
+
+			// Baseline: the WAL cost of a transaction that does nothing.
+			base0 := e.Log().Size()
+			tx, err := e.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			emptyTxnBytes := e.Log().Size() - base0
+
+			// The same vacuum again is a no-op: same WAL delta as doing
+			// nothing, i.e. zero rewrite bytes.
+			size0 := e.Log().Size()
+			removed, err := e.Vacuum(wm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if removed != 0 {
+				t.Fatalf("second vacuum removed %d versions, want 0", removed)
+			}
+			if delta := e.Log().Size() - size0; delta != emptyTxnBytes {
+				t.Errorf("no-op vacuum appended %d WAL bytes beyond the commit record (empty txn = %d)",
+					delta-emptyTxnBytes, emptyTxnBytes)
+			}
+		})
+	}
+}
+
+// TestArchiveReplicationConvergence: a tiering run ships through the WAL
+// like any commit group; a follower applying it converges to the same
+// logical store — including byte-identical archives — and answers deep
+// ASOF reads from its own cold file.
+func TestArchiveReplicationConvergence(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := Open(Options{Path: filepath.Join(dir, "leader")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	emp, wm, maxTT := buildDeepHistory(t, leader, 16)
+	if _, err := leader.Archive(wm); err != nil {
+		t.Fatal(err)
+	}
+	// Commits after the tiering run, so the follower applies a mixed stream.
+	tx, err := leader.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Set(emp, "salary", value.Int(9999), 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Open(Options{Path: filepath.Join(dir, "follower"), Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.ApplyReplicated(shipAll(t, leader)); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := leader.DigestStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := f.DigestStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lg, fg) {
+		t.Fatalf("leader/follower digests diverged with archiving enabled")
+	}
+	if l, fo := leader.ArchiveStore().Size(), f.ArchiveStore().Size(); l != fo {
+		t.Errorf("archive sizes diverged: leader %d follower %d", l, fo)
+	}
+	// Deep read below the watermark on both sides: identical answers.
+	for _, vt := range []temporal.Instant{0, 5, 11} {
+		ls, err := leader.StateAt(emp, vt, wm-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := f.StateAt(emp, vt, wm-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(ls.Vals) != fmt.Sprint(fs.Vals) {
+			t.Errorf("vt=%v: leader %v follower %v", vt, ls.Vals, fs.Vals)
+		}
+	}
+	_ = maxTT
+}
+
+// TestExplainAnalyzeShowsArchive: once a query crosses the tiering
+// watermark, its EXPLAIN ANALYZE plan and resource totals surface the
+// cold-archive traffic.
+func TestExplainAnalyzeShowsArchive(t *testing.T) {
+	e, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	_, wm, _ := buildDeepHistory(t, e, 16)
+	if _, err := e.Archive(wm); err != nil {
+		t.Fatal(err)
+	}
+	deep, err := e.Query(fmt.Sprintf(
+		`EXPLAIN ANALYZE SELECT (name, salary) FROM Emp AT 3 ASOF %d`, wm-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Res.Arc == 0 {
+		t.Fatalf("deep ASOF query charged no archive reads; res=%v", deep.Res)
+	}
+	if !strings.Contains(deep.Plan, "archive (cold blocks read=") {
+		t.Errorf("plan missing archive node:\n%s", deep.Plan)
+	}
+	// A hot query must not pay for (or display) the archive.
+	hot, err := e.Query(`EXPLAIN ANALYZE SELECT (name, salary) FROM Emp AT 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Res.Arc != 0 {
+		t.Errorf("hot query charged %d archive reads", hot.Res.Arc)
+	}
+	if strings.Contains(hot.Plan, "archive") {
+		t.Errorf("hot plan shows an archive node:\n%s", hot.Plan)
+	}
+}
+
+// TestArchiveSerialParallelEquivalence: with the cold archive in the read
+// path, parallel execution must stay byte-identical to serial — rows, plan,
+// and the exact resource totals including cold-block reads. 130 atoms force
+// the candidate stream into multiple 64-atom chunks so the workers genuinely
+// partition the archive-crossing scan.
+func TestArchiveSerialParallelEquivalence(t *testing.T) {
+	e, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	defineTestSchema(t, e)
+	const emps = 130
+	ids := make([]value.ID, 0, emps)
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < emps; i++ {
+		id, err := tx.Insert("Emp", map[string]value.V{
+			"name": value.String_(fmt.Sprintf("e%03d", i)), "salary": value.Int(0),
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var wm, deepTT temporal.Instant
+	for round := 1; round <= 6; round++ {
+		tx, err := e.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			if err := tx.Set(id, "salary", value.Int(int64(round*1000+i%5)), temporal.Instant(round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if round == 2 {
+			deepTT = tx.TT()
+		}
+		if round == 4 {
+			wm = tx.TT() + 1
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Archive(wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Archived == 0 {
+		t.Fatal("nothing archived; fixture does not exercise the cold path")
+	}
+
+	sig := func(r *query.Result, err error) string {
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		var sb strings.Builder
+		sb.WriteString("plan: " + r.Plan + "\n")
+		sb.WriteString("resources: " + r.Res.String() + "\n")
+		sb.WriteString("columns: " + strings.Join(r.Columns, "|") + "\n")
+		for _, row := range r.Rows {
+			for j, v := range row {
+				if j > 0 {
+					sb.WriteByte('|')
+				}
+				sb.WriteString(v.String())
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	queries := []string{
+		fmt.Sprintf(`SELECT (name, salary) FROM Emp AT 2 ASOF %d`, deepTT),
+		fmt.Sprintf(`SELECT (name) FROM Emp WHERE salary > 2002 AT 2 ASOF %d`, deepTT),
+		`SELECT (name, salary) FROM Emp AT 100`,
+	}
+	sawArc := false
+	for _, src := range queries {
+		e.SetQueryWorkers(1)
+		serialRes, serialErr := e.Query(src)
+		want := sig(serialRes, serialErr)
+		if serialErr == nil && serialRes.Res.Arc > 0 {
+			sawArc = true
+		}
+		for _, workers := range []int{2, 8} {
+			e.SetQueryWorkers(workers)
+			if got := sig(e.Query(src)); got != want {
+				t.Errorf("workers=%d diverges on %q:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					workers, src, want, got)
+			}
+		}
+	}
+	if !sawArc {
+		t.Error("no query charged archive reads; the equivalence check is vacuous")
+	}
+}

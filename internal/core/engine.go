@@ -49,6 +49,9 @@ type Options struct {
 	// OpenWAL, when non-nil, replaces wal.Open for the log file (fault-
 	// injection seam; see internal/fault).
 	OpenWAL func(path string, opts wal.Options) (*wal.WAL, error)
+	// OpenArchive, when non-nil, replaces storage.OpenArchive for the cold
+	// archive file at Path+".arc" (fault-injection seam; see internal/fault).
+	OpenArchive func(path string) (*storage.Archive, error)
 	// DisableMetrics turns the observability layer off: no registry is
 	// created and every instrumented component gets nil metric handles
 	// (true no-ops on the hot paths).
@@ -84,6 +87,7 @@ type Engine struct {
 	pool    *storage.BufferPool
 	heap    *storage.Heap
 	log     *wal.WAL
+	arc     *storage.Archive
 	clock   *temporal.Clock
 	txns    *txn.Manager
 	schema  *schema.Schema
@@ -137,6 +141,11 @@ type metaPayload struct {
 	// reproduce, so recovery may quarantine them if a torn write left them
 	// checksum-invalid. 0 in databases written before horizon tracking.
 	Pages storage.PageID `json:"pages,omitempty"`
+	// ArchiveSize is the cold archive's committed logical size (the append
+	// frontier). Physical bytes past it belong to uncommitted migrations and
+	// are overwritten by the next archival run. 0/absent in databases
+	// written before archive tiering (SetSize clamps to the header size).
+	ArchiveSize uint64 `json:"archive_size,omitempty"`
 }
 
 // Open opens (creating if absent) a database.
@@ -173,6 +182,7 @@ func Open(opts Options) (*Engine, error) {
 	switch {
 	case opts.Path == "":
 		e.dev = storage.NewMemDevice()
+		e.arc = storage.NewMemArchive()
 	case opts.ReadOnly:
 		// No lease: share the directory with a live writer. All writes the
 		// engine performs internally (recovery replay, torn-page
@@ -184,6 +194,20 @@ func Open(opts Options) (*Engine, error) {
 		e.dev = newOverlayDevice(ro)
 		e.log, err = wal.Open(opts.Path+".wal", wal.Options{ReadOnly: true})
 		if err != nil {
+			e.dev.Close()
+			return nil, err
+		}
+		// The archive is copied into memory: recovery replay may re-apply
+		// frames, and a reader must never write the shared file.
+		arcBytes, rerr := os.ReadFile(opts.Path + ".arc")
+		if rerr != nil && !os.IsNotExist(rerr) {
+			e.log.Close()
+			e.dev.Close()
+			return nil, rerr
+		}
+		e.arc, err = storage.OpenArchiveCopy(arcBytes)
+		if err != nil {
+			e.log.Close()
 			e.dev.Close()
 			return nil, err
 		}
@@ -223,6 +247,7 @@ func Open(opts Options) (*Engine, error) {
 					return nil, fmt.Errorf("core: wiping half-born database: %w", err)
 				}
 				os.Remove(opts.Path + ".wal")
+				os.Remove(opts.Path + ".arc")
 				e.dev, err = openDev(opts.Path)
 				if err != nil {
 					e.lease.release()
@@ -232,6 +257,17 @@ func Open(opts Options) (*Engine, error) {
 		}
 		e.log, err = openWAL(opts.Path+".wal", wal.Options{SyncOnCommit: opts.SyncOnCommit})
 		if err != nil {
+			e.dev.Close()
+			e.lease.release()
+			return nil, err
+		}
+		openArc := storage.OpenArchive
+		if opts.OpenArchive != nil {
+			openArc = opts.OpenArchive
+		}
+		e.arc, err = openArc(opts.Path + ".arc")
+		if err != nil {
+			e.log.Close()
 			e.dev.Close()
 			e.lease.release()
 			return nil, err
@@ -247,6 +283,7 @@ func Open(opts Options) (*Engine, error) {
 	// no-op handles throughout.
 	e.pool.SetMetrics(e.metrics)
 	e.heap.SetMetrics(e.metrics)
+	e.arc.SetMetrics(e.metrics)
 	if e.log != nil {
 		e.log.SetMetrics(e.metrics)
 	}
@@ -307,6 +344,35 @@ func Open(opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// engineArchive couples the cold-archive store to the WAL: every block
+// append is also logged, so a crash mid-migration replays the exact frame
+// at the exact offset — the same redo discipline heap pages get. Reads
+// bypass the log entirely.
+type engineArchive struct {
+	arc *storage.Archive
+	log *wal.WAL // nil for unlogged (in-memory) engines
+}
+
+func (s engineArchive) Append(payload []byte) (uint64, error) {
+	off, frame, err := s.arc.Append(payload)
+	if err != nil {
+		return 0, err
+	}
+	if s.log != nil {
+		s.log.LogArchiveWrite(off, frame)
+	}
+	return off, nil
+}
+
+func (s engineArchive) ReadBlock(off uint64, acc *obs.Resources) ([]byte, error) {
+	return s.arc.ReadBlock(off, acc)
+}
+
+// archiveSink builds the manager-facing sink for this engine.
+func (e *Engine) archiveSink() atom.ArchiveSink {
+	return engineArchive{arc: e.arc, log: e.log}
+}
+
 // bootstrap formats a fresh database.
 func (e *Engine) bootstrap() error {
 	if err := storage.InitMeta(e.pool); err != nil {
@@ -326,7 +392,11 @@ func (e *Engine) bootstrap() error {
 		Strategy: e.opts.Strategy, SegmentCap: e.opts.SegmentCap,
 		TimeIndex: e.opts.TimeIndex, ValueIndex: e.opts.ValueIndex,
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	e.atoms.SetArchive(e.archiveSink())
+	return nil
 }
 
 // recoverOrLoad opens an existing database, replaying the log and
@@ -358,6 +428,11 @@ func (e *Engine) recoverOrLoad() error {
 	}
 	e.clock.Advance(meta.Clock)
 	e.pool.SetFreePages(meta.FreePages)
+	// Rewind the archive's append frontier to the committed size: physical
+	// bytes past it were staged by migrations that never committed, and the
+	// next Append overwrites them. Replay below re-extends the frontier for
+	// every committed OpArchiveWrite it re-applies.
+	e.arc.SetSize(meta.ArchiveSize)
 	if e.log != nil {
 		e.log.SetNextLSN(meta.NextLSN)
 	}
@@ -383,7 +458,7 @@ func (e *Engine) recoverOrLoad() error {
 		// the replayed transactions reused; drop it (leaking the pages is
 		// safe, reusing them is not).
 		e.pool.SetFreePages(nil)
-		rstats, err := e.log.Replay(e.heap)
+		rstats, err := e.log.ReplayWith(e.heap, e.arc.WriteFrameAt)
 		if err != nil {
 			return err
 		}
@@ -407,13 +482,21 @@ func (e *Engine) recoverOrLoad() error {
 			Primary: meta.Primary, Type: meta.TypeIdx, Time: meta.TimeIdx,
 			Value: meta.ValueIdx, NextID: meta.NextID,
 		})
-		return err
+		if err != nil {
+			return err
+		}
+		e.atoms.SetArchive(e.archiveSink())
+		return nil
 	}
-	// Unclean shutdown: indexes are untrustworthy; rebuild them.
+	// Unclean shutdown: indexes are untrustworthy; rebuild them. The archive
+	// must be attached first — the rebuild loads atoms at full fidelity, and
+	// a time index missing archived versions would under-approximate
+	// candidate sets for deep ASOF queries.
 	e.atoms, err = atom.NewManager(e.heap, e.pool, e.schema, mgrOpts)
 	if err != nil {
 		return err
 	}
+	e.atoms.SetArchive(e.archiveSink())
 	if _, err = e.atoms.RebuildIndexes(e.pool); err != nil {
 		return err
 	}
@@ -473,19 +556,20 @@ func (e *Engine) quarantineTornPages(horizon storage.PageID) error {
 func (e *Engine) persistMeta(clean bool) error {
 	roots := e.atoms.Roots()
 	meta := metaPayload{
-		Strategy:   e.opts.Strategy.String(),
-		SegmentCap: e.opts.SegmentCap,
-		TimeIndex:  e.opts.TimeIndex,
-		CatalogRID: e.catalogRID.Pack(),
-		Primary:    roots.Primary,
-		TypeIdx:    roots.Type,
-		TimeIdx:    roots.Time,
-		ValueIdx:   roots.Value,
-		ValueIndex: e.opts.ValueIndex,
-		NextID:     roots.NextID,
-		Clock:      e.clock.Now(),
-		FreePages:  e.pool.FreePages(),
-		Pages:      e.dev.NumPages(),
+		Strategy:    e.opts.Strategy.String(),
+		SegmentCap:  e.opts.SegmentCap,
+		TimeIndex:   e.opts.TimeIndex,
+		CatalogRID:  e.catalogRID.Pack(),
+		Primary:     roots.Primary,
+		TypeIdx:     roots.Type,
+		TimeIdx:     roots.Time,
+		ValueIdx:    roots.Value,
+		ValueIndex:  e.opts.ValueIndex,
+		NextID:      roots.NextID,
+		Clock:       e.clock.Now(),
+		FreePages:   e.pool.FreePages(),
+		Pages:       e.dev.NumPages(),
+		ArchiveSize: e.arc.Size(),
 	}
 	if e.log != nil {
 		meta.NextLSN = e.log.NextLSN()
@@ -513,6 +597,11 @@ func (e *Engine) checkpointLocked() error {
 	// is. First flush everything with the meta page still marked dirty,
 	// then truncate the log, and only then persist the clean mark.
 	if err := e.persistMeta(false); err != nil {
+		return err
+	}
+	// Archive bytes must be durable before the log truncates: the
+	// OpArchiveWrite records about to be discarded are their only redo.
+	if err := e.arc.Sync(); err != nil {
 		return err
 	}
 	if err := e.txns.Checkpoint(); err != nil {
@@ -564,6 +653,11 @@ func (e *Engine) closeFiles() error {
 	var firstErr error
 	if e.log != nil {
 		if err := e.log.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if e.arc != nil {
+		if err := e.arc.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -844,6 +938,75 @@ func (e *Engine) Vacuum(beforeTT temporal.Instant) (int, error) {
 	return removed, nil
 }
 
+// Compact coalesces adjacent equal-valued history steps whose transaction
+// intervals closed before beforeTT and whose valid intervals abut — stage
+// one of the tiering pipeline. Every query at tt >= beforeTT answers
+// identically afterwards. Returns the number of version pairs merged.
+func (e *Engine) Compact(beforeTT temporal.Instant) (int, error) {
+	if beforeTT > e.clock.Now() {
+		return 0, atom.ErrVacuumFuture
+	}
+	tx, err := e.Begin()
+	if err != nil {
+		return 0, err
+	}
+	merged, err := e.atoms.Compact(beforeTT)
+	if err != nil {
+		_ = tx.Abort()
+		return 0, err
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return merged, nil
+}
+
+// ArchiveResult reports what one tiering run moved.
+type ArchiveResult struct {
+	Compacted int // version pairs coalesced (stage one)
+	Archived  int // versions/snapshots migrated to the cold archive (stage two)
+}
+
+// Archive runs the full tiering pipeline in one transaction: compact the
+// history below beforeTT, then migrate transaction-closed versions older
+// than that watermark into the cold archive, leaving a per-atom archive
+// pointer in the hot store. Queries at tt >= beforeTT answer byte-
+// identically; deeper ASOF reads transparently chain into the archive.
+// The cut-over is WAL-logged record by record, so a crash at any point
+// replays to a consistent state; on abort the archive's append frontier
+// rolls back and the staged bytes are overwritten by the next run.
+func (e *Engine) Archive(beforeTT temporal.Instant) (ArchiveResult, error) {
+	var res ArchiveResult
+	if beforeTT > e.clock.Now() {
+		return res, atom.ErrVacuumFuture
+	}
+	tx, err := e.Begin()
+	if err != nil {
+		return res, err
+	}
+	size0 := e.arc.Size()
+	res.Compacted, err = e.atoms.Compact(beforeTT)
+	if err == nil {
+		res.Archived, err = e.atoms.ArchiveOlderThan(beforeTT)
+	}
+	if err != nil {
+		// Roll the staged archive bytes back while the writer lock is still
+		// held (Abort releases it): the frontier retreat and the heap undo
+		// must be observed together.
+		e.arc.SetSize(size0)
+		_ = tx.Abort()
+		return ArchiveResult{}, err
+	}
+	if err := tx.Commit(); err != nil {
+		e.arc.SetSize(size0)
+		return ArchiveResult{}, err
+	}
+	return res, nil
+}
+
+// ArchiveStore exposes the cold archive (statistics, replication, tooling).
+func (e *Engine) ArchiveStore() *storage.Archive { return e.arc }
+
 // Query runs a TMQL statement. Queries without an AT clause slice at the
 // engine clock's current instant. Each run is timed into the query.ns
 // histogram and offered to the slow-query log.
@@ -942,11 +1105,12 @@ func (e *Engine) IDs(typeName string) ([]value.ID, error) {
 
 // Stats aggregates engine statistics.
 type Stats struct {
-	Atoms      int
-	Pool       storage.PoolStats
-	AtomLayer  atom.Stats
-	LogBytes   int64
-	DevicePags storage.PageID
+	Atoms        int
+	Pool         storage.PoolStats
+	AtomLayer    atom.Stats
+	LogBytes     int64
+	DevicePags   storage.PageID
+	ArchiveBytes uint64
 }
 
 // Stats returns a snapshot of engine statistics.
@@ -954,10 +1118,11 @@ func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	s := Stats{
-		Atoms:      e.atoms.Count(),
-		Pool:       e.pool.Stats(),
-		AtomLayer:  e.atoms.Stats(),
-		DevicePags: e.dev.NumPages(),
+		Atoms:        e.atoms.Count(),
+		Pool:         e.pool.Stats(),
+		AtomLayer:    e.atoms.Stats(),
+		DevicePags:   e.dev.NumPages(),
+		ArchiveBytes: e.arc.Size(),
 	}
 	if e.log != nil {
 		s.LogBytes = e.log.Size()

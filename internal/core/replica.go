@@ -15,6 +15,7 @@ package core
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -201,6 +202,17 @@ func (e *Engine) ApplyReplicated(recs []wal.Record) (uint64, error) {
 					return 0, fmt.Errorf("core: index note at LSN %d: %w", r.LSN, err)
 				}
 			}
+		case wal.OpArchiveWrite:
+			// Cold-archive block from a leader-side tiering run: reproduce
+			// the frame at its offset. Only the leader archives (followers
+			// refuse user transactions), so both archives grow through this
+			// one path and stay byte-identical by construction.
+			if len(r.Data) < 8 {
+				return 0, fmt.Errorf("core: archive record at LSN %d too short (%d bytes)", r.LSN, len(r.Data))
+			}
+			if err := e.arc.WriteFrameAt(binary.LittleEndian.Uint64(r.Data), r.Data[8:]); err != nil {
+				return 0, fmt.Errorf("core: apply archive LSN %d: %w", r.LSN, err)
+			}
 		case wal.OpCommit:
 			// Group boundary; nothing to apply.
 		default:
@@ -239,10 +251,12 @@ func (e *Engine) IsReadOnly() bool { return e.opts.ReadOnly || e.opts.Follower }
 
 // Snapshot checkpoints the store and streams a point-in-time copy to w,
 // holding the writer lock throughout (writes stall for the duration; the
-// follower count makes that a rare, explicit cost). offer is called once
-// before the first byte with the LSN the log stream resumes from and the
-// exact byte size; the SHA-256 digest of the streamed bytes is returned
-// for end-to-end verification.
+// follower count makes that a rare, explicit cost). The stream is an
+// 8-byte big-endian device byte count, the device pages, then the cold
+// archive's logical content — the receiver splits it back into the two
+// files. offer is called once before the first byte with the LSN the log
+// stream resumes from and the exact byte size; the SHA-256 digest of the
+// streamed bytes is returned for end-to-end verification.
 func (e *Engine) Snapshot(offer func(startLSN, size uint64) error, w io.Writer) ([]byte, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -252,18 +266,25 @@ func (e *Engine) Snapshot(offer func(startLSN, size uint64) error, w io.Writer) 
 	if e.log == nil {
 		return nil, fmt.Errorf("core: in-memory database cannot be snapshotted (no log)")
 	}
-	// After a checkpoint the device alone is the complete store: every
-	// page is flushed, the meta is clean, and the log is empty.
+	// After a checkpoint the device plus archive are the complete store:
+	// every page is flushed, the archive is synced, the meta (carrying the
+	// archive's committed size) is clean, and the log is empty.
 	if err := e.checkpointLocked(); err != nil {
 		return nil, err
 	}
 	n := e.dev.NumPages()
-	size := uint64(n) * storage.PageSize
+	devBytes := uint64(n) * storage.PageSize
+	size := 8 + devBytes + e.arc.Size()
 	if err := offer(e.log.NextLSN(), size); err != nil {
 		return nil, err
 	}
 	h := sha256.New()
 	out := io.MultiWriter(w, h)
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], devBytes)
+	if _, err := out.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: snapshot write: %w", err)
+	}
 	buf := make([]byte, storage.PageSize)
 	for id := storage.PageID(0); id < n; id++ {
 		if err := e.dev.ReadPage(id, buf); err != nil {
@@ -272,6 +293,9 @@ func (e *Engine) Snapshot(offer func(startLSN, size uint64) error, w io.Writer) 
 		if _, err := out.Write(buf); err != nil {
 			return nil, fmt.Errorf("core: snapshot write: %w", err)
 		}
+	}
+	if _, err := e.arc.WriteContent(out); err != nil {
+		return nil, fmt.Errorf("core: snapshot archive: %w", err)
 	}
 	return h.Sum(nil), nil
 }
@@ -306,6 +330,17 @@ func (e *Engine) DigestStore() ([]byte, error) {
 		packRIDLen(scratch[:], r.rid, len(r.data))
 		h.Write(scratch[:])
 		h.Write(r.data)
+	}
+	// The cold archive is part of the logical store: hot records hold
+	// pointers into it, and a leader/follower pair must agree on what those
+	// pointers resolve to. Its content is append-only and written through
+	// one replicated path, so hashing the raw logical bytes is placement-
+	// independent. The length frame separates it from the record section.
+	var arcLen [8]byte
+	binary.BigEndian.PutUint64(arcLen[:], e.arc.Size())
+	h.Write(arcLen[:])
+	if _, err := e.arc.WriteContent(h); err != nil {
+		return nil, err
 	}
 	return h.Sum(nil), nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -305,32 +306,32 @@ func TestSnapshotBootstrap(t *testing.T) {
 	defer leader.Close()
 	_, emp := seedLeader(t, leader)
 
-	// Stream a snapshot into what will become the follower's data file.
+	// Stream a snapshot and split it into what will become the follower's
+	// data and archive files (the framing internal/repl's bootstrap uses).
 	fpath := filepath.Join(dir, "follower")
-	out, err := os.Create(fpath)
-	if err != nil {
-		t.Fatal(err)
-	}
+	var out bytes.Buffer
 	var startLSN, size uint64
 	digest, err := leader.Snapshot(func(s, n uint64) error {
 		startLSN, size = s, n
 		return nil
-	}, out)
+	}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := out.Close(); err != nil {
-		t.Fatal(err)
+	raw := out.Bytes()
+	if uint64(len(raw)) != size {
+		t.Fatalf("snapshot size promised %d, wrote %d", size, len(raw))
 	}
-	info, _ := os.Stat(fpath)
-	if uint64(info.Size()) != size {
-		t.Fatalf("snapshot size promised %d, wrote %d", size, info.Size())
-	}
-	raw, _ := os.ReadFile(fpath)
 	if len(digest) != 32 {
 		t.Fatalf("digest length %d", len(digest))
 	}
-	_ = raw
+	devBytes := binary.BigEndian.Uint64(raw[:8])
+	if err := os.WriteFile(fpath, raw[8:8+devBytes], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fpath+".arc", raw[8+devBytes:], 0o644); err != nil {
+		t.Fatal(err)
+	}
 
 	// Commit past the snapshot point, then bring the follower up from the
 	// snapshot plus the log suffix.

@@ -79,6 +79,7 @@ func TestSuiteRuns(t *testing.T) {
 		{"R-F8", func() (*Table, error) { return RF8ValueIndex(1) }, 4},
 		{"R-A2", func() (*Table, error) { return RA2Vacuum(1) }, 3},
 		{"R-T9", func() (*Table, error) { return RT9ParallelScan(1, []int{1, 2}) }, 2},
+		{"R-T11", func() (*Table, error) { return RT11Tiering(1, dir) }, 3},
 	}
 	for _, e := range suite {
 		t.Run(e.name, func(t *testing.T) {

@@ -183,6 +183,10 @@ type scenarioResult struct {
 	// recovery holds the first reopen's WAL replay statistics (zero when
 	// the scenario never crashed or the open was refused).
 	recovery wal.RecoveryStats
+	// archived counts versions the scenario's tiering run migrated before
+	// any fault fired (archive scenarios only; the probe uses it to prove
+	// the matrix is not vacuous).
+	archived int
 }
 
 // runScenario drives the workload against a fresh database with the
@@ -319,6 +323,27 @@ func injectedOptions(path string, cfg Config, inj *Injector) core.Options {
 				return nil, err
 			}
 			return wal.OpenFile(NewLogFile(inj, f), info.Size(), opts), nil
+		},
+		OpenArchive: func(p string) (*storage.Archive, error) {
+			f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			info, err := f.Stat()
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			// The archive file has the WAL file's exact contract, so the log
+			// wrapper (staged writes, land at Sync, cut loses the rest) models
+			// it too — and the shared injector keeps one op counter across all
+			// three files.
+			a, err := storage.OpenArchiveFile(NewLogFile(inj, f), info.Size())
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			return a, nil
 		},
 	}
 }

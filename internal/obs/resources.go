@@ -13,6 +13,7 @@ type Resources struct {
 	WALBytes   uint64 // WAL bytes appended on behalf of the operation
 	ChainSteps uint64 // version-chain steps walked (history segments + snapshot hops)
 	Atoms      uint64 // candidate atoms scanned
+	Arc        uint64 // cold-archive blocks read (deep-history scans past the tiering watermark)
 }
 
 // Add accumulates o into r.
@@ -24,6 +25,7 @@ func (r *Resources) Add(o Resources) {
 	r.WALBytes += o.WALBytes
 	r.ChainSteps += o.ChainSteps
 	r.Atoms += o.Atoms
+	r.Arc += o.Arc
 }
 
 // IsZero reports whether no resource was accounted.
@@ -32,8 +34,14 @@ func (r Resources) IsZero() bool {
 }
 
 // String renders the account in the stable "k=v" form used by span attrs
-// and the differential-corpus signatures.
+// and the differential-corpus signatures. The archive count is appended
+// only when non-zero so accounts written before tiering existed render
+// byte-identically (golden tests, differential signatures).
 func (r Resources) String() string {
-	return fmt.Sprintf("pages=%d wal=%dB chain=%d atoms=%d",
+	s := fmt.Sprintf("pages=%d wal=%dB chain=%d atoms=%d",
 		r.Pages, r.WALBytes, r.ChainSteps, r.Atoms)
+	if r.Arc > 0 {
+		s += fmt.Sprintf(" arc=%d", r.Arc)
+	}
+	return s
 }

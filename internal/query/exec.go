@@ -240,6 +240,12 @@ func (e *Engine) emitTrace(a *Analyzed, def Defaults, ctx *execCtx, start time.T
 		emit(fmt.Sprintf("worker %d", i), ws.dur,
 			fmt.Sprintf("chunks=%d cands=%d rows=%d", ws.chunks, ws.cands, ws.rows), obs.Resources{})
 	}
+	if ctx.res.Arc > 0 {
+		// A deep-history read crossed the tiering watermark: surface the
+		// cold-archive traffic as its own span so a trace shows at a glance
+		// which queries paid for archived history.
+		emit("archive", 0, fmt.Sprintf("blocks=%d", ctx.res.Arc), obs.Resources{Arc: ctx.res.Arc})
+	}
 	emit("storage", total, "", ctx.res)
 }
 

@@ -325,6 +325,14 @@ func buildPlanTree(a *Analyzed, vt, tt temporal.Instant, ctx *execCtx, res *Resu
 	if res != nil {
 		root.Rows = int64(len(res.Rows) + len(res.Molecules))
 	}
+	if analyzed && ctx.res.Arc > 0 {
+		// Cold-archive traffic only shows up when it happened, so plans for
+		// purely-hot queries render exactly as before tiering existed.
+		root.Children = append(root.Children, &PlanNode{
+			Name: "archive", Detail: fmt.Sprintf("cold blocks read=%d", ctx.res.Arc),
+			Rows: int64(ctx.res.Arc), Analyzed: analyzed,
+		})
+	}
 	return root
 }
 

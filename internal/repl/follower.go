@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"os"
@@ -261,21 +262,75 @@ func (f *Follower) readFrame(conn net.Conn, br *bufio.Reader) (wire.Frame, error
 	return wire.ReadFrame(br)
 }
 
-// bootstrap receives a snapshot into a temp file, verifies the size and
-// digest, and swaps the local database underneath the serving layer: the
-// old engine closes (releasing its writer lease), the snapshot is renamed
-// into place, the stale local log is dropped, and a fresh follower engine
-// opens at the snapshot's LSN. Queries racing the swap fail with
-// "database closed" until OnSwap installs the new engine — a bounded,
-// explicit window, never a wrong answer.
+// snapshotSplitter separates the snapshot stream back into its two files:
+// an 8-byte big-endian device byte count, that many device bytes, then the
+// cold archive's content (possibly empty, never negative — the count is
+// validated against the promised total upstream by the size check).
+type snapshotSplitter struct {
+	db, arc  *os.File
+	hdr      [8]byte
+	hdrGot   int
+	devBytes uint64
+	devGot   uint64
+}
+
+func (s *snapshotSplitter) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if s.hdrGot < 8 {
+			c := copy(s.hdr[s.hdrGot:], p)
+			s.hdrGot += c
+			p = p[c:]
+			if s.hdrGot == 8 {
+				s.devBytes = binary.BigEndian.Uint64(s.hdr[:])
+			}
+			continue
+		}
+		if s.devGot < s.devBytes {
+			c := uint64(len(p))
+			if c > s.devBytes-s.devGot {
+				c = s.devBytes - s.devGot
+			}
+			if _, err := s.db.Write(p[:c]); err != nil {
+				return n, err
+			}
+			s.devGot += c
+			p = p[c:]
+			continue
+		}
+		if _, err := s.arc.Write(p); err != nil {
+			return n, err
+		}
+		p = nil
+	}
+	return n, nil
+}
+
+// bootstrap receives a snapshot into temp files (device and cold archive),
+// verifies the size and digest, and swaps the local database underneath
+// the serving layer: the old engine closes (releasing its writer lease),
+// the snapshot files are renamed into place, the stale local log is
+// dropped, and a fresh follower engine opens at the snapshot's LSN.
+// Queries racing the swap fail with "database closed" until OnSwap
+// installs the new engine — a bounded, explicit window, never a wrong
+// answer.
 func (f *Follower) bootstrap(conn net.Conn, br *bufio.Reader, startLSN, size uint64) error {
 	f.logf("repl: receiving snapshot (start LSN %d, %d bytes)", startLSN, size)
 	tmpPath := f.cfg.Path + ".snap"
+	arcTmpPath := f.cfg.Path + ".snap.arc"
 	tmp, err := os.Create(tmpPath)
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmpPath)
+	arcTmp, err := os.Create(arcTmpPath)
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	defer os.Remove(arcTmpPath)
+	closeBoth := func() { tmp.Close(); arcTmp.Close() }
+	split := &snapshotSplitter{db: tmp, arc: arcTmp}
 	h := sha256.New()
 	var got uint64
 	var digest []byte
@@ -283,13 +338,13 @@ recv:
 	for {
 		fr, err := f.readFrame(conn, br)
 		if err != nil {
-			tmp.Close()
+			closeBoth()
 			return err
 		}
 		switch fr.Type {
 		case wire.FrameSnapshotChunk:
-			if _, err := tmp.Write(fr.Payload); err != nil {
-				tmp.Close()
+			if _, err := split.Write(fr.Payload); err != nil {
+				closeBoth()
 				return err
 			}
 			h.Write(fr.Payload)
@@ -297,28 +352,40 @@ recv:
 		case wire.FrameSnapshotDone:
 			digest, err = wire.DecodeSnapshotDone(fr.Payload)
 			if err != nil {
-				tmp.Close()
+				closeBoth()
 				return err
 			}
 			break recv
 		default:
-			tmp.Close()
+			closeBoth()
 			return fmt.Errorf("unexpected frame 0x%02x inside snapshot", fr.Type)
 		}
 	}
 	if got != size {
-		tmp.Close()
+		closeBoth()
 		return fmt.Errorf("snapshot promised %d bytes, received %d", size, got)
 	}
 	if !bytes.Equal(h.Sum(nil), digest) {
-		tmp.Close()
+		closeBoth()
 		return fmt.Errorf("snapshot digest mismatch")
 	}
+	if split.hdrGot < 8 || split.devGot < split.devBytes {
+		closeBoth()
+		return fmt.Errorf("snapshot truncated: device section incomplete")
+	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		closeBoth()
+		return err
+	}
+	if err := arcTmp.Sync(); err != nil {
+		closeBoth()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
+		arcTmp.Close()
+		return err
+	}
+	if err := arcTmp.Close(); err != nil {
 		return err
 	}
 
@@ -329,6 +396,10 @@ recv:
 		return fmt.Errorf("closing old engine: %w", err)
 	}
 	if err := os.Rename(tmpPath, f.cfg.Path); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	if err := os.Rename(arcTmpPath, f.cfg.Path+".arc"); err != nil {
 		f.mu.Unlock()
 		return err
 	}

@@ -1,0 +1,404 @@
+// Cold-archive block store: the immutable, compressed, append-only segment
+// file history tiering migrates transaction-closed versions into. Blocks are
+// length-prefixed with a per-block CRC-32C (the same checksum discipline as
+// the wire protocol's frame trailers), written strictly append-only, and read
+// sequentially — deep-history scans chase prevOff pointers *backwards*
+// through a file whose blocks were laid down forward, so each block read is
+// one contiguous I/O with no record fragmentation.
+//
+// Crash safety is the engine's job, not the archive's: every Append returns
+// the exact frame bytes so the caller can WAL-log them (OpArchiveWrite), and
+// WriteFrameAt lets recovery (or a replication follower) reproduce a frame
+// at its original offset idempotently. The archive's *logical* size — the
+// committed frontier — is persisted in the engine meta page; physical bytes
+// past it are uncommitted orphans that the next Append overwrites.
+package storage
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"tcodm/internal/obs"
+)
+
+// ArchiveFile is the byte-level handle an Archive runs on. *os.File
+// implements it; the fault package's log-file wrapper satisfies it too
+// (identical method set to wal.File), which is how torture scenarios inject
+// torn archive writes and power cuts mid-migration.
+type ArchiveFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// ErrArchiveCorrupt reports a block that failed structural validation or its
+// checksum. Readers must surface it — never a decoded-but-wrong answer.
+var ErrArchiveCorrupt = errors.New("storage: archive block corrupt")
+
+const (
+	// archiveMagic occupies the first bytes of every archive file, so that
+	// offset 0 can double as the nil block pointer.
+	archiveMagic = "TCDMARC1"
+	// ArchiveHeaderSize is the file offset of the first block.
+	ArchiveHeaderSize = uint64(len(archiveMagic))
+
+	// archiveMaxBody caps a block body; a hostile length prefix cannot force
+	// an allocation beyond it.
+	archiveMaxBody = 16 << 20
+
+	// Body flag byte: how the payload that follows is stored.
+	arcFlagRaw   byte = 0 // payload verbatim
+	arcFlagFlate byte = 1 // payload DEFLATE-compressed
+)
+
+var arcCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Archive is the cold store over a single append-only file.
+type Archive struct {
+	mu   sync.Mutex
+	f    ArchiveFile
+	size int64 // logical size: the committed-or-staged append frontier
+
+	met archiveMetrics
+}
+
+type archiveMetrics struct {
+	blocks   *obs.Counter // blocks appended
+	bytes    *obs.Counter // frame bytes appended (compressed, framed)
+	rawBytes *obs.Counter // payload bytes before compression
+	reads    *obs.Counter // blocks read back
+}
+
+// SetMetrics binds the archive's instrumentation to reg under "archive.*"
+// names (nil disables it).
+func (a *Archive) SetMetrics(reg *obs.Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if reg == nil {
+		a.met = archiveMetrics{}
+		return
+	}
+	a.met = archiveMetrics{
+		blocks:   reg.Counter("archive.blocks"),
+		bytes:    reg.Counter("archive.bytes"),
+		rawBytes: reg.Counter("archive.raw_bytes"),
+		reads:    reg.Counter("archive.read_blocks"),
+	}
+}
+
+// OpenArchive opens (creating if absent) the archive file at path.
+func OpenArchive(path string) (*Archive, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open archive: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat archive: %w", err)
+	}
+	a, err := OpenArchiveFile(f, info.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// OpenArchiveFile wraps an already-open archive handle of the given physical
+// size — the injection seam for fault tests (mirrors wal.OpenFile). A fresh
+// (empty) file gets the magic header written; an existing one has it
+// verified. The logical size starts at the physical size; the engine resets
+// it from the persisted meta before use (see SetSize).
+func OpenArchiveFile(f ArchiveFile, size int64) (*Archive, error) {
+	a := &Archive{f: f, size: size}
+	if size < int64(ArchiveHeaderSize) {
+		// Empty, or shorter than the header: the only way a well-formed
+		// archive gets this small is a power cut tearing the very first
+		// (header) write — the file holds a strict prefix of the magic and
+		// nothing else could have been appended after it. Reinitialize; any
+		// committed blocks live above the header and would make the file
+		// longer.
+		if _, err := f.WriteAt([]byte(archiveMagic), 0); err != nil {
+			return nil, fmt.Errorf("storage: archive header: %w", err)
+		}
+		a.size = int64(ArchiveHeaderSize)
+		return a, nil
+	}
+	hdr := make([]byte, ArchiveHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("storage: archive header: %w", err)
+	}
+	if string(hdr) != archiveMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrArchiveCorrupt)
+	}
+	return a, nil
+}
+
+// NewMemArchive returns an archive over an in-memory file (ephemeral
+// engines with no path still tier uniformly; nothing survives the process).
+func NewMemArchive() *Archive {
+	a, err := OpenArchiveFile(&memArchiveFile{}, 0)
+	if err != nil {
+		panic(err) // memory writes cannot fail
+	}
+	return a
+}
+
+// OpenArchiveCopy opens an in-memory archive seeded with a snapshot of an
+// existing archive file's bytes — the read-only open path: recovery replay
+// may re-apply frames, and those writes must never reach the shared file.
+// Pass nil when the file does not exist yet.
+func OpenArchiveCopy(data []byte) (*Archive, error) {
+	f := &memArchiveFile{data: append([]byte(nil), data...)}
+	return OpenArchiveFile(f, int64(len(data)))
+}
+
+// Size returns the logical size — the offset the next Append writes at.
+func (a *Archive) Size() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return uint64(a.size)
+}
+
+// SetSize moves the logical append frontier. The engine calls it with the
+// persisted committed size at open (discarding uncommitted orphan bytes)
+// and to roll staged appends back when the surrounding transaction aborts.
+func (a *Archive) SetSize(n uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int64(n) < int64(ArchiveHeaderSize) {
+		n = ArchiveHeaderSize
+	}
+	a.size = int64(n)
+}
+
+// EncodeArchiveBlock frames a payload: [bodyLen u32][crc32c(body) u32][body],
+// body = [flag][stored payload]. The payload is DEFLATE-compressed when that
+// actually wins, stored raw otherwise, so the flag makes decode unambiguous.
+func EncodeArchiveBlock(payload []byte) ([]byte, error) {
+	body := make([]byte, 1, 1+len(payload))
+	body[0] = arcFlagRaw
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err == nil {
+		if _, werr := zw.Write(payload); werr == nil && zw.Close() == nil && buf.Len() < len(payload) {
+			body = append(body[:1], buf.Bytes()...)
+			body[0] = arcFlagFlate
+		}
+	}
+	if body[0] == arcFlagRaw {
+		body = append(body, payload...)
+	}
+	if len(body) > archiveMaxBody {
+		return nil, fmt.Errorf("storage: archive block body %d bytes exceeds %d", len(body), archiveMaxBody)
+	}
+	frame := make([]byte, 0, 8+len(body))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(body)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(body, arcCRC))
+	return append(frame, body...), nil
+}
+
+// DecodeArchiveBlock validates and decodes the frame at the start of src,
+// returning the payload and total frame length. Pure function over bytes —
+// the fuzz target for the codec. Every failure mode wraps
+// ErrArchiveCorrupt; a corrupt block can never decode to a wrong answer.
+func DecodeArchiveBlock(src []byte) (payload []byte, frameLen int, err error) {
+	if len(src) < 9 {
+		return nil, 0, fmt.Errorf("%w: short frame (%d bytes)", ErrArchiveCorrupt, len(src))
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	if n < 1 || n > archiveMaxBody {
+		return nil, 0, fmt.Errorf("%w: implausible body length %d", ErrArchiveCorrupt, n)
+	}
+	if 8+n > len(src) {
+		return nil, 0, fmt.Errorf("%w: body length %d exceeds available %d", ErrArchiveCorrupt, n, len(src)-8)
+	}
+	sum := binary.LittleEndian.Uint32(src[4:])
+	body := src[8 : 8+n]
+	if crc32.Checksum(body, arcCRC) != sum {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrArchiveCorrupt)
+	}
+	switch body[0] {
+	case arcFlagRaw:
+		return append([]byte(nil), body[1:]...), 8 + n, nil
+	case arcFlagFlate:
+		zr := flate.NewReader(bytes.NewReader(body[1:]))
+		out, err := io.ReadAll(io.LimitReader(zr, archiveMaxBody+1))
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: inflate: %v", ErrArchiveCorrupt, err)
+		}
+		if len(out) > archiveMaxBody {
+			return nil, 0, fmt.Errorf("%w: inflated payload exceeds %d bytes", ErrArchiveCorrupt, archiveMaxBody)
+		}
+		return out, 8 + n, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: unknown body flag %#x", ErrArchiveCorrupt, body[0])
+	}
+}
+
+// Append frames payload and writes it at the logical frontier, returning the
+// block's offset and the exact frame bytes (for WAL logging). The write is
+// physical immediately — an orphan frame from an aborted transaction is
+// unreachable garbage the next Append overwrites — while the logical size
+// advance is what the caller rolls back on abort via SetSize.
+func (a *Archive) Append(payload []byte) (off uint64, frame []byte, err error) {
+	frame, err = EncodeArchiveBlock(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	off = uint64(a.size)
+	if _, err := a.f.WriteAt(frame, a.size); err != nil {
+		return 0, nil, fmt.Errorf("storage: archive append: %w", err)
+	}
+	a.size += int64(len(frame))
+	a.met.blocks.Inc()
+	a.met.bytes.Add(uint64(len(frame)))
+	a.met.rawBytes.Add(uint64(len(payload)))
+	return off, frame, nil
+}
+
+// WriteFrameAt reproduces a frame at its original offset — the WAL replay
+// and replication apply path. Re-applying an already-present frame is a
+// byte-identical overwrite, which is what makes double recovery idempotent.
+func (a *Archive) WriteFrameAt(off uint64, frame []byte) error {
+	if off < ArchiveHeaderSize {
+		return fmt.Errorf("%w: frame offset %d inside header", ErrArchiveCorrupt, off)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, err := a.f.WriteAt(frame, int64(off)); err != nil {
+		return fmt.Errorf("storage: archive replay write: %w", err)
+	}
+	if end := int64(off) + int64(len(frame)); end > a.size {
+		a.size = end
+	}
+	return nil
+}
+
+// ReadBlock reads and decodes the block at off, charging one archive-block
+// read to acc. The charge is logical (every read counts, cached or not), so
+// serial and parallel executions account identical totals.
+func (a *Archive) ReadBlock(off uint64, acc *obs.Resources) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if off < ArchiveHeaderSize || int64(off)+9 > a.size {
+		return nil, fmt.Errorf("%w: block offset %d out of range (size %d)", ErrArchiveCorrupt, off, a.size)
+	}
+	var hdr [8]byte
+	if _, err := a.f.ReadAt(hdr[:], int64(off)); err != nil {
+		return nil, fmt.Errorf("storage: archive read: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < 1 || n > archiveMaxBody || int64(off)+8+int64(n) > a.size {
+		return nil, fmt.Errorf("%w: implausible body length %d at offset %d", ErrArchiveCorrupt, n, off)
+	}
+	frame := make([]byte, 8+n)
+	if _, err := a.f.ReadAt(frame, int64(off)); err != nil {
+		return nil, fmt.Errorf("storage: archive read: %w", err)
+	}
+	payload, _, err := DecodeArchiveBlock(frame)
+	if err != nil {
+		return nil, err
+	}
+	a.met.reads.Inc()
+	acc.Add(obs.Resources{Arc: 1})
+	return payload, nil
+}
+
+// Sync flushes the archive file (checkpoint discipline: archive bytes must
+// be durable before the WAL records that reproduce them are truncated away).
+func (a *Archive) Sync() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.f.Sync()
+}
+
+// Close releases the file.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.f.Close()
+}
+
+// WriteContent streams the logical content [0, Size) to w — snapshot
+// shipping and the store digest. Physical orphan bytes past the frontier are
+// not part of the store and are not streamed.
+func (a *Archive) WriteContent(w io.Writer) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	buf := make([]byte, 64<<10)
+	var done int64
+	for done < a.size {
+		n := a.size - done
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		if _, err := a.f.ReadAt(buf[:n], done); err != nil {
+			return done, fmt.Errorf("storage: archive content read: %w", err)
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return done, err
+		}
+		done += n
+	}
+	return done, nil
+}
+
+// memArchiveFile is a growable in-memory ArchiveFile for path-less engines.
+type memArchiveFile struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func (m *memArchiveFile) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memArchiveFile) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if end := off + int64(len(p)); end > int64(len(m.data)) {
+		grown := make([]byte, end)
+		copy(grown, m.data)
+		m.data = grown
+	}
+	copy(m.data[off:], p)
+	return len(p), nil
+}
+
+func (m *memArchiveFile) Sync() error { return nil }
+
+func (m *memArchiveFile) Truncate(size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size < int64(len(m.data)) {
+		m.data = m.data[:size]
+	}
+	return nil
+}
+
+func (m *memArchiveFile) Close() error { return nil }

@@ -125,9 +125,21 @@ func (p *Page) setSlot(slot uint16, off, length uint16) {
 }
 
 // FreeSpace returns the bytes available for a new record, accounting for
-// the slot entry a fresh insertion would need.
+// the slot entry a fresh insertion would need. Holes left by deleted and
+// shrunk records count as free: InsertRecord and UpdateRecord compact the
+// page on demand when the contiguous region alone is too small, so the
+// whole reclaimable total is genuinely available. (Without counting holes,
+// pages emptied by bulk deletes — history rewrites, vacuum — would
+// advertise no room and be stranded forever.)
 func (p *Page) FreeSpace() int {
-	free := int(p.freeEnd()) - int(p.freeStart())
+	live := 0
+	n := p.slotCount()
+	for s := uint16(0); s < n; s++ {
+		if off, length := p.slot(s); off != 0 {
+			live += int(length)
+		}
+	}
+	free := PageSize - int(p.freeStart()) - live
 	// A new record may need a new slot entry unless an empty one exists.
 	free -= slotEntryLen
 	if free < 0 {

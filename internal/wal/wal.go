@@ -35,6 +35,12 @@ const (
 	// OpCommit marks a transaction as committed; only records of
 	// committed transactions are replayed.
 	OpCommit
+	// OpArchiveWrite logs a cold-archive block append: Data carries the
+	// block's byte offset (8 bytes little-endian) followed by the exact
+	// frame bytes, and RID is NilRID. The offset travels in Data rather
+	// than the RID field because RID.Pack only round-trips 16-bit pages —
+	// an archive byte offset would be silently truncated.
+	OpArchiveWrite
 )
 
 // Record is one decoded log record.
@@ -251,6 +257,16 @@ func (w *WAL) LogHeapDelete(rid storage.RID) uint64 {
 	return w.buffer(OpHeapDelete, rid, nil)
 }
 
+// LogArchiveWrite buffers a cold-archive block append: the frame bytes as
+// written at the given archive byte offset. Replayed (via ReplayWith) by
+// rewriting the frame at the same offset — idempotent, like heap redo.
+func (w *WAL) LogArchiveWrite(off uint64, frame []byte) uint64 {
+	data := make([]byte, 8+len(frame))
+	binary.LittleEndian.PutUint64(data, off)
+	copy(data[8:], frame)
+	return w.buffer(OpArchiveWrite, storage.NilRID, data)
+}
+
 func (w *WAL) buffer(op Op, rid storage.RID, data []byte) uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -462,7 +478,19 @@ type RecoveryStats struct {
 // record) is truncated away before replay: leaving it in place would make
 // post-recovery commits append *behind* garbage that a future ReadAll
 // stops at, silently losing them on the next crash.
+//
+// Replay handles heap records only; a log containing OpArchiveWrite records
+// needs ReplayWith so the caller can say where archive frames go.
 func (w *WAL) Replay(h *storage.Heap) (RecoveryStats, error) {
+	return w.ReplayWith(h, nil)
+}
+
+// ReplayWith is Replay with a redo hook for cold-archive block writes:
+// arcApply receives each committed OpArchiveWrite record's byte offset and
+// frame, and must reproduce the frame at that offset (idempotently — the
+// same record may be replayed again after a crash during recovery). A nil
+// arcApply makes OpArchiveWrite an unknown op, matching Replay.
+func (w *WAL) ReplayWith(h *storage.Heap, arcApply func(off uint64, frame []byte) error) (RecoveryStats, error) {
 	w.mu.Lock()
 	records, validEnd, err := w.readAllLocked()
 	if err != nil {
@@ -513,6 +541,14 @@ func (w *WAL) Replay(h *storage.Heap) (RecoveryStats, error) {
 			err = h.RedoUpdate(r.RID, r.Data, r.LSN)
 		case OpHeapDelete:
 			err = h.RedoDelete(r.RID, r.LSN)
+		case OpArchiveWrite:
+			if arcApply == nil {
+				err = fmt.Errorf("wal: archive record at LSN %d but no archive apply hook", r.LSN)
+			} else if len(r.Data) < 8 {
+				err = fmt.Errorf("wal: archive record at LSN %d too short (%d bytes)", r.LSN, len(r.Data))
+			} else {
+				err = arcApply(binary.LittleEndian.Uint64(r.Data), r.Data[8:])
+			}
 		default:
 			err = fmt.Errorf("wal: unknown op %d at LSN %d", r.Op, r.LSN)
 		}

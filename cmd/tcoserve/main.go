@@ -15,13 +15,25 @@
 // SIGTERM or SIGINT starts a graceful drain: the listener closes, busy
 // sessions finish their current statement, and the process exits once
 // every session is gone (or -drain-timeout forces the issue).
+//
+// When the leader dies, an operator promotes a caught-up replica in
+// place — no restart, no data copy:
+//
+//	tcoserve -promote host:7484       # tell the replica at host:7484 to take over
+//
+// Promotion verifies the replica's history against the leader's last
+// shipped digest, bumps the leadership epoch, and starts serving writes
+// and replication subscriptions. A resurrected old leader that reconnects
+// is fenced by the higher epoch and rejoins as a follower.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +45,7 @@ import (
 	"tcodm/internal/schema"
 	"tcodm/internal/server"
 	"tcodm/internal/temporal"
+	"tcodm/internal/wire"
 	"tcodm/internal/workload"
 )
 
@@ -55,7 +68,18 @@ func main() {
 	workers := flag.Int("workers", 0, "per-query worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	archiveEvery := flag.Duration("archive-every", 0, "period between background history-tiering passes (0 = off; leader only)")
 	archiveHot := flag.Uint64("archive-hot", 4096, "transaction instants each tiering pass keeps in the hot store")
+	promote := flag.String("promote", "", "admin mode: promote the replica at this address to leader, print the result, exit")
+	adminCmd := flag.String("admin", "", "admin mode: send this admin command (e.g. epoch) to the server at -addr, print the result, exit")
 	flag.Parse()
+
+	if *promote != "" {
+		runAdmin(*promote, "promote")
+		return
+	}
+	if *adminCmd != "" {
+		runAdmin(*addr, *adminCmd)
+		return
+	}
 
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	cfg := server.Config{
@@ -164,6 +188,35 @@ func main() {
 	}
 
 	cfg.Engine = db
+	// The admin hook closes over srv and fol: "promote" turns a replica
+	// into the leader in place — verify against the last shipped digest,
+	// bump the epoch, open read-write, start serving subscriptions, and
+	// report zero lag so replica-dialed sessions keep working.
+	var srv *server.Server
+	cfg.Admin = func(cmd string) (string, error) {
+		switch cmd {
+		case "epoch":
+			eng := db
+			if fol != nil {
+				eng = fol.Engine()
+			}
+			return fmt.Sprintf("epoch %d", eng.Epoch()), nil
+		case "promote":
+			if fol == nil {
+				return "", errors.New("promote: this server is not a replica (started without -follow)")
+			}
+			epoch, err := fol.Promote()
+			if err != nil {
+				return "", err
+			}
+			eng := fol.Engine()
+			srv.SetRepl(&repl.Source{Engine: eng, Logf: logf})
+			srv.SetStaleness(func() time.Duration { return 0 })
+			return fmt.Sprintf("promoted: epoch %d, watermark LSN %d", epoch, eng.Watermark()), nil
+		default:
+			return "", fmt.Errorf("unknown admin command %q (want promote or epoch)", cmd)
+		}
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -254,6 +307,65 @@ func seed(db *core.Engine, name string) (int, error) {
 		return 0, err
 	}
 	return len(ids), nil
+}
+
+// runAdmin is the one-shot admin client: handshake, one Admin frame,
+// print the server's answer, exit. Exit status 1 on any failure so CI
+// scripts can gate on promotion succeeding.
+func runAdmin(addr, cmd string) {
+	out, err := sendAdmin(addr, cmd)
+	if err != nil {
+		fatal(fmt.Errorf("admin %q at %s: %w", cmd, addr, err))
+	}
+	fmt.Println(out)
+}
+
+func sendAdmin(addr, cmd string) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	br := bufio.NewReader(conn)
+	if err := wire.WriteFrame(conn, wire.FrameHello, wire.EncodeHello("tcoserve-admin/1")); err != nil {
+		return "", err
+	}
+	f, err := wire.ReadFrame(br)
+	if err != nil {
+		return "", err
+	}
+	if f.Type != wire.FrameWelcome {
+		return "", adminServerError(f)
+	}
+	if err := wire.WriteFrame(conn, wire.FrameAdmin, wire.EncodeAdmin(cmd)); err != nil {
+		return "", err
+	}
+	f, err = wire.ReadFrame(br)
+	if err != nil {
+		return "", err
+	}
+	if f.Type != wire.FrameAck {
+		return "", adminServerError(f)
+	}
+	out, err := wire.DecodeAck(f.Payload)
+	if err != nil {
+		return "", err
+	}
+	wire.WriteFrame(conn, wire.FrameClose, nil)
+	return out, nil
+}
+
+func adminServerError(f wire.Frame) error {
+	if f.Type == wire.FrameError {
+		if code, msg, detail, _, err := wire.DecodeErrorRetry(f.Payload); err == nil {
+			if detail != "" {
+				return fmt.Errorf("server error %d: %s (%s)", code, msg, detail)
+			}
+			return fmt.Errorf("server error %d: %s", code, msg)
+		}
+	}
+	return fmt.Errorf("unexpected frame 0x%02x", f.Type)
 }
 
 func fatal(err error) {

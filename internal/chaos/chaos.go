@@ -815,6 +815,10 @@ func buildScenarios(e *env, c2s, s2c int64) []scenario {
 	// and degraded links — convergence and the TT-prefix property.
 	scs = append(scs, replScenarios(e)...)
 
+	// Leader failover: promotion, epoch fencing, divergent-suffix discard,
+	// double-promotion races, and client re-routing.
+	scs = append(scs, failoverScenarios(e)...)
+
 	return scs
 }
 

@@ -106,11 +106,18 @@ func (l *replLab) startServer() error {
 	return nil
 }
 
+// stopServer drains the wire server. Idempotent: failover scenarios stop
+// the server mid-body ("the leader dies") and lab teardown must not
+// double-drain.
 func (l *replLab) stopServer() {
+	if l.srv == nil {
+		return
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	l.srv.Shutdown(ctx)
 	<-l.served
+	l.srv = nil
 }
 
 func (l *replLab) addr() string { return l.ln.Addr().String() }

@@ -105,6 +105,13 @@ type Engine struct {
 	lease     *lease
 	watermark uint64
 
+	// epoch is the replication epoch this store last observed (0 before
+	// any promotion); epochStart is the appended LSN at which it began.
+	// Bumped by Promote on this node, advanced by OpEpoch records on
+	// followers, persisted in the meta page and recoverable from the log.
+	epoch      uint64
+	epochStart uint64
+
 	// Recovered reports whether opening required crash recovery.
 	Recovered bool
 
@@ -146,6 +153,12 @@ type metaPayload struct {
 	// are overwritten by the next archival run. 0/absent in databases
 	// written before archive tiering (SetSize clamps to the header size).
 	ArchiveSize uint64 `json:"archive_size,omitempty"`
+	// Epoch is the replication epoch the store last observed and
+	// EpochStart the appended LSN at which it began. 0/absent in
+	// databases that predate failover (never promoted, never led by a
+	// promoted leader).
+	Epoch      uint64 `json:"epoch,omitempty"`
+	EpochStart uint64 `json:"epoch_start,omitempty"`
 }
 
 // Open opens (creating if absent) a database.
@@ -427,6 +440,8 @@ func (e *Engine) recoverOrLoad() error {
 		meta.ValueIndex = false
 	}
 	e.clock.Advance(meta.Clock)
+	e.epoch = meta.Epoch
+	e.epochStart = meta.EpochStart
 	e.pool.SetFreePages(meta.FreePages)
 	// Rewind the archive's append frontier to the committed size: physical
 	// bytes past it were staged by migrations that never committed, and the
@@ -463,6 +478,12 @@ func (e *Engine) recoverOrLoad() error {
 			return err
 		}
 		e.recovery = rstats
+		// A promotion's epoch group may have reached the log but not the
+		// meta page before the crash; the log wins.
+		if rstats.Epoch > e.epoch {
+			e.epoch = rstats.Epoch
+			e.epochStart = rstats.EpochStart
+		}
 	}
 
 	e.catalogRID = storage.UnpackRID(meta.CatalogRID)
@@ -570,6 +591,8 @@ func (e *Engine) persistMeta(clean bool) error {
 		FreePages:   e.pool.FreePages(),
 		Pages:       e.dev.NumPages(),
 		ArchiveSize: e.arc.Size(),
+		Epoch:       e.epoch,
+		EpochStart:  e.epochStart,
 	}
 	if e.log != nil {
 		meta.NextLSN = e.log.NextLSN()

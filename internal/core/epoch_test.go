@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"tcodm/internal/value"
+)
+
+func TestPromoteBumpsAndPersistsEpoch(t *testing.T) {
+	dir := t.TempDir()
+	leader := openLeader(t, filepath.Join(dir, "leader"))
+	defer leader.Close()
+	seedLeader(t, leader)
+
+	fpath := filepath.Join(dir, "follower")
+	f, err := Open(Options{Path: fpath, Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ApplyReplicated(shipAll(t, leader)); err != nil {
+		t.Fatal(err)
+	}
+	frontier := f.Watermark()
+
+	epoch, err := f.Promote(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("first promotion epoch = %d, want 1", epoch)
+	}
+	if f.Epoch() != 1 || f.EpochStart() != frontier {
+		t.Fatalf("epoch state = (%d, %d), want (1, %d)", f.Epoch(), f.EpochStart(), frontier)
+	}
+	if f.IsFollower() || f.IsReadOnly() {
+		t.Fatal("promoted engine still refuses writes")
+	}
+	// The epoch group advanced the watermark: a leader's watermark is its
+	// appended frontier.
+	if f.Watermark() != f.Log().AppendedLSN() {
+		t.Fatalf("watermark %d != appended %d", f.Watermark(), f.Log().AppendedLSN())
+	}
+
+	// The promoted engine accepts local commits.
+	tx, err := f.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("Dept", map[string]value.V{
+		"name": value.String_("post-promotion"), "budget": value.Int(1),
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second promotion on a non-follower engine is refused.
+	if _, err := f.Promote(0); err == nil {
+		t.Fatal("promote succeeded twice on the same engine")
+	}
+
+	// Crash, reopen: the epoch survives (via the WAL group and/or meta).
+	if err := f.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Open(Options{Path: fpath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.Epoch() != 1 {
+		t.Fatalf("epoch after crash recovery = %d, want 1", f2.Epoch())
+	}
+	if f2.EpochStart() != frontier {
+		t.Fatalf("epoch start after crash recovery = %d, want %d", f2.EpochStart(), frontier)
+	}
+}
+
+func TestPromoteTakesObservedEpoch(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Open(Options{Path: filepath.Join(dir, "f"), Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// The follower heard epoch 5 from its (dead) leader's heartbeats but
+	// never replayed an epoch record: promotion must land above it.
+	epoch, err := f.Promote(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 6 {
+		t.Fatalf("promotion epoch = %d, want 6", epoch)
+	}
+}
+
+func TestPromoteRefusedOnLeader(t *testing.T) {
+	leader := openLeader(t, filepath.Join(t.TempDir(), "leader"))
+	defer leader.Close()
+	if _, err := leader.Promote(0); err == nil {
+		t.Fatal("promote succeeded on a non-follower engine")
+	}
+}
+
+// TestEpochReplicatesThroughStream proves the promotion is itself a WAL
+// event: a follower of the new leader learns the epoch from the log, no
+// side channel.
+func TestEpochReplicatesThroughStream(t *testing.T) {
+	dir := t.TempDir()
+	leader := openLeader(t, filepath.Join(dir, "leader"))
+	defer leader.Close()
+	seedLeader(t, leader)
+
+	a, err := Open(Options{Path: filepath.Join(dir, "a"), Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ApplyReplicated(shipAll(t, leader)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Promote(0); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// B replicates from A (the promoted leader) and must converge on both
+	// the store and the epoch.
+	b, err := Open(Options{Path: filepath.Join(dir, "b"), Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.ApplyReplicated(shipAll(t, a)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Epoch() != 1 {
+		t.Fatalf("streamed epoch = %d, want 1", b.Epoch())
+	}
+	if b.EpochStart() != a.EpochStart() {
+		t.Fatalf("streamed epoch start = %d, want %d", b.EpochStart(), a.EpochStart())
+	}
+	da, err := a.DigestStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.DigestStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatal("digest diverged after epoch replication")
+	}
+}
+
+// TestEpochRecoveryLogWins: meta may lag the log (crash between the epoch
+// group's append and the next checkpoint); replay must win the max.
+func TestEpochRecoveryLogWins(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db")
+	f, err := Open(Options{Path: path, Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Promote(3); err != nil { // lands at epoch 4
+		t.Fatal(err)
+	}
+	if err := f.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.Epoch() != 4 {
+		t.Fatalf("epoch after crash = %d, want 4 (log must win over stale meta)", f2.Epoch())
+	}
+	if !f2.Recovered {
+		t.Error("expected crash recovery to have run")
+	}
+}

@@ -213,6 +213,16 @@ func (e *Engine) ApplyReplicated(recs []wal.Record) (uint64, error) {
 			if err := e.arc.WriteFrameAt(binary.LittleEndian.Uint64(r.Data), r.Data[8:]); err != nil {
 				return 0, fmt.Errorf("core: apply archive LSN %d: %w", r.LSN, err)
 			}
+		case wal.OpEpoch:
+			// A promotion upstream: adopt the higher epoch. The epoch's
+			// start LSN is the frontier just before the record itself.
+			if len(r.Data) < 8 {
+				return 0, fmt.Errorf("core: epoch record at LSN %d too short (%d bytes)", r.LSN, len(r.Data))
+			}
+			if v := binary.LittleEndian.Uint64(r.Data); v > e.epoch {
+				e.epoch = v
+				e.epochStart = r.LSN - 1
+			}
 		case wal.OpCommit:
 			// Group boundary; nothing to apply.
 		default:
@@ -242,10 +252,83 @@ func (e *Engine) Watermark() uint64 {
 }
 
 // IsFollower reports whether this engine applies a replication stream.
-func (e *Engine) IsFollower() bool { return e.opts.Follower }
+func (e *Engine) IsFollower() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opts.Follower
+}
 
 // IsReadOnly reports whether this engine refuses user writes.
-func (e *Engine) IsReadOnly() bool { return e.opts.ReadOnly || e.opts.Follower }
+func (e *Engine) IsReadOnly() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opts.ReadOnly || e.opts.Follower
+}
+
+// Epoch returns the replication epoch this store last observed (0 before
+// any promotion anywhere in its history).
+func (e *Engine) Epoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch
+}
+
+// EpochStart returns the appended LSN at which the current epoch began:
+// every LSN at or below it belongs to pre-promotion history, every one
+// above it to the current leader. 0 before any promotion.
+func (e *Engine) EpochStart() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epochStart
+}
+
+// Promote turns a follower engine into a writable leader: the epoch is
+// bumped past both the local store's and the given observed epoch (the
+// highest this node ever heard from its leader), an [OpEpoch, OpCommit]
+// group is durably appended — so the bump replicates to this node's own
+// followers and survives any crash — and user transactions are accepted
+// from then on. The returned epoch fences the old leader: a Source at
+// this epoch refuses subscribers whose history extends past the epoch's
+// start LSN at a lower epoch.
+//
+// Promotion does not rebuild the optional time/value indexes a follower
+// runs without; the promoted store answers every query correctly through
+// scans (see DESIGN.md §15 for the full contract).
+func (e *Engine) Promote(observedEpoch uint64) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, fmt.Errorf("core: database closed")
+	}
+	if !e.opts.Follower {
+		return 0, fmt.Errorf("core: promote on a non-follower engine")
+	}
+	newEpoch := e.epoch
+	if observedEpoch > newEpoch {
+		newEpoch = observedEpoch
+	}
+	newEpoch++
+	start := e.log.AppendedLSN()
+	// Same dirty-marking discipline as Begin: the meta page must carry the
+	// dirty flag on disk before the epoch group's effects can matter.
+	if e.diskClean && e.opts.Path != "" {
+		if err := e.persistMeta(false); err != nil {
+			return 0, err
+		}
+		if err := e.pool.FlushPage(0); err != nil {
+			return 0, err
+		}
+	}
+	e.diskClean = false
+	if _, err := e.log.AppendEpochGroup(newEpoch); err != nil {
+		return 0, err
+	}
+	e.epoch = newEpoch
+	e.epochStart = start
+	e.opts.Follower = false
+	e.watermark = e.log.AppendedLSN()
+	return newEpoch, nil
+}
 
 // --- snapshot + digest ------------------------------------------------------
 

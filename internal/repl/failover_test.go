@@ -1,0 +1,387 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcodm/internal/core"
+	"tcodm/internal/value"
+	"tcodm/internal/wire"
+)
+
+// commitOn inserts an Emp row on an arbitrary engine (used for writes on
+// a freshly promoted follower's engine).
+func commitOn(t *testing.T, e *core.Engine, name string, salary int64) {
+	t.Helper()
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("Emp", map[string]value.V{
+		"name": value.String_(name), "salary": value.Int(salary),
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitDigestShipped waits until the follower has cached a leader digest at
+// its current watermark (the leader ships one after two idle heartbeats).
+func waitDigestShipped(t *testing.T, f *Follower) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		f.digMu.Lock()
+		ok := len(f.dig) == wire.StoreDigestLen && f.digLSN == f.Watermark()
+		f.digMu.Unlock()
+		if ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("leader never shipped a digest at the follower's frontier")
+}
+
+func TestPromoteVerifiedTakeover(t *testing.T) {
+	dir := t.TempDir()
+	leader := openLeader(t, dir)
+	commit(t, leader, "a", 100)
+	commit(t, leader, "b", 200)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &Source{Engine: leader, Heartbeat: 20 * time.Millisecond}
+	f, err := StartFollower(FollowerConfig{
+		Leader: "pipe", Path: filepath.Join(dir, "follower"),
+		Dial:    leaderDialer(ctx, src),
+		Backoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	go f.Run(ctx)
+	waitConverged(t, f, leader)
+	waitDigestShipped(t, f)
+
+	epoch, err := f.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("promotion epoch = %d, want 1", epoch)
+	}
+	if !f.Promoted() {
+		t.Fatal("Promoted() = false after Promote")
+	}
+	if f.Staleness() != 0 {
+		t.Fatalf("promoted follower staleness = %v, want 0 (a leader is a replica with zero lag)", f.Staleness())
+	}
+	// The promoted engine takes local writes.
+	eng := f.Engine()
+	if eng.IsReadOnly() {
+		t.Fatal("promoted engine is still read-only")
+	}
+	commitOn(t, eng, "c", 300)
+	// Promote is once-only.
+	if _, err := f.Promote(); err == nil {
+		t.Fatal("second Promote succeeded")
+	}
+}
+
+func TestPromoteDetectsDivergence(t *testing.T) {
+	dir := t.TempDir()
+	leader := openLeader(t, dir)
+	commit(t, leader, "a", 100)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &Source{Engine: leader, Heartbeat: 20 * time.Millisecond}
+	f, err := StartFollower(FollowerConfig{
+		Leader: "pipe", Path: filepath.Join(dir, "follower"),
+		Dial:    leaderDialer(ctx, src),
+		Backoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	go f.Run(ctx)
+	waitConverged(t, f, leader)
+
+	// Forge a digest the local store cannot match at the current frontier:
+	// promotion must refuse with the typed divergence error rather than
+	// fork the timeline.
+	f.digMu.Lock()
+	f.digLSN = f.Watermark()
+	f.dig = bytes.Repeat([]byte{0xEE}, wire.StoreDigestLen)
+	f.digMu.Unlock()
+	if _, err := f.Promote(); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("Promote with mismatched digest = %v, want ErrDiverged", err)
+	}
+	if f.Promoted() {
+		t.Fatal("diverged follower reports Promoted()")
+	}
+}
+
+// TestSourceSelfFencesOnHigherEpoch drives Serve directly: a subscriber
+// that has seen a higher epoch proves this source is a stale ex-leader.
+func TestSourceSelfFencesOnHigherEpoch(t *testing.T) {
+	dir := t.TempDir()
+	leader := openLeader(t, dir)
+	commit(t, leader, "a", 100)
+
+	var fencedBy atomic.Uint64
+	src := &Source{Engine: leader, OnFenced: func(peer uint64) { fencedBy.Store(peer) }}
+	client, server := net.Pipe()
+	defer client.Close()
+	done := make(chan error, 1)
+	go func() {
+		defer server.Close()
+		done <- src.Serve(context.Background(), server, wire.SubscribeReq{FromLSN: 1, Epoch: 5})
+	}()
+	fr, err := wire.ReadFrame(bufio.NewReader(client))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Type != wire.FrameFence {
+		t.Fatalf("frame = 0x%02x, want Fence", fr.Type)
+	}
+	fence, err := wire.DecodeFence(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fence.Epoch != 0 {
+		t.Fatalf("fence epoch = %d, want the source's own 0", fence.Epoch)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("Serve returned nil after self-fencing")
+	}
+	if fencedBy.Load() != 5 {
+		t.Fatalf("OnFenced peer epoch = %d, want 5", fencedBy.Load())
+	}
+}
+
+// TestFencedOldLeaderRejoinsViaSnapshot is the full demotion arc: the old
+// leader commits past the promotion point (a divergent, unshipped
+// suffix), then rejoins the new leader — it must be fenced, discard its
+// suffix loudly, bootstrap from a snapshot, and converge byte-for-byte.
+func TestFencedOldLeaderRejoinsViaSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	leader := openLeader(t, dir)
+	commit(t, leader, "a", 100)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &Source{Engine: leader, Heartbeat: 20 * time.Millisecond}
+	f, err := StartFollower(FollowerConfig{
+		Leader: "pipe", Path: filepath.Join(dir, "new-leader"),
+		Dial:    leaderDialer(ctx, src),
+		Backoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	go f.Run(ctx)
+	waitConverged(t, f, leader)
+
+	// Partition: the follower promotes while the old leader, unaware,
+	// keeps committing writes nobody will ever replicate.
+	if _, err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	newEng := f.Engine()
+	commitOn(t, newEng, "on-new-timeline", 500)
+	commit(t, leader, "divergent-unshipped", 999)
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resurrected old leader rejoins as a follower of the new leader.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	src2 := &Source{Engine: newEng, Heartbeat: 20 * time.Millisecond, Logf: t.Logf}
+	old, err := StartFollower(FollowerConfig{
+		Leader: "pipe2", Path: filepath.Join(dir, "leader"),
+		Dial:    leaderDialer(ctx2, src2),
+		Backoff: 10 * time.Millisecond,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	go old.Run(ctx2)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if old.Watermark() == newEng.Log().AppendedLSN() && old.Engine().Epoch() == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if old.Engine().Epoch() != 1 {
+		t.Fatalf("rejoined old leader epoch = %d, want 1", old.Engine().Epoch())
+	}
+	nd, err := newEng.DigestStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := old.Engine().DigestStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(nd, od) {
+		t.Fatal("old leader did not converge onto the promoted timeline")
+	}
+	// The divergent write is gone; the new timeline's write is present.
+	res, err := old.Engine().Query(`SELECT (Emp.name) FROM Emp WHERE Emp.salary >= 500 AT 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "on-new-timeline" {
+		t.Fatalf("post-rejoin rows = %v", res.Rows)
+	}
+	// The rejoin was by fencing, not by luck: the new leader sent a fence
+	// (the old leader's repl.fenced counter is rebound to a fresh registry
+	// during the snapshot swap, so assert on the source side).
+	if newEng.Metrics().Counters()["repl.fences_sent"] == 0 {
+		t.Error("repl.fences_sent never moved on the new leader")
+	}
+	if old.Engine().Metrics().Counters()["repl.snapshot_bootstraps"] == 0 {
+		t.Error("old leader rejoined without a snapshot bootstrap")
+	}
+}
+
+// TestBehindFollowerServedAcrossPromotion: a follower that is merely
+// behind (clean prefix, no divergent suffix) must NOT be fenced by the
+// new leader — it streams the missing records, including the epoch
+// record, and converges without a snapshot.
+func TestBehindFollowerServedAcrossPromotion(t *testing.T) {
+	dir := t.TempDir()
+	leader := openLeader(t, dir)
+	commit(t, leader, "a", 100)
+
+	// First follower: converges, then promotes.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &Source{Engine: leader, Heartbeat: 20 * time.Millisecond}
+	f1, err := StartFollower(FollowerConfig{
+		Leader: "pipe", Path: filepath.Join(dir, "f1"),
+		Dial:    leaderDialer(ctx, src),
+		Backoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	go f1.Run(ctx)
+	waitConverged(t, f1, leader)
+	if _, err := f1.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	commitOn(t, f1.Engine(), "post-promo", 700)
+
+	// Second follower: fresh (way behind, clean prefix), pointed at the
+	// NEW leader. It must be served the full stream, never fenced.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	src2 := &Source{Engine: f1.Engine(), Heartbeat: 20 * time.Millisecond}
+	f2, err := StartFollower(FollowerConfig{
+		Leader: "pipe2", Path: filepath.Join(dir, "f2"),
+		Dial:    leaderDialer(ctx2, src2),
+		Backoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	go f2.Run(ctx2)
+	waitConverged(t, f2, f1.Engine())
+	if f2.Engine().Epoch() != 1 {
+		t.Fatalf("behind follower epoch = %d, want 1 (from the streamed epoch record)", f2.Engine().Epoch())
+	}
+	if f2.Engine().Metrics().Counters()["repl.fenced"] != 0 {
+		t.Error("clean behind follower was fenced")
+	}
+}
+
+func TestBackoffJitteredExponentialCapped(t *testing.T) {
+	f := &Follower{cfg: FollowerConfig{
+		Backoff:    100 * time.Millisecond,
+		MaxBackoff: 800 * time.Millisecond,
+	}}
+	// Deterministic curve without jitter.
+	for i, want := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 800 * time.Millisecond, 800 * time.Millisecond,
+	} {
+		if got := f.backoff(i, nil); got != want {
+			t.Errorf("backoff(%d) = %v, want %v", i, got, want)
+		}
+	}
+	// Jitter adds at most 50% and never goes below the base.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 6; i++ {
+		base := f.backoff(i, nil)
+		for k := 0; k < 50; k++ {
+			got := f.backoff(i, rng)
+			if got < base || got > base+base/2 {
+				t.Fatalf("backoff(%d) with jitter = %v, want [%v, %v]", i, got, base, base+base/2)
+			}
+		}
+	}
+}
+
+// TestFollowerStreamDropCounters: killing the transport mid-stream moves
+// repl.stream_drops and repl.reconnects.
+func TestFollowerStreamDropCounters(t *testing.T) {
+	dir := t.TempDir()
+	leader := openLeader(t, dir)
+	commit(t, leader, "a", 100)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &Source{Engine: leader, Heartbeat: 20 * time.Millisecond}
+	dial := leaderDialer(ctx, src)
+	var lastConn atomic.Value
+	f, err := StartFollower(FollowerConfig{
+		Leader: "pipe", Path: filepath.Join(dir, "follower"),
+		Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+			c, err := dial(ctx, addr)
+			if err == nil {
+				lastConn.Store(c)
+			}
+			return c, err
+		},
+		Backoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	go f.Run(ctx)
+	waitConverged(t, f, leader)
+
+	lastConn.Load().(net.Conn).Close()
+	commit(t, leader, "b", 200)
+	waitConverged(t, f, leader)
+	c := f.Engine().Metrics().Counters()
+	if c["repl.stream_drops"] == 0 {
+		t.Error("repl.stream_drops never moved after a severed stream")
+	}
+	if c["repl.reconnects"] == 0 {
+		t.Error("repl.reconnects never moved after a severed stream")
+	}
+}

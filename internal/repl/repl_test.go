@@ -72,11 +72,11 @@ func leaderDialer(ctx context.Context, src *Source) func(context.Context, string
 			if err != nil || fr.Type != wire.FrameSubscribe {
 				return
 			}
-			from, err := wire.DecodeSubscribe(fr.Payload)
+			req, err := wire.DecodeSubscribeReq(fr.Payload)
 			if err != nil {
 				return
 			}
-			src.Serve(ctx, server, from)
+			src.Serve(ctx, server, req)
 		}()
 		return client, nil
 	}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"tcodm/internal/core"
@@ -37,7 +38,23 @@ type Source struct {
 	ChunkSize    int           // snapshot chunk payload bytes (default 256 KiB)
 	WriteTimeout time.Duration // per-frame write deadline (default 30s)
 
+	// OnFenced fires when a subscriber reports an epoch higher than this
+	// source's: some follower was promoted past us, so this node is an
+	// ex-leader that should stop acting like one. The serving layer uses
+	// it to log loudly and begin demotion.
+	OnFenced func(peerEpoch uint64)
+
 	Logf func(format string, args ...any)
+
+	// Digest cache: the store digest is shipped on idle heartbeats so a
+	// follower can verify its replayed history at promotion time without
+	// a live leader to ask. Hashing the store is a full scan, so it runs
+	// only once the frontier has been still for two consecutive beats and
+	// is cached per frontier.
+	digMu  sync.Mutex
+	hbLSN  uint64 // frontier at the previous heartbeat
+	digLSN uint64 // frontier the cached digest was computed at
+	dig    []byte
 }
 
 func (s *Source) batch() int {
@@ -79,12 +96,29 @@ func (s *Source) writeFrame(conn net.Conn, typ byte, payload []byte) error {
 	return wire.WriteFrame(conn, typ, payload)
 }
 
-// Serve streams the log to one follower, starting at fromLSN, until the
-// connection dies, the follower sends anything (the stream is one-way —
+// Serve streams the log to one follower, starting at req.FromLSN, until
+// the connection dies, the follower sends anything (the stream is one-way —
 // inbound bytes are a protocol violation), or ctx is cancelled. An engine
 // without a log (in-memory) cannot replicate; the error travels to the
 // follower as an Error frame.
-func (s *Source) Serve(ctx context.Context, conn net.Conn, fromLSN uint64) error {
+//
+// Epoch fencing happens here, before a single record is shipped:
+//
+//   - A subscriber reporting a HIGHER epoch than this source means some
+//     follower was promoted past us — this source is a stale ex-leader.
+//     It answers with a Fence frame, fires OnFenced, and refuses to
+//     serve (serving would hand out history a newer leader may have
+//     superseded).
+//   - A subscriber at a LOWER epoch whose history extends past this
+//     epoch's start LSN is the resurrected old leader: its unshipped
+//     suffix diverged from the promoted timeline and idempotent redo
+//     would silently skip the overlap. It gets a Fence frame telling it
+//     where the epochs split so it can rejoin via snapshot.
+//   - A subscriber at a lower epoch whose history stops at or before the
+//     epoch start is an innocent, merely-behind follower: it is served
+//     normally and learns the new epoch from the OpEpoch record in the
+//     stream itself.
+func (s *Source) Serve(ctx context.Context, conn net.Conn, req wire.SubscribeReq) error {
 	eng := s.Engine
 	log := eng.Log()
 	if log == nil {
@@ -98,6 +132,28 @@ func (s *Source) Serve(ctx context.Context, conn net.Conn, fromLSN uint64) error
 	batchesSent := reg.Counter("repl.batches_sent")
 	recordsSent := reg.Counter("repl.records_sent")
 	snapshotsSent := reg.Counter("repl.snapshots_sent")
+
+	srcEpoch, srcStart := eng.Epoch(), eng.EpochStart()
+	if req.Epoch > srcEpoch {
+		msg := fmt.Sprintf("subscriber epoch %d exceeds source epoch %d: this source is a fenced ex-leader", req.Epoch, srcEpoch)
+		s.writeFrame(conn, wire.FrameFence, wire.EncodeFence(wire.Fence{Epoch: srcEpoch, EpochStart: srcStart, Msg: msg}))
+		reg.Counter("repl.fences_sent").Inc()
+		s.logf("repl: FENCED by subscriber %s at epoch %d (local epoch %d)", conn.RemoteAddr(), req.Epoch, srcEpoch)
+		if s.OnFenced != nil {
+			s.OnFenced(req.Epoch)
+		}
+		return fmt.Errorf("repl: %s", msg)
+	}
+	forceSnapshot := req.Flags&wire.SubscribeFlagSnapshot != 0
+	if req.Epoch < srcEpoch && req.FromLSN > srcStart+1 && !forceSnapshot {
+		msg := fmt.Sprintf("subscriber history reaches LSN %d at epoch %d, but epoch %d began at LSN %d: histories diverged, rejoin via snapshot",
+			req.FromLSN-1, req.Epoch, srcEpoch, srcStart)
+		s.writeFrame(conn, wire.FrameFence, wire.EncodeFence(wire.Fence{Epoch: srcEpoch, EpochStart: srcStart, Msg: msg}))
+		reg.Counter("repl.fences_sent").Inc()
+		s.logf("repl: fencing diverged subscriber %s (%s)", conn.RemoteAddr(), msg)
+		return fmt.Errorf("repl: %s", msg)
+	}
+
 	subscribers.Add(1)
 	defer subscribers.Add(-1)
 
@@ -111,8 +167,18 @@ func (s *Source) Serve(ctx context.Context, conn net.Conn, fromLSN uint64) error
 		close(dead)
 	}()
 
-	s.logf("repl: subscriber %s from LSN %d", conn.RemoteAddr(), fromLSN)
-	cur := log.Cursor(fromLSN)
+	s.logf("repl: subscriber %s from LSN %d (epoch %d)", conn.RemoteAddr(), req.FromLSN, req.Epoch)
+	cur := log.Cursor(req.FromLSN)
+	if forceSnapshot {
+		// The subscriber asked to discard its local history (fenced rejoin
+		// or operator-forced resync): reseed it before any log record.
+		start, serr := s.sendSnapshot(conn)
+		if serr != nil {
+			return serr
+		}
+		snapshotsSent.Inc()
+		cur = log.Cursor(start)
+	}
 	hb := time.NewTicker(s.heartbeat())
 	defer hb.Stop()
 	var streamBuf []byte
@@ -144,7 +210,7 @@ func (s *Source) Serve(ctx context.Context, conn net.Conn, fromLSN uint64) error
 			}
 			batchesSent.Inc()
 			recordsSent.Add(uint64(len(recs)))
-			if err := s.sendWatermark(conn); err != nil {
+			if err := s.sendWatermark(conn, false); err != nil {
 				return err
 			}
 			continue // drain the backlog before sleeping
@@ -152,7 +218,7 @@ func (s *Source) Serve(ctx context.Context, conn net.Conn, fromLSN uint64) error
 		select {
 		case <-watch:
 		case <-hb.C:
-			if err := s.sendWatermark(conn); err != nil {
+			if err := s.sendWatermark(conn, true); err != nil {
 				return err
 			}
 		case <-dead:
@@ -164,9 +230,45 @@ func (s *Source) Serve(ctx context.Context, conn net.Conn, fromLSN uint64) error
 	}
 }
 
-func (s *Source) sendWatermark(conn net.Conn) error {
+// sendWatermark ships the appended frontier, clock, and epoch. Heartbeat
+// watermarks on a quiescent frontier additionally carry the store digest
+// (see digestAt) — the follower caches it so Promote can verify its
+// replayed history after the leader is gone.
+func (s *Source) sendWatermark(conn net.Conn, heartbeat bool) error {
 	lsn := s.Engine.Log().AppendedLSN()
-	return s.writeFrame(conn, wire.FrameWatermark, wire.EncodeWatermark(lsn, uint64(s.Engine.Now())))
+	wm := wire.WatermarkInfo{LSN: lsn, Clock: uint64(s.Engine.Now()), Epoch: s.Engine.Epoch()}
+	if heartbeat {
+		s.digMu.Lock()
+		idle := s.hbLSN == lsn
+		s.hbLSN = lsn
+		s.digMu.Unlock()
+		if idle {
+			wm.Digest = s.digestAt(lsn)
+		}
+	}
+	return s.writeFrame(conn, wire.FrameWatermark, wire.EncodeWatermarkInfo(wm))
+}
+
+// digestAt returns the store digest at frontier lsn, computing it at most
+// once per frontier. Hashing is a full logical scan, so it only runs when
+// the frontier has already sat still for a whole heartbeat; if a commit
+// lands mid-hash the result describes neither frontier and is discarded.
+func (s *Source) digestAt(lsn uint64) []byte {
+	s.digMu.Lock()
+	if s.digLSN == lsn && s.dig != nil {
+		d := s.dig
+		s.digMu.Unlock()
+		return d
+	}
+	s.digMu.Unlock()
+	d, err := s.Engine.DigestStore()
+	if err != nil || s.Engine.Log().AppendedLSN() != lsn {
+		return nil
+	}
+	s.digMu.Lock()
+	s.digLSN, s.dig = lsn, d
+	s.digMu.Unlock()
+	return d
 }
 
 // sendSnapshot checkpoints the engine and streams the full device:

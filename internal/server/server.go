@@ -58,12 +58,21 @@ type Config struct {
 	MaxResultBytes int // encoded result-row payload bytes per result
 
 	// Repl, when set, serves replication subscriptions (FrameSubscribe):
-	// the leader side of WAL shipping. Nil refuses subscriptions.
+	// the leader side of WAL shipping. Nil refuses subscriptions. Can be
+	// installed after New via SetRepl — a follower that promotes becomes a
+	// source without restarting its server.
 	Repl *repl.Source
 	// Staleness, when set, marks this server as a replica and reports how
 	// far behind the leader it currently is — the "max_staleness" session
-	// option gates queries on it with CodeStale. Nil on leaders.
+	// option gates queries on it with CodeStale. Nil on leaders. Can be
+	// replaced after New via SetStaleness (a promoted leader reports zero
+	// lag so replica-dialed clients keep their max_staleness option).
 	Staleness func() time.Duration
+
+	// Admin, when set, handles FrameAdmin commands ("promote", "epoch", …)
+	// and returns a human-readable result. Nil refuses admin frames. The
+	// hook runs on the session goroutine; keep it bounded.
+	Admin func(cmd string) (string, error)
 
 	Logf func(format string, args ...any) // optional diagnostics sink
 }
@@ -121,6 +130,13 @@ type Server struct {
 	gate    chan struct{}
 	waiters atomic.Int64
 
+	// dynMu guards the reconfigurable role state: a follower that promotes
+	// swaps in a replication source and a zero-lag staleness probe without
+	// restarting the server. Reads are per-frame, never per-row.
+	dynMu     sync.Mutex
+	repl      *repl.Source
+	staleness func() time.Duration
+
 	// Metrics live in the engine's registry so they surface through the
 	// same /debug/vars and snapshot paths as engine-side telemetry.
 	conns       *obs.Gauge
@@ -171,11 +187,44 @@ func New(cfg Config) (*Server, error) {
 		deadlineErr: reg.Counter("server.deadline_err"),
 	}
 	s.eng.Store(cfg.Engine)
+	s.repl = cfg.Repl
+	s.staleness = cfg.Staleness
 	return s, nil
 }
 
 // engine returns the currently serving engine.
 func (s *Server) engine() *core.Engine { return s.eng.Load() }
+
+// replSource returns the current replication source (nil = not a leader).
+func (s *Server) replSource() *repl.Source {
+	s.dynMu.Lock()
+	defer s.dynMu.Unlock()
+	return s.repl
+}
+
+// SetRepl installs (or clears) the replication source. A follower that
+// promotes calls this so existing and new connections can subscribe.
+func (s *Server) SetRepl(src *repl.Source) {
+	s.dynMu.Lock()
+	defer s.dynMu.Unlock()
+	s.repl = src
+}
+
+// stalenessFn returns the current staleness probe (nil = not a replica).
+func (s *Server) stalenessFn() func() time.Duration {
+	s.dynMu.Lock()
+	defer s.dynMu.Unlock()
+	return s.staleness
+}
+
+// SetStaleness replaces the staleness probe. A promoted leader installs
+// a zero-lag probe — "a leader is a replica with zero lag" — so sessions
+// that set max_staleness while this node was a follower keep working.
+func (s *Server) SetStaleness(fn func() time.Duration) {
+	s.dynMu.Lock()
+	defer s.dynMu.Unlock()
+	s.staleness = fn
+}
 
 // SwapEngine atomically replaces the serving engine and returns the old
 // one. Used when a follower re-bootstraps from a leader snapshot: the old

@@ -101,7 +101,15 @@ func (ss *session) serve(ctx context.Context) {
 		ss.writeError(wire.CodeProtocol, "malformed Hello", err.Error())
 		return
 	}
-	if err := ss.writeFrame(wire.FrameWelcome, wire.EncodeWelcome(ss.s.cfg.Banner, ss.id)); err != nil {
+	eng := ss.s.engine()
+	if err := ss.writeFrame(wire.FrameWelcome, wire.EncodeWelcomeInfo(wire.WelcomeInfo{
+		Banner:  ss.s.cfg.Banner,
+		Session: ss.id,
+		Epoch:   eng.Epoch(),
+		// Writable tells failover probes whether this node accepts
+		// leader-targeted traffic; a follower or read-only engine does not.
+		Writable: !eng.IsReadOnly(),
+	})); err != nil {
 		return
 	}
 
@@ -163,12 +171,13 @@ func (ss *session) handle(ctx context.Context, f wire.Frame) bool {
 	case wire.FramePing:
 		return ss.writeFrame(wire.FramePong, f.Payload) != nil
 	case wire.FrameSubscribe:
-		from, err := wire.DecodeSubscribe(f.Payload)
+		req, err := wire.DecodeSubscribeReq(f.Payload)
 		if err != nil {
 			ss.writeError(wire.CodeProtocol, "malformed Subscribe", err.Error())
 			return true
 		}
-		if ss.s.cfg.Repl == nil {
+		src := ss.s.replSource()
+		if src == nil {
 			ss.writeError(wire.CodeQuery, "replication not enabled on this server", "")
 			return true
 		}
@@ -177,8 +186,24 @@ func (ss *session) handle(ctx context.Context, f wire.Frame) bool {
 		ss.lock()
 		ss.subscriber = true
 		ss.unlock()
-		ss.s.cfg.Repl.Serve(ctx, ss.conn, from)
+		src.Serve(ctx, ss.conn, req)
 		return true
+	case wire.FrameAdmin:
+		cmd, err := wire.DecodeAdmin(f.Payload)
+		if err != nil {
+			ss.writeError(wire.CodeProtocol, "malformed Admin", err.Error())
+			return true
+		}
+		if ss.s.cfg.Admin == nil {
+			ss.writeError(wire.CodeQuery, "admin commands not enabled on this server", "")
+			return false
+		}
+		result, err := ss.s.cfg.Admin(cmd)
+		if err != nil {
+			ss.writeError(wire.CodeQuery, err.Error(), "")
+			return false
+		}
+		return ss.writeFrame(wire.FrameAck, wire.EncodeAck(result)) != nil
 	case wire.FrameClose:
 		return true
 	default:
@@ -228,7 +253,7 @@ func (ss *session) setOption(key, val string) (string, error) {
 		// is refused with CodeStale when the replica has not heard a
 		// caught-up heartbeat within the bound — the client falls back to
 		// the leader instead of reading arbitrarily old state.
-		if ss.s.cfg.Staleness == nil {
+		if ss.s.stalenessFn() == nil {
 			return "", fmt.Errorf("option max_staleness: this server is not a replica")
 		}
 		if val == "" || val == "0" {
@@ -288,8 +313,9 @@ func (ss *session) runQuery(ctx context.Context, text string, trace uint64) bool
 	// swapping the engine mid-query turns into a plain error on the old
 	// (closed) engine, never a half-old half-new answer.
 	eng := ss.s.engine()
-	if ss.maxStale > 0 && ss.s.cfg.Staleness != nil {
-		if lag := ss.s.cfg.Staleness(); lag > ss.maxStale {
+	if stale := ss.s.stalenessFn(); ss.maxStale > 0 && stale != nil {
+		// Strictly-greater: a replica lagging exactly the bound is served.
+		if lag := stale(); lag > ss.maxStale {
 			ss.s.qErrors.Inc()
 			ss.writeError(wire.CodeStale,
 				fmt.Sprintf("replica is %s behind, session max_staleness is %s", lag.Truncate(time.Millisecond), ss.maxStale),
@@ -394,6 +420,9 @@ func (ss *session) runQuery(ctx context.Context, text string, trace uint64) bool
 		// The LSN this answer reflects: the replication watermark on a
 		// follower, the appended LSN on a leader, 0 (omitted) in-memory.
 		Watermark: eng.Watermark(),
+		// The epoch the serving node believes in — clients watch this to
+		// notice failovers and re-probe for the current leader.
+		Epoch: eng.Epoch(),
 	}
 	return ss.writeFrame(wire.FrameResultDone, wire.EncodeResultDone(done)) != nil
 }

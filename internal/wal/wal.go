@@ -41,6 +41,13 @@ const (
 	// than the RID field because RID.Pack only round-trips 16-bit pages —
 	// an archive byte offset would be silently truncated.
 	OpArchiveWrite
+	// OpEpoch logs a replication-epoch bump: Data is the new epoch (8
+	// bytes little-endian), RID is NilRID, and the epoch's start LSN is
+	// the record's own LSN minus one (the appended frontier at promotion).
+	// It travels in its own [OpEpoch, OpCommit] group, so it replicates
+	// to followers through the ordinary log stream and survives recovery
+	// like any committed write.
+	OpEpoch
 )
 
 // Record is one decoded log record.
@@ -323,6 +330,42 @@ func (w *WAL) Commit() error {
 	return nil
 }
 
+// AppendEpochGroup appends a committed [OpEpoch, OpCommit] group carrying
+// the given epoch and syncs it to stable storage — a promotion must not
+// be forgettable. The group uses its own first LSN as the transaction id;
+// the WAL never holds records of uncommitted transactions, so the id
+// cannot collide with an uncommitted group during replay. Returns the
+// commit LSN (the new appended frontier).
+func (w *WAL) AppendEpochGroup(epoch uint64) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.opts.ReadOnly {
+		return 0, fmt.Errorf("wal: epoch append on read-only log")
+	}
+	if w.txn != 0 {
+		return 0, fmt.Errorf("wal: epoch append during active transaction %d", w.txn)
+	}
+	data := binary.LittleEndian.AppendUint64(nil, epoch)
+	rec := Record{LSN: w.nextLSN, Txn: w.nextLSN, Op: OpEpoch, RID: storage.NilRID, Data: data}
+	commit := Record{LSN: w.nextLSN + 1, Txn: rec.Txn, Op: OpCommit}
+	w.nextLSN += 2
+	buf := appendRecord(nil, rec)
+	buf = appendRecord(buf, commit)
+	if _, err := w.f.WriteAt(buf, w.size); err != nil {
+		return 0, fmt.Errorf("wal: epoch append: %w", err)
+	}
+	w.met.appends.Inc()
+	w.met.appendBytes.Add(uint64(len(buf)))
+	w.size += int64(len(buf))
+	w.appended = commit.LSN
+	if err := w.syncLocked(); err != nil {
+		return 0, fmt.Errorf("wal: epoch sync: %w", err)
+	}
+	w.durable = w.appended
+	w.wakeLocked()
+	return commit.LSN, nil
+}
+
 // Abort drops the buffered records of the active transaction.
 func (w *WAL) Abort() {
 	w.mu.Lock()
@@ -468,6 +511,15 @@ type RecoveryStats struct {
 	Replayed  int    // redo operations applied (page-LSN guard may no-op them)
 	MaxLSN    uint64 // highest LSN seen
 	TornBytes int64  // bytes of torn/corrupt tail truncated away
+
+	// Epoch is the highest committed replication epoch replayed (0 when
+	// the log holds no OpEpoch records) and EpochStart the appended
+	// frontier at which that epoch began. The engine takes the max of
+	// these against its checkpointed metadata: a crash between a
+	// promotion's log append and its metadata flush must not forget the
+	// epoch.
+	Epoch      uint64
+	EpochStart uint64
 }
 
 // Replay applies the redo records of committed transactions to the heap,
@@ -548,6 +600,13 @@ func (w *WAL) ReplayWith(h *storage.Heap, arcApply func(off uint64, frame []byte
 				err = fmt.Errorf("wal: archive record at LSN %d too short (%d bytes)", r.LSN, len(r.Data))
 			} else {
 				err = arcApply(binary.LittleEndian.Uint64(r.Data), r.Data[8:])
+			}
+		case OpEpoch:
+			if len(r.Data) < 8 {
+				err = fmt.Errorf("wal: epoch record at LSN %d too short (%d bytes)", r.LSN, len(r.Data))
+			} else if e := binary.LittleEndian.Uint64(r.Data); e > stats.Epoch {
+				stats.Epoch = e
+				stats.EpochStart = r.LSN - 1
 			}
 		default:
 			err = fmt.Errorf("wal: unknown op %d at LSN %d", r.Op, r.LSN)

@@ -66,6 +66,10 @@ const (
 	// FrameSubscribe asks the server to switch this connection into a
 	// replication feed starting at a given LSN (see internal/repl).
 	FrameSubscribe byte = 0x07
+	// FrameAdmin carries an operator command ("promote", "epoch"); the
+	// server answers with Ack (result text) or Error. Servers that expose
+	// no admin hook refuse it with CodeQuery, leaving the session usable.
+	FrameAdmin byte = 0x08
 
 	// FrameWelcome acknowledges Hello: server banner + session id.
 	FrameWelcome byte = 0x20
@@ -95,6 +99,11 @@ const (
 	// FrameSnapshotDone ends a snapshot; log batches follow from the
 	// offer's start LSN.
 	FrameSnapshotDone byte = 0x2B
+	// FrameFence tells a subscriber it may not be served from its current
+	// history: the payload carries the source's epoch and epoch-start LSN
+	// so the subscriber can decide between self-fencing (it is the stale
+	// one) and a snapshot rejoin (its history diverged).
+	FrameFence byte = 0x2C
 )
 
 // Error codes carried by FrameError.
@@ -119,6 +128,10 @@ const (
 	// CodeReadOnly: the statement writes but this server is a read-only
 	// follower; send writes to the leader.
 	CodeReadOnly uint16 = 8
+	// CodeFenced: the peer's replication epoch is behind (or its history
+	// diverged from) this server's; it must not act as — or on behalf
+	// of — a leader until it rejoins at the current epoch.
+	CodeFenced uint16 = 9
 )
 
 // Frame is one decoded protocol frame.

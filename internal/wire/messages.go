@@ -66,15 +66,68 @@ func EncodeWelcome(banner string, session uint64) []byte {
 
 // DecodeWelcome parses a Welcome payload.
 func DecodeWelcome(p []byte) (banner string, session uint64, err error) {
+	var info WelcomeInfo
+	info, err = DecodeWelcomeInfo(p)
+	return info.Banner, info.Session, err
+}
+
+// WelcomeInfo is the full Welcome payload. Epoch and Writable are
+// optional trailing fields (epoch uvarint, then writable 0/1 uvarint)
+// appended after the session id: pre-epoch decoders read banner and
+// session from the front and ignore them, and pre-epoch servers emit
+// neither — DecodeWelcomeInfo then reports epoch 0, not writable.
+// Clients use the pair to probe a replica set for the highest-epoch
+// writable node during failover.
+type WelcomeInfo struct {
+	Banner   string
+	Session  uint64
+	Epoch    uint64
+	Writable bool
+}
+
+// EncodeWelcomeInfo builds a Welcome payload carrying the server's
+// replication epoch and writability.
+func EncodeWelcomeInfo(info WelcomeInfo) []byte {
+	dst := AppendString(nil, info.Banner)
+	dst = binary.AppendUvarint(dst, info.Session)
+	dst = binary.AppendUvarint(dst, info.Epoch)
+	var w uint64
+	if info.Writable {
+		w = 1
+	}
+	return binary.AppendUvarint(dst, w)
+}
+
+// DecodeWelcomeInfo parses a Welcome payload including the optional
+// epoch and writable trailing fields (zero values when absent).
+func DecodeWelcomeInfo(p []byte) (WelcomeInfo, error) {
+	var info WelcomeInfo
 	banner, n, err := ReadString(p)
 	if err != nil {
-		return "", 0, err
+		return info, err
 	}
-	session, sz := binary.Uvarint(p[n:])
+	info.Banner = banner
+	p = p[n:]
+	session, sz := binary.Uvarint(p)
 	if sz <= 0 {
-		return "", 0, fmt.Errorf("wire: corrupt session id")
+		return info, fmt.Errorf("wire: corrupt session id")
 	}
-	return banner, session, nil
+	info.Session = session
+	if p = p[sz:]; len(p) > 0 {
+		epoch, sz := binary.Uvarint(p)
+		if sz <= 0 {
+			return info, fmt.Errorf("wire: corrupt welcome epoch")
+		}
+		info.Epoch = epoch
+		if p = p[sz:]; len(p) > 0 {
+			w, sz := binary.Uvarint(p)
+			if sz <= 0 {
+				return info, fmt.Errorf("wire: corrupt welcome writable flag")
+			}
+			info.Writable = w != 0
+		}
+	}
+	return info, nil
 }
 
 // --- queries ---------------------------------------------------------------
@@ -300,6 +353,13 @@ type ResultDone struct {
 	// the trace block is always emitted (zeros included) so the field
 	// positions stay unambiguous. Older decoders ignore it.
 	Watermark uint64
+
+	// Epoch is the serving store's replication epoch (0 before any
+	// promotion). One more optional trailing uvarint after Watermark;
+	// emitting it forces the trace and watermark fields out (zeros
+	// included) to keep positions unambiguous. Clients watch it to
+	// notice failovers mid-stream.
+	Epoch uint64
 }
 
 // EncodeResultDone builds a ResultDone payload.
@@ -308,15 +368,18 @@ func EncodeResultDone(d ResultDone) []byte {
 	dst = binary.AppendUvarint(dst, d.Rows)
 	dst = binary.AppendUvarint(dst, d.Molecules)
 	dst = binary.AppendUvarint(dst, uint64(d.Elapsed.Nanoseconds()))
-	if d.Trace != 0 || !d.Res.IsZero() || d.Watermark != 0 {
+	if d.Trace != 0 || !d.Res.IsZero() || d.Watermark != 0 || d.Epoch != 0 {
 		dst = binary.AppendUvarint(dst, d.Trace)
 		dst = binary.AppendUvarint(dst, d.Res.Pages)
 		dst = binary.AppendUvarint(dst, d.Res.WALBytes)
 		dst = binary.AppendUvarint(dst, d.Res.ChainSteps)
 		dst = binary.AppendUvarint(dst, d.Res.Atoms)
 	}
-	if d.Watermark != 0 {
+	if d.Watermark != 0 || d.Epoch != 0 {
 		dst = binary.AppendUvarint(dst, d.Watermark)
+	}
+	if d.Epoch != 0 {
+		dst = binary.AppendUvarint(dst, d.Epoch)
 	}
 	return dst
 }
@@ -361,6 +424,14 @@ func DecodeResultDone(p []byte) (ResultDone, error) {
 			return d, fmt.Errorf("wire: corrupt watermark")
 		}
 		d.Watermark = v
+		p = p[sz:]
+	}
+	if len(p) > 0 {
+		v, sz := binary.Uvarint(p)
+		if sz <= 0 {
+			return d, fmt.Errorf("wire: corrupt result epoch")
+		}
+		d.Epoch = v
 	}
 	return d, nil
 }
@@ -446,6 +517,57 @@ func DecodeSubscribe(p []byte) (uint64, error) {
 	return lsn, nil
 }
 
+// Subscribe flag bits (the optional third uvarint of a Subscribe payload).
+const (
+	// SubscribeFlagSnapshot asks the source to start with a full snapshot
+	// regardless of log availability — a fenced ex-leader rejoining after
+	// divergence, or an operator-forced resync.
+	SubscribeFlagSnapshot uint64 = 1 << 0
+)
+
+// SubscribeReq is the full Subscribe payload. Epoch and Flags are
+// optional trailing uvarints after FromLSN: pre-epoch followers emit
+// neither and decode as epoch 0 with no flags, and pre-epoch sources
+// ignore them.
+type SubscribeReq struct {
+	FromLSN uint64 // first LSN the subscriber still needs
+	Epoch   uint64 // highest replication epoch the subscriber has seen
+	Flags   uint64 // SubscribeFlag* bits
+}
+
+// EncodeSubscribeReq builds a Subscribe payload with epoch and flags.
+func EncodeSubscribeReq(req SubscribeReq) []byte {
+	dst := binary.AppendUvarint(nil, req.FromLSN)
+	dst = binary.AppendUvarint(dst, req.Epoch)
+	return binary.AppendUvarint(dst, req.Flags)
+}
+
+// DecodeSubscribeReq parses a Subscribe payload including the optional
+// epoch and flags (zero when absent).
+func DecodeSubscribeReq(p []byte) (SubscribeReq, error) {
+	var req SubscribeReq
+	lsn, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return req, fmt.Errorf("wire: corrupt subscribe LSN")
+	}
+	req.FromLSN = lsn
+	if p = p[sz:]; len(p) > 0 {
+		epoch, sz := binary.Uvarint(p)
+		if sz <= 0 {
+			return req, fmt.Errorf("wire: corrupt subscribe epoch")
+		}
+		req.Epoch = epoch
+		if p = p[sz:]; len(p) > 0 {
+			flags, sz := binary.Uvarint(p)
+			if sz <= 0 {
+				return req, fmt.Errorf("wire: corrupt subscribe flags")
+			}
+			req.Flags = flags
+		}
+	}
+	return req, nil
+}
+
 // EncodeWatermark builds a Watermark payload: the leader's highest
 // appended LSN and its transaction-time clock at that point. Sent after
 // every log batch and as an idle heartbeat, it is what lets a follower
@@ -457,16 +579,118 @@ func EncodeWatermark(lsn, clock uint64) []byte {
 
 // DecodeWatermark parses a Watermark payload.
 func DecodeWatermark(p []byte) (lsn, clock uint64, err error) {
+	var wm WatermarkInfo
+	wm, err = DecodeWatermarkInfo(p)
+	return wm.LSN, wm.Clock, err
+}
+
+// StoreDigestLen is the size of a store digest on the wire (SHA-256).
+const StoreDigestLen = 32
+
+// WatermarkInfo is the full Watermark payload. Epoch is an optional
+// trailing uvarint after the clock; Digest, when present, is the final
+// StoreDigestLen raw bytes — the leader's store digest at exactly LSN,
+// shipped on idle heartbeats so a follower promoting at that frontier
+// can verify its replayed history without a live leader to ask.
+// Pre-epoch peers emit neither and ignore both.
+type WatermarkInfo struct {
+	LSN    uint64
+	Clock  uint64
+	Epoch  uint64
+	Digest []byte // nil or StoreDigestLen bytes
+}
+
+// EncodeWatermarkInfo builds a Watermark payload with epoch and an
+// optional store digest.
+func EncodeWatermarkInfo(wm WatermarkInfo) []byte {
+	dst := binary.AppendUvarint(nil, wm.LSN)
+	dst = binary.AppendUvarint(dst, wm.Clock)
+	dst = binary.AppendUvarint(dst, wm.Epoch)
+	if len(wm.Digest) == StoreDigestLen {
+		dst = append(dst, wm.Digest...)
+	}
+	return dst
+}
+
+// DecodeWatermarkInfo parses a Watermark payload including the optional
+// epoch and digest (zero/nil when absent).
+func DecodeWatermarkInfo(p []byte) (WatermarkInfo, error) {
+	var wm WatermarkInfo
 	lsn, sz := binary.Uvarint(p)
 	if sz <= 0 {
-		return 0, 0, fmt.Errorf("wire: corrupt watermark LSN")
+		return wm, fmt.Errorf("wire: corrupt watermark LSN")
 	}
+	wm.LSN = lsn
 	p = p[sz:]
-	clock, sz = binary.Uvarint(p)
+	clock, sz := binary.Uvarint(p)
 	if sz <= 0 {
-		return 0, 0, fmt.Errorf("wire: corrupt watermark clock")
+		return wm, fmt.Errorf("wire: corrupt watermark clock")
 	}
-	return lsn, clock, nil
+	wm.Clock = clock
+	if p = p[sz:]; len(p) > 0 {
+		epoch, sz := binary.Uvarint(p)
+		if sz <= 0 {
+			return wm, fmt.Errorf("wire: corrupt watermark epoch")
+		}
+		wm.Epoch = epoch
+		if p = p[sz:]; len(p) == StoreDigestLen {
+			wm.Digest = append([]byte(nil), p...)
+		}
+	}
+	return wm, nil
+}
+
+// Fence is a FrameFence payload: the source's view of the current epoch,
+// where that epoch began, and a human-readable reason. A subscriber
+// whose epoch is higher should self-fence (it is the newer leader's
+// peer); one whose history extends past EpochStart at a lower epoch has
+// diverged and must rejoin via snapshot.
+type Fence struct {
+	Epoch      uint64 // the source's current epoch
+	EpochStart uint64 // appended LSN at which that epoch began
+	Msg        string
+}
+
+// EncodeFence builds a Fence payload.
+func EncodeFence(f Fence) []byte {
+	dst := binary.AppendUvarint(nil, f.Epoch)
+	dst = binary.AppendUvarint(dst, f.EpochStart)
+	return AppendString(dst, f.Msg)
+}
+
+// DecodeFence parses a Fence payload.
+func DecodeFence(p []byte) (Fence, error) {
+	var f Fence
+	epoch, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return f, fmt.Errorf("wire: corrupt fence epoch")
+	}
+	f.Epoch = epoch
+	p = p[sz:]
+	start, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return f, fmt.Errorf("wire: corrupt fence epoch start")
+	}
+	f.EpochStart = start
+	msg, _, err := ReadString(p[sz:])
+	if err != nil {
+		return f, err
+	}
+	f.Msg = msg
+	return f, nil
+}
+
+// --- admin ------------------------------------------------------------------
+
+// EncodeAdmin builds an Admin payload: the operator command.
+func EncodeAdmin(cmd string) []byte {
+	return AppendString(nil, cmd)
+}
+
+// DecodeAdmin parses an Admin payload.
+func DecodeAdmin(p []byte) (string, error) {
+	cmd, _, err := ReadString(p)
+	return cmd, err
 }
 
 // EncodeSnapshotOffer builds a SnapshotOffer payload: the LSN log batches

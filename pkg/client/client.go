@@ -154,6 +154,10 @@ type Result struct {
 	// reflected when the query ran: on a replica it tells the caller
 	// exactly how fresh the read was; on a leader it is the commit horizon.
 	Watermark uint64
+	// Epoch is the leadership epoch the answering server believed in. It
+	// increases by at least one at every promotion; a caller that sees it
+	// jump knows a failover happened between two of its reads.
+	Epoch uint64
 }
 
 // errClosed reports a call on a closed client; never retried.
@@ -219,9 +223,18 @@ type Client struct {
 	brk    *breaker
 	budget atomic.Int64 // remaining automatic retries; negative = exhausted
 
-	leader   *endpoint
+	// leader is the endpoint leader-targeted traffic (Exec fallback,
+	// Sessions, Pings) goes to. It starts as cfg.Addr and is re-pointed by
+	// failover() when a probe finds a higher-epoch writable node.
+	leader   atomic.Pointer[endpoint]
 	replicas []*endpoint
 	rr       atomic.Uint32 // read round-robin position
+
+	// epoch is the highest leadership epoch observed on any handshake or
+	// result; failMu serializes failover probes so a burst of failures
+	// re-points the leader once, not once per caller.
+	epoch  atomic.Uint64
+	failMu sync.Mutex
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // jitter source; seeded for reproducible chaos runs
@@ -232,6 +245,7 @@ type Client struct {
 	retries      *obs.Counter // client.retry
 	retryGiveups *obs.Counter // client.retry_budget_exhausted
 	fallbacks    *obs.Counter // client.replica_fallback
+	failovers    *obs.Counter // client.failovers
 }
 
 // New creates a client for cfg.Addr. No connection is made until first use.
@@ -251,11 +265,12 @@ func New(cfg Config) (*Client, error) {
 		cancel:       cancel,
 		brk:          newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown, cfg.Metrics),
 		rng:          rand.New(rand.NewSource(seed)),
-		leader:       &endpoint{addr: cfg.Addr},
 		retries:      cfg.Metrics.Counter("client.retry"),
 		retryGiveups: cfg.Metrics.Counter("client.retry_budget_exhausted"),
 		fallbacks:    cfg.Metrics.Counter("client.replica_fallback"),
+		failovers:    cfg.Metrics.Counter("client.failovers"),
 	}
+	c.leader.Store(&endpoint{addr: cfg.Addr})
 	for _, r := range cfg.Replicas {
 		c.replicas = append(c.replicas, &endpoint{addr: r, replica: true})
 	}
@@ -287,7 +302,7 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
-	for _, ep := range append([]*endpoint{c.leader}, c.replicas...) {
+	for _, ep := range append([]*endpoint{c.leader.Load()}, c.replicas...) {
 		ep.mu.Lock()
 		idle := ep.idle
 		ep.idle = nil
@@ -366,6 +381,127 @@ func fallbackToLeader(err error) bool {
 	return !errors.Is(err, errClosed) && !errors.Is(err, ErrBreakerOpen)
 }
 
+// leaderFailure reports whether an error from the leader endpoint means
+// the leadership itself may have moved: the node is fenced (a higher
+// epoch exists somewhere), refusing writes, or the transport died. Query
+// errors and sheds are not leadership signals.
+func leaderFailure(err error) bool {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Code == wire.CodeFenced || se.Code == wire.CodeReadOnly
+	}
+	return !errors.Is(err, errClosed) && !errors.Is(err, ErrBreakerOpen)
+}
+
+// Epoch returns the highest leadership epoch this client has observed on
+// any handshake or result (0 = none yet).
+func (c *Client) Epoch() uint64 { return c.epoch.Load() }
+
+// Leader returns the address leader-targeted traffic currently goes to.
+// It starts as cfg.Addr and moves when failover finds a promoted node.
+func (c *Client) Leader() string { return c.leader.Load().addr }
+
+// noteEpoch records an observed epoch, logging when leadership moved.
+func (c *Client) noteEpoch(e uint64) {
+	for {
+		cur := c.epoch.Load()
+		if e <= cur {
+			return
+		}
+		if c.epoch.CompareAndSwap(cur, e) {
+			if cur != 0 {
+				c.logf("client: observed epoch change %d -> %d", cur, e)
+			}
+			return
+		}
+	}
+}
+
+// probe dials addr just far enough to read its Welcome — epoch and
+// writability — then closes. It never touches the pools.
+func (c *Client) probe(addr string) (wire.WelcomeInfo, error) {
+	raw, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	if err != nil {
+		return wire.WelcomeInfo{}, err
+	}
+	defer raw.Close()
+	raw.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	if err := wire.WriteFrame(raw, wire.FrameHello, wire.EncodeHello(c.cfg.Banner)); err != nil {
+		return wire.WelcomeInfo{}, err
+	}
+	f, err := wire.ReadFrame(bufio.NewReader(raw))
+	if err != nil {
+		return wire.WelcomeInfo{}, err
+	}
+	switch f.Type {
+	case wire.FrameWelcome:
+		info, err := wire.DecodeWelcomeInfo(f.Payload)
+		if err != nil {
+			return wire.WelcomeInfo{}, err
+		}
+		wire.WriteFrame(raw, wire.FrameClose, nil)
+		return info, nil
+	case wire.FrameError:
+		return wire.WelcomeInfo{}, decodeServerError(f.Payload)
+	default:
+		return wire.WelcomeInfo{}, fmt.Errorf("client: unexpected handshake frame 0x%02x", f.Type)
+	}
+}
+
+// failover probes every configured address for the highest-epoch writable
+// node and re-points the leader endpoint at it. Ties go to the earliest
+// address in probe order (Addr first, then Replicas), so every client
+// with the same config picks the same winner during a double promotion.
+// It reports whether a writable node was found. Probes are serialized:
+// concurrent failures share one sweep's outcome.
+func (c *Client) failover(trace uint64) bool {
+	if len(c.cfg.Replicas) == 0 {
+		return false // nowhere to fail over to; plain retry covers Addr
+	}
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	cur := c.leader.Load()
+	var bestAddr string
+	var bestEpoch uint64
+	found := false
+	for _, addr := range append([]string{c.cfg.Addr}, c.cfg.Replicas...) {
+		info, err := c.probe(addr)
+		if err != nil {
+			c.logf("client: trace=%d failover probe %s: %v", trace, addr, err)
+			continue
+		}
+		c.noteEpoch(info.Epoch)
+		if !info.Writable {
+			continue
+		}
+		// Strictly-greater keeps the earliest address on epoch ties.
+		if !found || info.Epoch > bestEpoch {
+			found, bestAddr, bestEpoch = true, addr, info.Epoch
+		}
+	}
+	if !found {
+		c.logf("client: trace=%d failover probe found no writable node", trace)
+		return false
+	}
+	if bestAddr == cur.addr {
+		c.logf("client: trace=%d failover probe: leader %s is writable at epoch %d, keeping it", trace, cur.addr, bestEpoch)
+		return true
+	}
+	// A fresh endpoint (not the replica's) so leader traffic gets its own
+	// pool without the replica handshake's max_staleness option.
+	c.leader.Store(&endpoint{addr: bestAddr})
+	c.failovers.Inc()
+	c.logf("client: trace=%d FAILOVER: leader %s -> %s (epoch %d)", trace, cur.addr, bestAddr, bestEpoch)
+	cur.mu.Lock()
+	idle := cur.idle
+	cur.idle = nil
+	cur.mu.Unlock()
+	for _, cn := range idle {
+		cn.close()
+	}
+	return true
+}
+
 // doRetry runs one read-only call with the automatic retry loop, the
 // retry budget, and the circuit breaker. trace is the call's trace id
 // (0 for pings), carried into every log line for correlation. With
@@ -380,19 +516,22 @@ func (c *Client) doRetry(trace uint64, fn func(*conn) (*Result, error)) (*Result
 			c.logf("client: trace=%d rejected: %v", trace, err)
 			return nil, err
 		}
-		ep := c.leader
+		ep := c.leader.Load()
 		if !useLeader {
 			ep = c.nextReplica()
 		}
 		res, err := c.withConn(ep, fn)
 		if err == nil {
 			c.brk.success()
+			if res != nil {
+				c.noteEpoch(res.Epoch)
+			}
 			return res, nil
 		}
 		var se *ServerError
 		if errors.As(err, &se) {
 			c.brk.success() // the server answered: the transport works
-		} else if !errors.Is(err, errClosed) && ep == c.leader {
+		} else if !errors.Is(err, errClosed) && !ep.replica {
 			// Replica transport failures do not trip the breaker: the
 			// leader may be fine, and fallback is about to try it.
 			if c.brk.failure() {
@@ -408,6 +547,17 @@ func (c *Client) doRetry(trace uint64, fn func(*conn) (*Result, error)) (*Result
 			c.fallbacks.Inc()
 			c.logf("client: trace=%d replica %s failed (%v); falling back to leader", trace, ep.addr, err)
 		}
+		failedOver := false
+		if !ep.replica && leaderFailure(err) {
+			// The leader is unreachable, fenced, or refusing writes: probe
+			// the full replica set for the highest-epoch writable node and
+			// re-route leader traffic there.
+			if c.failover(trace) {
+				useLeader = true
+				canRetry = true
+				failedOver = true
+			}
+		}
 		if attempt >= c.cfg.QueryRetries || !canRetry {
 			return nil, err
 		}
@@ -420,6 +570,10 @@ func (c *Client) doRetry(trace uint64, fn func(*conn) (*Result, error)) (*Result
 		if fellBack && se != nil {
 			// A staleness refusal says nothing about the leader's health;
 			// redirect immediately instead of backing off.
+			delay = 0
+		}
+		if failedOver {
+			// The probe already spent wall clock finding a live leader.
 			delay = 0
 		}
 		c.logf("client: trace=%d attempt %d failed (%v); retrying in %s", trace, attempt+1, err, delay)
@@ -485,7 +639,11 @@ func (c *Client) sleep(d time.Duration) bool {
 // than pooling it, because session options would leak into unrelated
 // queries.
 func (c *Client) Session() (*Session, error) {
-	cn, err := c.dialRetry(c.leader)
+	cn, err := c.dialRetry(c.leader.Load())
+	if err != nil && leaderFailure(err) && c.failover(0) {
+		// The leader moved: one more dial at the probe's winner.
+		cn, err = c.dialRetry(c.leader.Load())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -612,12 +770,15 @@ func (c *Client) dial(ep *endpoint) (*conn, error) {
 	}
 	switch f.Type {
 	case wire.FrameWelcome:
-		_, sid, err := wire.DecodeWelcome(f.Payload)
+		info, err := wire.DecodeWelcomeInfo(f.Payload)
 		if err != nil {
 			cn.close()
 			return nil, err
 		}
-		cn.sessionID = sid
+		cn.sessionID = info.Session
+		cn.epoch = info.Epoch
+		cn.writable = info.Writable
+		c.noteEpoch(info.Epoch)
 		if ep.replica && c.cfg.MaxStaleness > 0 {
 			if _, err := cn.option("max_staleness", c.cfg.MaxStaleness.String()); err != nil {
 				cn.close()

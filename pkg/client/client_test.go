@@ -201,9 +201,10 @@ func TestPoolHygieneMidResultError(t *testing.T) {
 	if _, err := cl.Query(`SELECT (n) FROM T`); err == nil {
 		t.Fatal("expected a transport error from the cut result stream")
 	}
-	cl.leader.mu.Lock()
-	pooled := len(cl.leader.idle)
-	cl.leader.mu.Unlock()
+	leader := cl.leader.Load()
+	leader.mu.Lock()
+	pooled := len(leader.idle)
+	leader.mu.Unlock()
 	if pooled != 0 {
 		t.Fatalf("%d connections pooled after a mid-result transport error", pooled)
 	}

@@ -16,6 +16,8 @@ type conn struct {
 	c         net.Conn
 	r         *bufio.Reader
 	sessionID uint64
+	epoch     uint64 // leadership epoch the server reported at handshake
+	writable  bool   // whether the server accepted writes at handshake
 }
 
 func (cn *conn) close() { cn.c.Close() }
@@ -82,6 +84,7 @@ func (cn *conn) query(typ byte, payload []byte) (*Result, error) {
 			res.Trace = done.Trace
 			res.Res = done.Res
 			res.Watermark = done.Watermark
+			res.Epoch = done.Epoch
 			if done.Rows != uint64(len(res.Rows)) {
 				return nil, fmt.Errorf("client: result stream lost rows: got %d, server sent %d", len(res.Rows), done.Rows)
 			}
